@@ -1,0 +1,167 @@
+package effpi
+
+// This file regenerates the paper's evaluation (§5.2): one benchmark per
+// Fig. 8 plot (runtime performance across engines) and one per Fig. 9 row
+// group (type-level model-checking speed). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-size sweeps (Fig. 8's 10⁶-actor points, Fig. 9's 10-pair
+// ping-pong rows) are driven by cmd/savina and cmd/mcbench; the bench
+// sizes here are chosen so the whole suite completes in minutes while
+// preserving the paper's comparisons (who wins, by what factor).
+
+import (
+	"testing"
+
+	"effpi/internal/lts"
+	"effpi/internal/mucalc"
+	rt "effpi/internal/runtime"
+	"effpi/internal/savina"
+	"effpi/internal/systems"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+	"effpi/internal/verify"
+)
+
+// --- Fig. 8: runtime benchmarks ---------------------------------------------
+
+func engines() map[string]func() rt.Engine {
+	return map[string]func() rt.Engine{
+		"effpi-default": func() rt.Engine { return rt.NewScheduler(0, rt.PolicyDefault) },
+		"effpi-fsm":     func() rt.Engine { return rt.NewScheduler(0, rt.PolicyChannelFSM) },
+		"goroutine":     func() rt.Engine { return rt.NewGoEngine() },
+	}
+}
+
+func benchSavina(b *testing.B, name string, size int) {
+	bench, err := savina.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for engName, mk := range engines() {
+		b.Run(engName, func(b *testing.B) {
+			e := mk()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bench.Run(e, size)
+			}
+		})
+	}
+}
+
+func BenchmarkFig8Chameneos(b *testing.B)          { benchSavina(b, "chameneos", 1_000) }
+func BenchmarkFig8Counting(b *testing.B)           { benchSavina(b, "counting", 100_000) }
+func BenchmarkFig8ForkJoinCreate(b *testing.B)     { benchSavina(b, "fjc", 10_000) }
+func BenchmarkFig8ForkJoinThroughput(b *testing.B) { benchSavina(b, "fjt", 100) }
+func BenchmarkFig8PingPong(b *testing.B)           { benchSavina(b, "pingpong", 100) }
+func BenchmarkFig8Ring(b *testing.B)               { benchSavina(b, "ring", 1_000) }
+func BenchmarkFig8StreamingRing(b *testing.B)      { benchSavina(b, "streamring", 1_000) }
+
+// --- Fig. 9: model-checking benchmarks ---------------------------------------
+
+func benchFig9(b *testing.B, s *systems.System) {
+	for _, prop := range s.Props {
+		prop := prop
+		b.Run(prop.Kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o, err := verify.Verify(verify.Request{Env: s.Env, Type: s.Type, Property: prop})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want, ok := s.Expected[prop.Kind]; ok && o.Holds != want {
+					b.Fatalf("%s / %s: verdict %v, Fig. 9 says %v", s.Name, prop, o.Holds, want)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig9Payment8(b *testing.B)  { benchFig9(b, systems.PaymentAudit(8)) }
+func BenchmarkFig9Payment12(b *testing.B) { benchFig9(b, systems.PaymentAudit(12)) }
+
+func BenchmarkFig9Philosophers4Deadlock(b *testing.B) {
+	benchFig9(b, systems.DiningPhilosophers(4, true))
+}
+
+func BenchmarkFig9Philosophers5NoDeadlock(b *testing.B) {
+	benchFig9(b, systems.DiningPhilosophers(5, false))
+}
+
+func BenchmarkFig9PingPong6(b *testing.B) { benchFig9(b, systems.PingPongPairs(6, false)) }
+
+func BenchmarkFig9PingPong6Responsive(b *testing.B) {
+	benchFig9(b, systems.PingPongPairs(6, true))
+}
+
+func BenchmarkFig9Ring10(b *testing.B)        { benchFig9(b, systems.Ring(10, 1)) }
+func BenchmarkFig9Ring10Tokens3(b *testing.B) { benchFig9(b, systems.Ring(10, 3)) }
+
+// --- Ablations: the design choices DESIGN.md calls out -----------------------
+
+// BenchmarkAblationSubtype measures the coinductive subtype check on the
+// recursive mobile-code type (memoised assume-on-revisit algorithm).
+func BenchmarkAblationSubtype(b *testing.B) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	rec := types.Rec{Var: "t", Body: types.In{Ch: types.Var{Name: "x"},
+		Cont: types.Pi{Var: "y", Dom: types.Int{},
+			Cod: types.Out{Ch: types.Var{Name: "x"}, Payload: types.Var{Name: "y"},
+				Cont: types.Thunk(types.RecVar{Name: "t"})}}}}
+	unfolded := types.Unfold(types.Unfold(rec).(types.In).Cont.(types.Pi).Cod.(types.Out).Cont.(types.Pi).Cod)
+	_ = unfolded
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !types.Subtype(env, rec, types.Unfold(rec)) {
+			b.Fatal("subtype failed")
+		}
+	}
+}
+
+// BenchmarkAblationExplore measures bare LTS exploration (no model
+// checking) of the 5-philosopher system.
+func BenchmarkAblationExplore(b *testing.B) {
+	s := systems.DiningPhilosophers(5, false)
+	sem := &typelts.Semantics{Env: s.Env, Observable: map[string]bool{}, WitnessOnly: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lts.Explore(sem, s.Type, lts.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBuchi measures the GPVW translation of the most
+// complex Fig. 7 schema (responsiveness) in isolation.
+func BenchmarkAblationBuchi(b *testing.B) {
+	s := systems.PaymentAudit(4)
+	sem := &typelts.Semantics{Env: s.Env, Observable: map[string]bool{}, WitnessOnly: true}
+	m, err := lts.Explore(sem, s.Type, lts.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	phi, err := verify.Compile(s.Env, m, verify.Property{Kind: verify.Responsive, From: "m", Closed: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ba := mucalc.Translate(mucalc.Not{F: phi})
+		if ba.Len() == 0 {
+			b.Fatal("empty automaton")
+		}
+	}
+}
+
+// BenchmarkAblationSchedulerPolicies isolates the default-vs-FSM policy
+// difference on a message-heavy two-process exchange.
+func BenchmarkAblationSchedulerPolicies(b *testing.B) {
+	for _, policy := range []rt.Policy{rt.PolicyDefault, rt.PolicyChannelFSM} {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			e := rt.NewScheduler(0, policy)
+			for i := 0; i < b.N; i++ {
+				savina.Counting(e, 10_000)
+			}
+		})
+	}
+}

@@ -1,0 +1,355 @@
+// Command effpi is the CLI front end of the effpi-go reproduction: it
+// parses .epi programs, type-checks them against the λπ⩽ type system,
+// verifies temporal properties by type-level model checking, explores
+// type state spaces, and runs programs under the operational semantics.
+//
+// Usage:
+//
+//	effpi check  [-bind x=TYPE]... FILE
+//	effpi run    [-steps N] FILE
+//	effpi verify [-bind x=TYPE]... -prop KIND [-channels a,b] [-from x] [-to y] [-open] FILE
+//	effpi lts    [-bind x=TYPE]... [-dot] [-max N] FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"effpi/internal/core"
+	"effpi/internal/lts"
+	"effpi/internal/reduce"
+	"effpi/internal/syntax"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+	"effpi/internal/verify"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "lts":
+		err = cmdLTS(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "bisim":
+		err = cmdBisim(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "effpi: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "effpi: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `effpi — dependent behavioural types for message-passing programs
+
+commands:
+  check   parse a .epi program and infer its λπ⩽ type
+  run     execute a program under the operational semantics
+  trace   print the program's reduction sequence step by step
+  bisim   decide strong bisimilarity of two programs' types
+  verify  model-check a Fig. 7 property of the program's type
+  lts     explore and print the type-level transition system
+
+common flags:
+  -bind x=TYPE   add x:TYPE to the typing environment (repeatable)
+
+verify flags:
+  -prop KIND     deadlock-free | ev-usage | forwarding | non-usage |
+                 reactive | responsive
+  -channels a,b  probe channels (deadlock-free, ev-usage, non-usage)
+  -from x -to y  forwarding source/target; reactive/responsive use -from
+  -open          treat the program as open (environment may interact on
+                 the probe channels); default is closed-composition mode
+`)
+}
+
+// bindFlags collects repeated -bind x=TYPE flags.
+type bindFlags struct{ env *types.Env }
+
+func (b *bindFlags) String() string { return "" }
+
+func (b *bindFlags) Set(s string) error {
+	name, tsrc, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("-bind wants x=TYPE, got %q", s)
+	}
+	t, err := syntax.ParseType(strings.TrimSpace(tsrc))
+	if err != nil {
+		return fmt.Errorf("type of %s: %w", name, err)
+	}
+	env, err := b.env.Extend(strings.TrimSpace(name), t)
+	if err != nil {
+		return err
+	}
+	b.env = env
+	return nil
+}
+
+func loadProgram(fs *flag.FlagSet, binds *bindFlags, args []string) (*core.Program, error) {
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one input file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	return core.ParseInEnv(string(src), binds.env)
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	binds := &bindFlags{env: types.NewEnv()}
+	fs.Var(binds, "bind", "x=TYPE environment binding")
+	p, err := loadProgram(fs, binds, args)
+	if err != nil {
+		return err
+	}
+	t, err := p.Check()
+	if err != nil {
+		return err
+	}
+	fmt.Println(syntax.PrintType(t))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	binds := &bindFlags{env: types.NewEnv()}
+	fs.Var(binds, "bind", "x=TYPE environment binding")
+	steps := fs.Int("steps", 1_000_000, "maximum reduction steps")
+	p, err := loadProgram(fs, binds, args)
+	if err != nil {
+		return err
+	}
+	final, err := p.Run(*steps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(syntax.PrintTerm(final))
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	binds := &bindFlags{env: types.NewEnv()}
+	fs.Var(binds, "bind", "x=TYPE environment binding")
+	propName := fs.String("prop", "", "property kind")
+	channels := fs.String("channels", "", "comma-separated probe channels")
+	from := fs.String("from", "", "source channel")
+	to := fs.String("to", "", "target channel")
+	open := fs.Bool("open", false, "open-process mode (default: closed composition)")
+	maxStates := fs.Int("max", 0, "state bound (0 = default)")
+	p, err := loadProgram(fs, binds, args)
+	if err != nil {
+		return err
+	}
+
+	prop, err := propertyFromFlags(*propName, *channels, *from, *to, !*open)
+	if err != nil {
+		return err
+	}
+	t, err := p.Check()
+	if err != nil {
+		return err
+	}
+	outcome, err := verify.Verify(verify.Request{Env: p.Env, Type: t, Property: prop, MaxStates: *maxStates})
+	if err != nil {
+		return err
+	}
+	printOutcome(outcome)
+	if !outcome.Holds {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func propertyFromFlags(name, channels, from, to string, closed bool) (verify.Property, error) {
+	var kind verify.Kind
+	switch name {
+	case "deadlock-free":
+		kind = verify.DeadlockFree
+	case "ev-usage":
+		kind = verify.EventualOutput
+	case "forwarding":
+		kind = verify.Forwarding
+	case "non-usage":
+		kind = verify.NonUsage
+	case "reactive":
+		kind = verify.Reactive
+	case "responsive":
+		kind = verify.Responsive
+	default:
+		return verify.Property{}, fmt.Errorf("unknown or missing -prop %q", name)
+	}
+	var chs []string
+	if channels != "" {
+		chs = strings.Split(channels, ",")
+	}
+	p := verify.Property{Kind: kind, Channels: chs, From: from, To: to, Closed: closed}
+	switch kind {
+	case verify.Forwarding:
+		if from == "" || to == "" {
+			return p, fmt.Errorf("forwarding needs -from and -to")
+		}
+	case verify.Reactive, verify.Responsive:
+		if from == "" {
+			return p, fmt.Errorf("%s needs -from", kind)
+		}
+	}
+	return p, nil
+}
+
+func printOutcome(o *verify.Outcome) {
+	fmt.Printf("property:  %s\n", o.Property)
+	fmt.Printf("verdict:   %v\n", o.Holds)
+	fmt.Printf("states:    %d (product %d, automaton %d)\n", o.States, o.ProductStates, o.AutomatonStates)
+	fmt.Printf("time:      %s\n", o.Duration)
+	if o.Formula != nil {
+		fmt.Printf("formula:   %s\n", o.Formula)
+	}
+	if o.Counterexample != nil {
+		fmt.Printf("violating run (lasso):\n  prefix: %v\n  cycle:  %v\n",
+			o.Counterexample.Prefix, o.Counterexample.Cycle)
+	}
+}
+
+func cmdLTS(args []string) error {
+	fs := flag.NewFlagSet("lts", flag.ContinueOnError)
+	binds := &bindFlags{env: types.NewEnv()}
+	fs.Var(binds, "bind", "x=TYPE environment binding")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT")
+	maxStates := fs.Int("max", 0, "state bound (0 = default)")
+	observe := fs.String("observe", "", "comma-separated observable channels (default: all closed)")
+	p, err := loadProgram(fs, binds, args)
+	if err != nil {
+		return err
+	}
+	t, err := p.Check()
+	if err != nil {
+		return err
+	}
+	obs := map[string]bool{}
+	if *observe != "" {
+		for _, x := range strings.Split(*observe, ",") {
+			obs[x] = true
+		}
+	}
+	sem := &typelts.Semantics{Env: p.Env, Observable: obs, WitnessOnly: true}
+	m, err := lts.Explore(sem, t, lts.Options{MaxStates: *maxStates})
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(m.DOT())
+		return nil
+	}
+	fmt.Printf("states:      %d\n", m.Len())
+	fmt.Printf("transitions: %d\n", m.NumEdges())
+	fmt.Printf("alphabet:    %d labels\n", len(m.Alphabet()))
+	fmt.Printf("deadlocked:  %v\n", m.Deadlocked())
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	binds := &bindFlags{env: types.NewEnv()}
+	fs.Var(binds, "bind", "x=TYPE environment binding")
+	steps := fs.Int("steps", 200, "maximum steps to trace")
+	width := fs.Int("width", 100, "truncate printed terms to this width")
+	p, err := loadProgram(fs, binds, args)
+	if err != nil {
+		return err
+	}
+	if _, err := p.Check(); err != nil {
+		return err
+	}
+	cur := p.Term
+	fmt.Printf("%4d  %s\n", 0, clip(syntax.PrintTerm(cur), *width))
+	for i := 1; i <= *steps; i++ {
+		next, rule, ok := reduce.Step(cur)
+		if !ok {
+			fmt.Printf("      (no further reductions)\n")
+			return nil
+		}
+		cur = next
+		fmt.Printf("%4d  —[%s]→  %s\n", i, rule, clip(syntax.PrintTerm(cur), *width))
+		if reduce.IsError(cur) {
+			return fmt.Errorf("term reduced to an error (this contradicts type safety)")
+		}
+	}
+	fmt.Printf("      (trace truncated at %d steps)\n", *steps)
+	return nil
+}
+
+func clip(s string, n int) string {
+	if n > 0 && len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}
+
+// cmdBisim decides whether two programs have strongly bisimilar types:
+// an executable notion of behavioural equivalence, useful to check that
+// a protocol refactoring preserves behaviour.
+func cmdBisim(args []string) error {
+	fs := flag.NewFlagSet("bisim", flag.ContinueOnError)
+	binds := &bindFlags{env: types.NewEnv()}
+	fs.Var(binds, "bind", "x=TYPE environment binding")
+	maxStates := fs.Int("max", 0, "state bound (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("bisim expects two input files")
+	}
+	load := func(path string) (types.Type, error) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.ParseInEnv(string(src), binds.env)
+		if err != nil {
+			return nil, err
+		}
+		return p.Check()
+	}
+	t1, err := load(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+	t2, err := load(fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(1), err)
+	}
+	ok, err := lts.TypesBisimilar(binds.env, t1, t2, lts.Options{MaxStates: *maxStates})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bisimilar: %v\n", ok)
+	if !ok {
+		os.Exit(1)
+	}
+	return nil
+}

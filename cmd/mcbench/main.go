@@ -1,0 +1,151 @@
+// Command mcbench regenerates Fig. 9 of the paper: for each benchmark
+// system it verifies the six behavioural properties, reporting the
+// verdict, the explored state count, and the mean verification time with
+// standard deviation — the same row format as the paper's table.
+//
+// Usage:
+//
+//	mcbench [-suite all|payment|philos|pingpong|ring] [-reps N] [-max N]
+//	        [-skip-slow]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"effpi/internal/systems"
+	"effpi/internal/verify"
+)
+
+func main() {
+	suite := flag.String("suite", "all", "payment | philos | pingpong | ring | all")
+	reps := flag.Int("reps", 3, "repetitions per property")
+	maxStates := flag.Int("max", 1<<22, "state bound for exploration")
+	skipSlow := flag.Bool("skip-slow", false, "skip the largest (slowest) rows")
+	flag.Parse()
+
+	rows := selectRows(*suite)
+	if len(rows) == 0 {
+		fmt.Fprintf(os.Stderr, "mcbench: unknown suite %q\n", *suite)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-34s %9s  %s\n", "system", "states", strings.Join(propHeaders(), "  "))
+	mismatches := 0
+	for _, s := range rows {
+		if *skipSlow && isSlow(s.Name) {
+			continue
+		}
+		mismatches += runRow(s, *reps, *maxStates)
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "mcbench: %d verdicts differ from Fig. 9\n", mismatches)
+		os.Exit(1)
+	}
+}
+
+func selectRows(suite string) []*systems.System {
+	all := systems.Fig9Systems()
+	if suite == "all" {
+		return all
+	}
+	var out []*systems.System
+	for _, s := range all {
+		name := strings.ToLower(s.Name)
+		switch suite {
+		case "payment":
+			if strings.HasPrefix(name, "pay") {
+				out = append(out, s)
+			}
+		case "philos":
+			if strings.HasPrefix(name, "dining") {
+				out = append(out, s)
+			}
+		case "pingpong":
+			if strings.HasPrefix(name, "ping") {
+				out = append(out, s)
+			}
+		case "ring":
+			if strings.HasPrefix(name, "ring") {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func isSlow(name string) bool {
+	return strings.Contains(name, "10 pairs")
+}
+
+func propHeaders() []string {
+	ks := verify.AllKinds()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = fmt.Sprintf("%-24s", k)
+	}
+	return out
+}
+
+// runRow verifies all six properties of one system, reps times each, and
+// prints one Fig. 9-style row. It returns the number of verdicts that
+// deviate from the paper.
+func runRow(s *systems.System, reps, maxStates int) int {
+	cells := make([]string, 0, len(s.Props))
+	mismatches := 0
+	var states int
+	for _, prop := range s.Props {
+		var times []float64
+		var holds bool
+		failed := false
+		for r := 0; r < reps; r++ {
+			o, err := verify.Verify(verify.Request{Env: s.Env, Type: s.Type, Property: prop, MaxStates: maxStates})
+			if err != nil {
+				cells = append(cells, fmt.Sprintf("error: %v", err))
+				failed = true
+				break
+			}
+			holds = o.Holds
+			states = o.States
+			times = append(times, o.Duration.Seconds())
+		}
+		if failed {
+			mismatches++
+			continue
+		}
+		mean, dev := meanStddev(times)
+		mark := ""
+		if want, ok := s.Expected[prop.Kind]; ok && want != holds {
+			mark = " [≠Fig.9]"
+			mismatches++
+		}
+		cells = append(cells, fmt.Sprintf("%-5v (%6.2f±%5.1f%%)%s", holds, mean, relDev(mean, dev), mark))
+	}
+	fmt.Printf("%-34s %9d  %s\n", s.Name, states, strings.Join(cells, "  "))
+	return mismatches
+}
+
+func meanStddev(xs []float64) (mean, dev float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		dev += (x - mean) * (x - mean)
+	}
+	dev = math.Sqrt(dev / float64(len(xs)))
+	return mean, dev
+}
+
+func relDev(mean, dev float64) float64 {
+	if mean == 0 {
+		return 0
+	}
+	return 100 * dev / mean
+}

@@ -1,0 +1,118 @@
+// Command savina regenerates Fig. 8 of the paper: for each Savina
+// benchmark it sweeps workload sizes across the runtime engines and
+// prints execution-time and memory series (GC runs and peak heap), in a
+// tab-separated format ready for plotting.
+//
+// Usage:
+//
+//	savina [-bench NAME|all] [-engine default|fsm|goroutine|all]
+//	       [-reps N] [-workers N] [-mem] [-maxsize N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	rt "effpi/internal/runtime"
+	"effpi/internal/savina"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "benchmark name or 'all'")
+	engine := flag.String("engine", "all", "engine: default, fsm, goroutine, or 'all'")
+	reps := flag.Int("reps", 3, "repetitions per point (mean reported)")
+	workers := flag.Int("workers", 0, "scheduler workers (0 = GOMAXPROCS)")
+	mem := flag.Bool("mem", false, "report GC count and peak heap per point")
+	maxSize := flag.Int("maxsize", 0, "skip sweep sizes above this (0 = no limit)")
+	flag.Parse()
+
+	var benches []savina.Benchmark
+	if *bench == "all" {
+		benches = savina.All()
+	} else {
+		b, err := savina.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		benches = []savina.Benchmark{b}
+	}
+
+	engines, err := selectEngines(*engine, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *mem {
+		fmt.Println("benchmark\tengine\tsize\ttime_ms\tmsgs\tgc_runs\tpeak_heap_mb")
+	} else {
+		fmt.Println("benchmark\tengine\tsize\ttime_ms\tmsgs")
+	}
+
+	for _, b := range benches {
+		for _, e := range engines {
+			for _, size := range b.Sizes {
+				if *maxSize > 0 && size > *maxSize {
+					continue
+				}
+				runPoint(b, e, size, *reps, *mem)
+			}
+		}
+	}
+}
+
+func selectEngines(name string, workers int) ([]rt.Engine, error) {
+	mk := map[string]func() rt.Engine{
+		"default":   func() rt.Engine { return rt.NewScheduler(workers, rt.PolicyDefault) },
+		"fsm":       func() rt.Engine { return rt.NewScheduler(workers, rt.PolicyChannelFSM) },
+		"goroutine": func() rt.Engine { return rt.NewGoEngine() },
+	}
+	if name == "all" {
+		return []rt.Engine{mk["default"](), mk["fsm"](), mk["goroutine"]()}, nil
+	}
+	f, ok := mk[name]
+	if !ok {
+		return nil, fmt.Errorf("savina: unknown engine %q", name)
+	}
+	return []rt.Engine{f()}, nil
+}
+
+func runPoint(b savina.Benchmark, e rt.Engine, size, reps int, mem bool) {
+	// Warmup round, as in the paper's JVM harness.
+	b.Run(e, min(size, 1000))
+
+	var total time.Duration
+	var msgs int64
+	var gcRuns uint32
+	var peakHeap uint64
+	for r := 0; r < reps; r++ {
+		runtime.GC()
+		debug.FreeOSMemory()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		start := time.Now()
+		res := b.Run(e, size)
+		total += time.Since(start)
+		msgs = res.Messages
+
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		gcRuns += after.NumGC - before.NumGC
+		if hw := after.TotalAlloc - before.TotalAlloc; hw > peakHeap {
+			peakHeap = hw
+		}
+	}
+	ms := float64(total.Microseconds()) / float64(reps) / 1000.0
+	if mem {
+		fmt.Printf("%s\t%s\t%d\t%.3f\t%d\t%d\t%.1f\n",
+			b.Name, e.Name(), size, ms, msgs, gcRuns/uint32(reps), float64(peakHeap)/(1<<20))
+	} else {
+		fmt.Printf("%s\t%s\t%d\t%.3f\t%d\n", b.Name, e.Name(), size, ms, msgs)
+	}
+}

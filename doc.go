@@ -1,0 +1,10 @@
+// Package effpi is a from-scratch Go reproduction of "Verifying
+// Message-Passing Programs with Dependent Behavioural Types" (Scalas,
+// Yoshida, Benussi; PLDI 2019) — the Effpi system.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map), the executables under cmd/ (effpi, savina, mcbench), and runnable
+// examples under examples/. The benchmarks in bench_test.go regenerate
+// every figure and table of the paper's evaluation (Fig. 8 and Fig. 9);
+// EXPERIMENTS.md records the measured results against the published ones.
+package effpi

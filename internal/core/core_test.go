@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"effpi/internal/term"
+	"effpi/internal/types"
+	"effpi/internal/verify"
+)
+
+const pingPongSrc = `
+let pinger = fun (self: Chan[Str]) => fun (pongc: OChan[OChan[Str]]) =>
+  send(pongc, self, fun (_: Unit) => recv(self, fun (reply: Str) => end))
+in
+let ponger = fun (self: Chan[OChan[Str]]) =>
+  recv(self, fun (replyTo: OChan[Str]) =>
+    send(replyTo, "Hi!", fun (_: Unit) => end))
+in
+let y = chan[Str]() in
+let z = chan[OChan[Str]]() in
+(pinger y z || ponger z)
+`
+
+func TestPipelineParseCheckRun(t *testing.T) {
+	p, err := Parse(pingPongSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, err := p.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := types.CheckProcType(p.Env, ty); err != nil {
+		t.Fatalf("program type must be a π-type: %v", err)
+	}
+	final, err := p.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := final.(term.End); !ok {
+		t.Errorf("ping-pong must run to end, got %s", final)
+	}
+}
+
+func TestPipelineVerify(t *testing.T) {
+	env := types.EnvOf(
+		"y", types.ChanIO{Elem: types.Str{}},
+		"z", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}},
+	)
+	p, err := ParseInEnv(`
+let pinger = fun (self: Chan[Str]) => fun (pongc: OChan[OChan[Str]]) =>
+  send(pongc, self, fun (_: Unit) => recv(self, fun (reply: Str) => end))
+in
+let ponger = fun (self: Chan[OChan[Str]]) =>
+  recv(self, fun (replyTo: OChan[Str]) =>
+    send(replyTo, "Hi!", fun (_: Unit) => end))
+in (pinger y z || ponger z)
+`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := p.Verify(verify.Property{Kind: verify.Responsive, From: "z", Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds {
+		t.Errorf("composed ping-pong must be responsive on z: %+v", o.Counterexample)
+	}
+}
+
+func TestCheckAgainst(t *testing.T) {
+	p, err := Parse(`fun (x: Int) => x + 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.Pi{Var: "x", Dom: types.Int{}, Cod: types.Int{}}
+	if err := p.CheckAgainst(want); err != nil {
+		t.Errorf("CheckAgainst: %v", err)
+	}
+	wrong := types.Pi{Var: "x", Dom: types.Int{}, Cod: types.Bool{}}
+	if err := p.CheckAgainst(wrong); err == nil {
+		t.Error("CheckAgainst must reject a wrong declared type")
+	}
+}
+
+func TestIllTypedProgramRejected(t *testing.T) {
+	cases := []string{
+		`send(42, 1, fun (_: Unit) => end)`,      // send on non-channel
+		`!"hello"`,                               // negation of a string
+		`(fun (x: Int) => x) true`,               // argument mismatch
+		`1 || end`,                               // value in parallel
+		`recv(chan[Int](), fun (s: Str) => end)`, // payload/domain mismatch
+	}
+	for _, src := range cases {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q should parse: %v", src, err)
+			continue
+		}
+		if _, err := p.Check(); err == nil {
+			t.Errorf("%q must be ill-typed", src)
+		}
+	}
+}
+
+func TestRunRequiresTyping(t *testing.T) {
+	p, err := Parse(`(fun (x: Int) => x) true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(100); err == nil {
+		t.Error("Run must refuse ill-typed programs")
+	}
+}
+
+func TestVerifyTypeStubWorkflow(t *testing.T) {
+	// §5.1: protocols can be composed and verified before implementation.
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	stub := types.Rec{Var: "t", Body: types.In{Ch: types.Var{Name: "x"},
+		Cont: types.Pi{Var: "v", Dom: types.Int{}, Cod: types.RecVar{Name: "t"}}}}
+	o, err := VerifyType(env, stub, verify.Property{Kind: verify.Reactive, From: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds {
+		t.Error("the reactive stub protocol must verify without an implementation")
+	}
+}
+
+func TestParseErrorsSurfacePositions(t *testing.T) {
+	_, err := Parse("let x = in x")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if !strings.Contains(err.Error(), ":") {
+		t.Errorf("parse errors must carry positions: %v", err)
+	}
+}

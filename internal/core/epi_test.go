@@ -1,0 +1,71 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"effpi/internal/term"
+)
+
+// TestShippedEpiExamples parses, type-checks and runs every .epi file
+// under examples/epi — the programs shipped for the CLI.
+func TestShippedEpiExamples(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "epi")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("examples/epi not found: %v", err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".epi" {
+			continue
+		}
+		ran++
+		t.Run(e.Name(), func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := p.Check(); err != nil {
+				t.Fatalf("typecheck: %v", err)
+			}
+			final, err := p.Run(100_000)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			// Programs either terminate at end or park waiting for more
+			// input; they never produce errors (Thm. 3.6).
+			_ = final
+		})
+	}
+	if ran < 3 {
+		t.Errorf("expected at least 3 shipped .epi examples, found %d", ran)
+	}
+}
+
+// TestMobileCodeEpiTerminatesPartially: the mobile-code server consumes
+// both produced pairs; the filter then waits for more input forever.
+func TestMobileCodeEpiTerminatesPartially(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "epi", "mobilecode.epi"))
+	if err != nil {
+		t.Skip(err)
+	}
+	p, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := p.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The residue is the re-armed filter (a recv), possibly composed
+	// with end.
+	if _, done := final.(term.End); done {
+		t.Error("the Tm-typed filter loops forever; the residue should be its pending recv")
+	}
+}

@@ -1,0 +1,167 @@
+// Package lts provides explicit-state labelled transition systems built
+// from λπ⩽ types, with bounded exploration, run completion, alphabet
+// extraction and DOT export. It is the bridge between the type semantics
+// (Def. 4.2) and the linear-time model checker (Def. 4.6).
+package lts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// Edge is a transition to state Dst firing Label.
+type Edge struct {
+	Label typelts.Label
+	Dst   int
+}
+
+// LTS is a finite labelled transition system over type states.
+// Every state has at least one outgoing edge: states with no type
+// transitions are completed with a ✔ (terminated) or ⊠ (deadlock)
+// self-loop so that all maximal runs are infinite (Def. 4.6 quantifies
+// over complete runs; see DESIGN.md §4.4).
+type LTS struct {
+	States  []types.Type
+	Edges   [][]Edge
+	Initial int
+	// Truncated reports that exploration hit the state bound; verification
+	// results on a truncated LTS are not trustworthy and the verifier
+	// refuses to produce them.
+	Truncated bool
+}
+
+// Options configures exploration.
+type Options struct {
+	// MaxStates bounds the exploration (default 1 << 20).
+	MaxStates int
+}
+
+// DefaultMaxStates bounds exploration when Options.MaxStates is zero.
+const DefaultMaxStates = 1 << 20
+
+// Explore builds the reachable LTS of init under the given semantics.
+func Explore(sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	l := &LTS{Initial: 0}
+	index := map[string]int{}
+
+	intern := func(t types.Type) int {
+		key := types.Canon(t)
+		if id, ok := index[key]; ok {
+			return id
+		}
+		id := len(l.States)
+		index[key] = id
+		l.States = append(l.States, t)
+		l.Edges = append(l.Edges, nil)
+		return id
+	}
+
+	intern(init)
+	for next := 0; next < len(l.States); next++ {
+		if len(l.States) > maxStates {
+			l.Truncated = true
+			return l, fmt.Errorf("lts: state bound %d exceeded (type may be infinite-state; see Lemma 4.7 and §5.1 limitation 2)", maxStates)
+		}
+		st := l.States[next]
+		steps := sem.Transitions(st)
+		if len(steps) == 0 {
+			// Complete the run: ✔^ω for proper termination, ⊠^ω for
+			// deadlock.
+			var lab typelts.Label = typelts.Stuck{}
+			if types.IsNilPar(st) {
+				lab = typelts.Done{}
+			}
+			l.Edges[next] = []Edge{{Label: lab, Dst: next}}
+			continue
+		}
+		seen := map[string]bool{}
+		for _, s := range steps {
+			dst := intern(s.Next)
+			k := s.Label.Key() + "→" + fmt.Sprint(dst)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			l.Edges[next] = append(l.Edges[next], Edge{Label: s.Label, Dst: dst})
+		}
+	}
+	return l, nil
+}
+
+// Len returns the number of states.
+func (l *LTS) Len() int { return len(l.States) }
+
+// Alphabet returns one representative of every distinct label (by Key),
+// sorted by key for determinism. This is the finite action set AΓ(T) of
+// the paper (used by Def. 4.8 and Thm. 4.10).
+func (l *LTS) Alphabet() []typelts.Label {
+	byKey := map[string]typelts.Label{}
+	for _, edges := range l.Edges {
+		for _, e := range edges {
+			byKey[e.Label.Key()] = e.Label
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]typelts.Label, len(keys))
+	for i, k := range keys {
+		out[i] = byKey[k]
+	}
+	return out
+}
+
+// NumEdges returns the total number of transitions.
+func (l *LTS) NumEdges() int {
+	n := 0
+	for _, es := range l.Edges {
+		n += len(es)
+	}
+	return n
+}
+
+// Deadlocked reports whether any reachable state is completed with ⊠.
+func (l *LTS) Deadlocked() bool {
+	for _, es := range l.Edges {
+		for _, e := range es {
+			if _, ok := e.Label.(typelts.Stuck); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DOT renders the LTS in Graphviz format for inspection.
+func (l *LTS) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph lts {\n  rankdir=LR;\n")
+	fmt.Fprintf(&b, "  init [shape=point];\n  init -> s%d;\n", l.Initial)
+	for i := range l.States {
+		fmt.Fprintf(&b, "  s%d [label=%q];\n", i, truncate(l.States[i].String(), 60))
+	}
+	for src, es := range l.Edges {
+		for _, e := range es {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", src, e.Dst, truncate(e.Label.String(), 40))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

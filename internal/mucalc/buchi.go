@@ -1,0 +1,327 @@
+package mucalc
+
+import (
+	"effpi/internal/typelts"
+)
+
+// This file translates NNF formulas to Büchi automata with the GPVW
+// tableau (Gerth, Peled, Vardi, Wolper, PSTV 1995), then degeneralizes
+// the resulting generalized acceptance condition with the counter
+// construction (Baier & Katoen, Principles of Model Checking, Thm. 4.56).
+//
+// Automaton states carry literal guards: a run q0 q1 q2... accepts the
+// action word a0 a1 a2... iff a_i satisfies the literals of q_{i+1}'s Old
+// set (guards are checked when *entering* a state) and the acceptance
+// condition holds.
+
+// Buchi is a (degeneralized) Büchi automaton whose transitions are
+// guarded by action-set literals on the target state.
+type Buchi struct {
+	// Pos[q] / Neg[q]: the letter entering q must belong to every set in
+	// Pos[q] and to no set in Neg[q].
+	Pos [][]ActionSet
+	Neg [][]ActionSet
+	// Succ[q]: successor states of q.
+	Succ [][]int
+	// Init: successor states of the virtual initial node.
+	Init []int
+	// Accepting[q] reports Büchi acceptance.
+	Accepting []bool
+}
+
+// Len returns the number of automaton states.
+func (b *Buchi) Len() int { return len(b.Succ) }
+
+// Admits reports whether label l satisfies the guard of state q.
+func (b *Buchi) Admits(q int, l typelts.Label) bool {
+	for _, a := range b.Pos[q] {
+		if !a.Contains(l) {
+			return false
+		}
+	}
+	for _, a := range b.Neg[q] {
+		if a.Contains(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Translate builds a Büchi automaton accepting exactly the runs
+// satisfying f. The input is converted to NNF internally.
+func Translate(f Formula) *Buchi {
+	f = NNF(f)
+	g := newGraphBuilder()
+	initNew := make(formulaSet)
+	initNew.add(f)
+	g.expand(&gpvwNode{
+		incoming: map[int]bool{initID: true},
+		new:      initNew,
+		old:      make(formulaSet),
+		next:     make(formulaSet),
+	})
+	gba := g.finish(f)
+	return degeneralize(gba)
+}
+
+const initID = -1
+
+type gpvwNode struct {
+	id       int
+	incoming map[int]bool
+	new      formulaSet
+	old      formulaSet
+	next     formulaSet
+}
+
+type graphBuilder struct {
+	nodes  []*gpvwNode
+	byKey  map[string]*gpvwNode // old.key + "⊲" + next.key → node
+	nextID int
+}
+
+func newGraphBuilder() *graphBuilder {
+	return &graphBuilder{byKey: map[string]*gpvwNode{}}
+}
+
+func nodeKey(old, next formulaSet) string { return old.key() + "⊲" + next.key() }
+
+func (g *graphBuilder) expand(q *gpvwNode) {
+	if len(q.new) == 0 {
+		key := nodeKey(q.old, q.next)
+		if r, ok := g.byKey[key]; ok {
+			for in := range q.incoming {
+				r.incoming[in] = true
+			}
+			return
+		}
+		q.id = g.nextID
+		g.nextID++
+		g.nodes = append(g.nodes, q)
+		g.byKey[key] = q
+		succ := &gpvwNode{
+			incoming: map[int]bool{q.id: true},
+			new:      q.next.clone(),
+			old:      make(formulaSet),
+			next:     make(formulaSet),
+		}
+		g.expand(succ)
+		return
+	}
+
+	// Pop a formula from New.
+	var f Formula
+	for k, v := range q.new {
+		f = v
+		delete(q.new, k)
+		_ = k
+		break
+	}
+
+	if q.old.has(f) {
+		g.expand(q)
+		return
+	}
+
+	switch f := f.(type) {
+	case False:
+		return // contradiction: drop the node
+	case True:
+		g.expand(q)
+	case Prop:
+		if q.old.has(NegProp{Set: f.Set}) {
+			return
+		}
+		q.old.add(f)
+		g.expand(q)
+	case NegProp:
+		if q.old.has(Prop{Set: f.Set}) {
+			return
+		}
+		q.old.add(f)
+		g.expand(q)
+	case And:
+		q.old.add(f)
+		if !q.old.has(f.L) {
+			q.new.add(f.L)
+		}
+		if !q.old.has(f.R) {
+			q.new.add(f.R)
+		}
+		g.expand(q)
+	case Next:
+		q.old.add(f)
+		q.next.add(f.F)
+		g.expand(q)
+	case Or:
+		q1 := splitNode(q, f, f.L, nil)
+		q2 := splitNode(q, f, f.R, nil)
+		g.expand(q1)
+		g.expand(q2)
+	case Until:
+		// f ≡ R ∨ (L ∧ X f)
+		q1 := splitNode(q, f, f.L, f)
+		q2 := splitNode(q, f, f.R, nil)
+		g.expand(q1)
+		g.expand(q2)
+	case Release:
+		// f ≡ (R ∧ L) ∨ (R ∧ X f)
+		q1 := splitNode(q, f, f.R, f)
+		q2 := splitNode(q, f, f.R, nil)
+		q2.new.add(f.L)
+		g.expand(q1)
+		g.expand(q2)
+	default:
+		panic("mucalc: non-NNF formula reached tableau")
+	}
+}
+
+// splitNode clones q, records f as processed, pushes sub onto New, and
+// (for Until/Release) pushes the recurrence xf onto Next.
+func splitNode(q *gpvwNode, f Formula, sub Formula, xf Formula) *gpvwNode {
+	n := &gpvwNode{
+		incoming: cloneIntSet(q.incoming),
+		new:      q.new.clone(),
+		old:      q.old.clone(),
+		next:     q.next.clone(),
+	}
+	n.old.add(f)
+	if !n.old.has(sub) {
+		n.new.add(sub)
+	}
+	if xf != nil {
+		n.next.add(xf)
+	}
+	return n
+}
+
+func cloneIntSet(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// gba is a generalized Büchi automaton produced by the tableau.
+type gba struct {
+	pos, neg [][]ActionSet
+	succ     [][]int
+	init     []int
+	// accept[i] is the i-th acceptance set (one per Until subformula).
+	accept [][]bool
+}
+
+func (g *graphBuilder) finish(f Formula) *gba {
+	n := len(g.nodes)
+	a := &gba{
+		pos:  make([][]ActionSet, n),
+		neg:  make([][]ActionSet, n),
+		succ: make([][]int, n),
+	}
+	for _, q := range g.nodes {
+		for _, ff := range q.old {
+			switch ff := ff.(type) {
+			case Prop:
+				a.pos[q.id] = append(a.pos[q.id], ff.Set)
+			case NegProp:
+				a.neg[q.id] = append(a.neg[q.id], ff.Set)
+			}
+		}
+		for in := range q.incoming {
+			if in == initID {
+				a.init = append(a.init, q.id)
+			} else {
+				a.succ[in] = append(a.succ[in], q.id)
+			}
+		}
+	}
+	// One acceptance set per Until subformula u = L U R:
+	// F_u = {q | u ∉ Old(q) or R ∈ Old(q)}.
+	for _, u := range collectUntils(f) {
+		set := make([]bool, n)
+		for _, q := range g.nodes {
+			set[q.id] = !q.old.has(u) || q.old.has(u.R)
+		}
+		a.accept = append(a.accept, set)
+	}
+	return a
+}
+
+func collectUntils(f Formula) []Until {
+	seen := map[string]bool{}
+	var out []Until
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch f := f.(type) {
+		case And:
+			walk(f.L)
+			walk(f.R)
+		case Or:
+			walk(f.L)
+			walk(f.R)
+		case Next:
+			walk(f.F)
+		case Until:
+			if !seen[f.Key()] {
+				seen[f.Key()] = true
+				out = append(out, f)
+			}
+			walk(f.L)
+			walk(f.R)
+		case Release:
+			walk(f.L)
+			walk(f.R)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// degeneralize applies the counter construction: states (q, i) where i
+// indexes the acceptance set currently awaited; leaving a state of F_i at
+// level i advances the counter; acceptance is F_0 × {0}.
+func degeneralize(g *gba) *Buchi {
+	n := len(g.succ)
+	k := len(g.accept)
+	if k == 0 {
+		// No Until subformulas: every infinite run is accepting.
+		b := &Buchi{
+			Pos:       g.pos,
+			Neg:       g.neg,
+			Succ:      g.succ,
+			Init:      g.init,
+			Accepting: make([]bool, n),
+		}
+		for i := range b.Accepting {
+			b.Accepting[i] = true
+		}
+		return b
+	}
+	id := func(q, i int) int { return q*k + i }
+	b := &Buchi{
+		Pos:       make([][]ActionSet, n*k),
+		Neg:       make([][]ActionSet, n*k),
+		Succ:      make([][]int, n*k),
+		Accepting: make([]bool, n*k),
+	}
+	for q := 0; q < n; q++ {
+		for i := 0; i < k; i++ {
+			s := id(q, i)
+			b.Pos[s] = g.pos[q]
+			b.Neg[s] = g.neg[q]
+			j := i
+			if g.accept[i][q] {
+				j = (i + 1) % k
+			}
+			for _, qq := range g.succ[q] {
+				b.Succ[s] = append(b.Succ[s], id(qq, j))
+			}
+			b.Accepting[s] = i == 0 && g.accept[0][q]
+		}
+	}
+	for _, q := range g.init {
+		b.Init = append(b.Init, id(q, 0))
+	}
+	return b
+}

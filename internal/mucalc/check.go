@@ -1,0 +1,243 @@
+package mucalc
+
+import (
+	"effpi/internal/lts"
+	"effpi/internal/typelts"
+)
+
+// Result is the outcome of a model-checking query T |= ϕ.
+type Result struct {
+	// Holds reports whether every complete run satisfies ϕ.
+	Holds bool
+	// Counterexample, when Holds is false, is a lasso-shaped violating
+	// run: Prefix followed by Cycle repeated forever.
+	Counterexample *Trace
+	// ProductStates is the number of product states visited.
+	ProductStates int
+	// AutomatonStates is the size of the Büchi automaton for ¬ϕ.
+	AutomatonStates int
+}
+
+// Trace is a lasso-shaped run.
+type Trace struct {
+	Prefix []typelts.Label
+	Cycle  []typelts.Label
+}
+
+// Check decides m |= ϕ: it translates ¬ϕ to a Büchi automaton and
+// searches the product for an accepting cycle with nested DFS. The LTS
+// must be run-completed (every state has a successor), which lts.Explore
+// guarantees.
+func Check(m *lts.LTS, phi Formula) Result {
+	phi = Simplify(phi)
+	if isTrue(phi) {
+		return Result{Holds: true}
+	}
+	ba := Translate(Not{F: phi})
+	p := &product{m: m, ba: ba}
+	trace, visited := p.findAcceptingLasso()
+	return Result{
+		Holds:           trace == nil,
+		Counterexample:  trace,
+		ProductStates:   visited,
+		AutomatonStates: ba.Len(),
+	}
+}
+
+// product is the synchronous product of an LTS and a Büchi automaton.
+// Product states are encoded as uint64: lts-state * (|BA|+1) + (ba+1),
+// with ba = -1 encoding the automaton's virtual initial state.
+type product struct {
+	m  *lts.LTS
+	ba *Buchi
+}
+
+func (p *product) encode(s, q int) uint64 {
+	return uint64(s)*uint64(p.ba.Len()+1) + uint64(q+1)
+}
+
+func (p *product) decode(id uint64) (s, q int) {
+	n := uint64(p.ba.Len() + 1)
+	return int(id / n), int(id%n) - 1
+}
+
+// succ enumerates product successors: an LTS edge s --l--> s' pairs with
+// a BA edge q → q' whose target guard admits l.
+func (p *product) succ(id uint64, yield func(next uint64, l typelts.Label) bool) bool {
+	s, q := p.decode(id)
+	var baSucc []int
+	if q < 0 {
+		baSucc = p.ba.Init
+	} else {
+		baSucc = p.ba.Succ[q]
+	}
+	for _, e := range p.m.Edges[s] {
+		for _, qq := range baSucc {
+			if !p.ba.Admits(qq, e.Label) {
+				continue
+			}
+			if !yield(p.encode(e.Dst, qq), e.Label) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *product) accepting(id uint64) bool {
+	_, q := p.decode(id)
+	return q >= 0 && p.ba.Accepting[q]
+}
+
+const (
+	colorWhite = 0
+	colorCyan  = 1 // on the blue DFS stack
+	colorBlue  = 2 // blue DFS finished
+)
+
+type blueFrame struct {
+	id    uint64
+	edges []succEdge
+	next  int
+}
+
+type succEdge struct {
+	dst   uint64
+	label typelts.Label
+}
+
+// findAcceptingLasso runs the CVWY nested depth-first search (with the
+// Holzmann-Peled-Yannakakis cyan improvement): the outer (blue) DFS
+// visits states in post-order; whenever an accepting state is retired,
+// an inner (red) DFS looks for a cycle back to it or to any state still
+// on the blue stack.
+func (p *product) findAcceptingLasso() (*Trace, int) {
+	color := map[uint64]uint8{}
+	red := map[uint64]bool{}
+	start := p.encode(p.m.Initial, -1)
+
+	expand := func(id uint64) []succEdge {
+		var out []succEdge
+		p.succ(id, func(next uint64, l typelts.Label) bool {
+			out = append(out, succEdge{dst: next, label: l})
+			return true
+		})
+		return out
+	}
+
+	var stack []*blueFrame
+	push := func(id uint64) {
+		color[id] = colorCyan
+		stack = append(stack, &blueFrame{id: id, edges: expand(id)})
+	}
+	push(start)
+
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		if top.next < len(top.edges) {
+			e := top.edges[top.next]
+			top.next++
+			if color[e.dst] == colorWhite {
+				push(e.dst)
+			}
+			continue
+		}
+		// Post-order retirement.
+		stack = stack[:len(stack)-1]
+		if p.accepting(top.id) {
+			if cyc := p.redDFS(top.id, color, red); cyc != nil {
+				prefix, cycle := p.assemble(stack, top.id, cyc)
+				return &Trace{Prefix: prefix, Cycle: cycle}, len(color)
+			}
+		}
+		color[top.id] = colorBlue
+	}
+	return nil, len(color)
+}
+
+// redStep is a frame of the inner DFS, remembering the label taken to
+// reach it for counterexample reconstruction.
+type redStep struct {
+	id    uint64
+	via   typelts.Label
+	edges []succEdge
+	next  int
+}
+
+// redDFS searches from seed for a path back to seed or to a cyan state.
+// It returns the labels of that path (the cycle body), or nil.
+func (p *product) redDFS(seed uint64, color map[uint64]uint8, red map[uint64]bool) []redStep {
+	expand := func(id uint64) []succEdge {
+		var out []succEdge
+		p.succ(id, func(next uint64, l typelts.Label) bool {
+			out = append(out, succEdge{dst: next, label: l})
+			return true
+		})
+		return out
+	}
+	stack := []*redStep{{id: seed, edges: expand(seed)}}
+	red[seed] = true
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		if top.next >= len(top.edges) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		e := top.edges[top.next]
+		top.next++
+		if e.dst == seed || color[e.dst] == colorCyan {
+			// Cycle found: path seed → ... → top → e.dst (where e.dst is
+			// the seed itself or an ancestor of it on the blue stack).
+			path := make([]redStep, len(stack))
+			for i, f := range stack {
+				path[i] = *f
+			}
+			path = append(path, redStep{id: e.dst, via: e.label})
+			return path
+		}
+		if !red[e.dst] {
+			red[e.dst] = true
+			stack = append(stack, &redStep{id: e.dst, via: e.label, edges: expand(e.dst)})
+		}
+	}
+	return nil
+}
+
+// assemble reconstructs the violating lasso: the blue stack gives the
+// prefix from the initial state down to the seed's parent; the red path
+// gives the cycle, possibly closed through a cyan blue-stack segment.
+func (p *product) assemble(blue []*blueFrame, seed uint64, redPath []redStep) (prefix, cycle []typelts.Label) {
+	// Labels along the blue stack: each frame's (next-1)-th edge led to
+	// the following frame (or to the seed for the last frame).
+	for _, f := range blue {
+		if f.next-1 >= 0 && f.next-1 < len(f.edges) {
+			prefix = append(prefix, f.edges[f.next-1].label)
+		}
+	}
+	// Red path labels: redPath[0] is the seed (no incoming label).
+	for _, st := range redPath[1:] {
+		cycle = append(cycle, st.via)
+	}
+	closing := redPath[len(redPath)-1].id
+	if closing != seed {
+		// The red path ended on a cyan state above the seed: close the
+		// lasso by following the blue stack from that state back down to
+		// the seed.
+		idx := -1
+		for i, f := range blue {
+			if f.id == closing {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			for i := idx; i < len(blue); i++ {
+				f := blue[i]
+				if f.next-1 >= 0 && f.next-1 < len(f.edges) {
+					cycle = append(cycle, f.edges[f.next-1].label)
+				}
+			}
+		}
+	}
+	return prefix, cycle
+}

@@ -1,0 +1,247 @@
+// Package mucalc implements the linear-time µ-calculus fragment of
+// Def. 4.6 as action-based linear temporal logic, together with a model
+// checker: formulas are translated to Büchi automata with the classic
+// GPVW tableau (Gerth, Peled, Vardi, Wolper 1995), composed with the type
+// LTS, and checked for emptiness with the nested depth-first search of
+// Courcoubetis et al.
+//
+// The paper's basic formulas are Z, ¬ϕ, ϕ∧ϕ, (α)ϕ and νZ.ϕ; all the
+// derived forms actually used by the verification schemas of Fig. 7
+// (⊤, ⊥, ∨, ⇒, (A)ϕ, (−A)ϕ, U, □, ♢) live in the LTL fragment, which is
+// what this package implements. T |= ϕ means every complete run of T
+// satisfies ϕ; the checker decides it by searching for a run of ¬ϕ.
+package mucalc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"effpi/internal/typelts"
+)
+
+// ActionSet is a (possibly infinite) set of transition labels, given
+// semantically by a membership predicate. Name identifies the set:
+// two sets with the same Name are treated as the same atom, so builders
+// must give extensionally different sets different names.
+type ActionSet struct {
+	Name     string
+	Contains func(l typelts.Label) bool
+	// known/size let Simplify detect constantly-false atoms: only
+	// LabelSet-built sets know their cardinality.
+	known bool
+	size  int
+}
+
+// AnyAction is the full action set Act.
+func AnyAction() ActionSet {
+	return ActionSet{Name: "Act", Contains: func(typelts.Label) bool { return true }}
+}
+
+// TauActions is the set of internal actions {τ[∨]} ∪ {τ[S,S′]}.
+func TauActions() ActionSet {
+	return ActionSet{Name: "τ", Contains: typelts.IsTau}
+}
+
+// DoneActions is the singleton {✔}.
+func DoneActions() ActionSet {
+	return ActionSet{Name: "✔", Contains: func(l typelts.Label) bool {
+		_, ok := l.(typelts.Done)
+		return ok
+	}}
+}
+
+// UnionSet is A ∪ B.
+func UnionSet(a, b ActionSet) ActionSet {
+	return ActionSet{
+		Name:     "(" + a.Name + "∪" + b.Name + ")",
+		Contains: func(l typelts.Label) bool { return a.Contains(l) || b.Contains(l) },
+	}
+}
+
+// LabelSet builds a finite action set from explicit labels.
+func LabelSet(name string, labels ...typelts.Label) ActionSet {
+	keys := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		keys[l.Key()] = true
+	}
+	return ActionSet{
+		Name:     name,
+		Contains: func(l typelts.Label) bool { return keys[l.Key()] },
+		known:    true,
+		size:     len(keys),
+	}
+}
+
+// Formula is an action-based LTL formula over ActionSet atoms.
+type Formula interface {
+	formula()
+	Key() string
+	String() string
+}
+
+// True accepts every run.
+type True struct{}
+
+// False accepts no run.
+type False struct{}
+
+// Prop holds at a position whose action is in Set.
+type Prop struct{ Set ActionSet }
+
+// NegProp holds at a position whose action is not in Set.
+type NegProp struct{ Set ActionSet }
+
+// Not is logical negation (eliminated by NNF before translation).
+type Not struct{ F Formula }
+
+// And is conjunction.
+type And struct{ L, R Formula }
+
+// Or is disjunction.
+type Or struct{ L, R Formula }
+
+// Next is the next-time operator X ϕ.
+type Next struct{ F Formula }
+
+// Until is ϕ1 U ϕ2 (strong until: ϕ2 eventually holds).
+type Until struct{ L, R Formula }
+
+// Release is ϕ1 R ϕ2, the dual of Until.
+type Release struct{ L, R Formula }
+
+func (True) formula()    {}
+func (False) formula()   {}
+func (Prop) formula()    {}
+func (NegProp) formula() {}
+func (Not) formula()     {}
+func (And) formula()     {}
+func (Or) formula()      {}
+func (Next) formula()    {}
+func (Until) formula()   {}
+func (Release) formula() {}
+
+func (True) Key() string      { return "⊤" }
+func (False) Key() string     { return "⊥" }
+func (p Prop) Key() string    { return "in:" + p.Set.Name }
+func (p NegProp) Key() string { return "out:" + p.Set.Name }
+func (n Not) Key() string     { return "¬(" + n.F.Key() + ")" }
+func (a And) Key() string     { return "(" + a.L.Key() + "∧" + a.R.Key() + ")" }
+func (o Or) Key() string      { return "(" + o.L.Key() + "∨" + o.R.Key() + ")" }
+func (x Next) Key() string    { return "X(" + x.F.Key() + ")" }
+func (u Until) Key() string   { return "(" + u.L.Key() + "U" + u.R.Key() + ")" }
+func (r Release) Key() string { return "(" + r.L.Key() + "R" + r.R.Key() + ")" }
+
+func (True) String() string      { return "⊤" }
+func (False) String() string     { return "⊥" }
+func (p Prop) String() string    { return "⟨" + p.Set.Name + "⟩" }
+func (p NegProp) String() string { return "⟨−" + p.Set.Name + "⟩" }
+func (n Not) String() string     { return "¬" + n.F.String() }
+func (a And) String() string     { return "(" + a.L.String() + " ∧ " + a.R.String() + ")" }
+func (o Or) String() string      { return "(" + o.L.String() + " ∨ " + o.R.String() + ")" }
+func (x Next) String() string    { return "X " + x.F.String() }
+func (u Until) String() string   { return "(" + u.L.String() + " U " + u.R.String() + ")" }
+func (r Release) String() string { return "(" + r.L.String() + " R " + r.R.String() + ")" }
+
+// --- Derived forms (Def. 4.6, "derived formulas") -------------------------
+
+// Prefix is (A)ϕ: the run's first action is in A, and ϕ holds afterwards.
+func Prefix(a ActionSet, f Formula) Formula {
+	return And{L: Prop{Set: a}, R: nextOf(f)}
+}
+
+// PrefixCo is (−A)ϕ: the first action is outside A, and ϕ holds afterwards.
+func PrefixCo(a ActionSet, f Formula) Formula {
+	return And{L: NegProp{Set: a}, R: nextOf(f)}
+}
+
+func nextOf(f Formula) Formula {
+	if _, ok := f.(True); ok {
+		return True{} // X⊤ ≡ ⊤ on infinite (completed) runs
+	}
+	return Next{F: f}
+}
+
+// Box is □ϕ ≡ ⊥ R ϕ.
+func Box(f Formula) Formula { return Release{L: False{}, R: f} }
+
+// Diamond is ♢ϕ ≡ ⊤ U ϕ.
+func Diamond(f Formula) Formula { return Until{L: True{}, R: f} }
+
+// Implies is ϕ1 ⇒ ϕ2.
+func Implies(a, b Formula) Formula { return Or{L: nnfNot(a), R: b} }
+
+// --- Negation normal form --------------------------------------------------
+
+// NNF rewrites f into negation normal form: negations appear only on
+// atoms (as NegProp), which is what the tableau construction consumes.
+func NNF(f Formula) Formula {
+	switch f := f.(type) {
+	case True, False, Prop, NegProp:
+		return f
+	case Not:
+		return nnfNot(f.F)
+	case And:
+		return And{L: NNF(f.L), R: NNF(f.R)}
+	case Or:
+		return Or{L: NNF(f.L), R: NNF(f.R)}
+	case Next:
+		return Next{F: NNF(f.F)}
+	case Until:
+		return Until{L: NNF(f.L), R: NNF(f.R)}
+	case Release:
+		return Release{L: NNF(f.L), R: NNF(f.R)}
+	default:
+		panic(fmt.Sprintf("mucalc: unknown formula %T", f))
+	}
+}
+
+func nnfNot(f Formula) Formula {
+	switch f := f.(type) {
+	case True:
+		return False{}
+	case False:
+		return True{}
+	case Prop:
+		return NegProp{Set: f.Set}
+	case NegProp:
+		return Prop{Set: f.Set}
+	case Not:
+		return NNF(f.F)
+	case And:
+		return Or{L: nnfNot(f.L), R: nnfNot(f.R)}
+	case Or:
+		return And{L: nnfNot(f.L), R: nnfNot(f.R)}
+	case Next:
+		return Next{F: nnfNot(f.F)}
+	case Until:
+		return Release{L: nnfNot(f.L), R: nnfNot(f.R)}
+	case Release:
+		return Until{L: nnfNot(f.L), R: nnfNot(f.R)}
+	default:
+		panic(fmt.Sprintf("mucalc: unknown formula %T", f))
+	}
+}
+
+// --- Formula sets -----------------------------------------------------------
+
+type formulaSet map[string]Formula
+
+func (s formulaSet) add(f Formula)      { s[f.Key()] = f }
+func (s formulaSet) has(f Formula) bool { _, ok := s[f.Key()]; return ok }
+func (s formulaSet) clone() formulaSet {
+	c := make(formulaSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (s formulaSet) key() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}

@@ -1,0 +1,121 @@
+package mucalc
+
+// Simplify performs constant folding on formulas before translation:
+// compiled Fig. 7 schemas frequently contain empty action sets (e.g. a
+// responsiveness obligation over a channel that is never used), whose
+// atoms are constantly false; folding them keeps the GPVW tableau — and
+// hence the product — small.
+
+// Empty reports whether the action set is known to be empty (only sets
+// built by LabelSet from zero labels carry this information).
+func (a ActionSet) Empty() bool { return a.known && a.size == 0 }
+
+// Simplify rewrites f to an equivalent, usually smaller formula:
+// boolean-constant folding through every connective, plus the standard
+// temporal identities X⊤ = ⊤, ⊥Uϕ = ϕ, ϕU⊥ = ⊥, ⊤Rϕ... (see cases).
+func Simplify(f Formula) Formula {
+	switch f := f.(type) {
+	case True, False:
+		return f
+	case Prop:
+		if f.Set.Empty() {
+			return False{}
+		}
+		return f
+	case NegProp:
+		if f.Set.Empty() {
+			return True{}
+		}
+		return f
+	case Not:
+		switch inner := Simplify(f.F).(type) {
+		case True:
+			return False{}
+		case False:
+			return True{}
+		case Not:
+			return inner.F
+		default:
+			return Not{F: inner}
+		}
+	case And:
+		l, r := Simplify(f.L), Simplify(f.R)
+		if isFalse(l) || isFalse(r) {
+			return False{}
+		}
+		if isTrue(l) {
+			return r
+		}
+		if isTrue(r) {
+			return l
+		}
+		if l.Key() == r.Key() {
+			return l
+		}
+		return And{L: l, R: r}
+	case Or:
+		l, r := Simplify(f.L), Simplify(f.R)
+		if isTrue(l) || isTrue(r) {
+			return True{}
+		}
+		if isFalse(l) {
+			return r
+		}
+		if isFalse(r) {
+			return l
+		}
+		if l.Key() == r.Key() {
+			return l
+		}
+		return Or{L: l, R: r}
+	case Next:
+		inner := Simplify(f.F)
+		// On infinite (run-completed) words, X distributes over the
+		// constants.
+		if isTrue(inner) {
+			return True{}
+		}
+		if isFalse(inner) {
+			return False{}
+		}
+		return Next{F: inner}
+	case Until:
+		l, r := Simplify(f.L), Simplify(f.R)
+		if isFalse(r) {
+			return False{} // the goal never becomes true
+		}
+		if isTrue(r) {
+			return True{} // satisfied at position 0
+		}
+		if isFalse(l) {
+			return r // the goal must hold immediately
+		}
+		// ⊤ U ϕ stays (it is ♢ϕ).
+		return Until{L: l, R: r}
+	case Release:
+		l, r := Simplify(f.L), Simplify(f.R)
+		if isTrue(r) {
+			return True{}
+		}
+		if isTrue(l) {
+			return r // released immediately
+		}
+		if isFalse(r) {
+			return False{} // r must hold at position 0
+		}
+		// ⊥ R ϕ stays (it is □ϕ).
+		return Release{L: l, R: r}
+	default:
+		return f
+	}
+}
+
+func isTrue(f Formula) bool {
+	_, ok := f.(True)
+	return ok
+}
+
+func isFalse(f Formula) bool {
+	_, ok := f.(False)
+	return ok
+}

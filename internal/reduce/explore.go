@@ -1,0 +1,134 @@
+package reduce
+
+import (
+	"fmt"
+
+	"effpi/internal/term"
+)
+
+// This file provides bounded exhaustive exploration of the
+// *nondeterministic* reduction relation: Step commits to one scheduling
+// (communications first, leftmost redex), but Thm. 3.6's safety statement
+// quantifies over all reducts. StepAll enumerates every one-step reduct —
+// every communication pairing and every enabled component — and
+// CheckSafety searches the reachable set for errors.
+
+// StepAll returns all single-step reducts of t under Def. 2.4, covering
+// every enabled communication pair and every independently reducible
+// parallel component.
+func StepAll(t term.Term) []term.Term {
+	var out []term.Term
+
+	// All communication pairings across the parallel soup.
+	comps := flattenPar(t)
+	for i, s := range comps {
+		send, ok := s.(term.Send)
+		if !ok || !term.IsValue(send.Ch) || !term.IsValue(send.Val) || !term.IsValue(send.Cont) {
+			continue
+		}
+		sc, ok := send.Ch.(term.ChanVal)
+		if !ok {
+			continue
+		}
+		for j, r := range comps {
+			if i == j {
+				continue
+			}
+			recv, ok := r.(term.Recv)
+			if !ok || !term.IsValue(recv.Ch) || !term.IsValue(recv.Cont) {
+				continue
+			}
+			rc, ok := recv.Ch.(term.ChanVal)
+			if !ok || rc.Name != sc.Name {
+				continue
+			}
+			next := make([]term.Term, len(comps))
+			copy(next, comps)
+			next[i] = term.App{Fn: send.Cont, Arg: term.UnitVal{}}
+			next[j] = term.App{Fn: recv.Cont, Arg: send.Val}
+			out = append(out, parOf(next))
+		}
+	}
+
+	// Each component's own functional step (independent interleavings).
+	if len(comps) > 1 {
+		for i, c := range comps {
+			if c2, _, ok := stepFun(c); ok {
+				next := make([]term.Term, len(comps))
+				copy(next, comps)
+				next[i] = c2
+				out = append(out, parOf(next))
+			}
+		}
+		return dedupeTerms(out)
+	}
+
+	if t2, _, ok := stepFun(t); ok {
+		out = append(out, t2)
+	}
+	return dedupeTerms(out)
+}
+
+func dedupeTerms(ts []term.Term) []term.Term {
+	seen := map[string]bool{}
+	var out []term.Term
+	for _, t := range ts {
+		k := t.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SafetyReport is the result of an exhaustive bounded search.
+type SafetyReport struct {
+	// States is the number of distinct terms visited.
+	States int
+	// Truncated reports whether the bound was hit before exhaustion.
+	Truncated bool
+	// ErrWitness is a reachable erroneous term, if any.
+	ErrWitness term.Term
+}
+
+// CheckSafety explores all reducts of t (up to maxStates distinct terms)
+// and reports whether an error term is reachable — the "t is safe"
+// predicate of Def. 2.4, decided exhaustively on bounded state spaces.
+func CheckSafety(t term.Term, maxStates int) SafetyReport {
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	seen := map[string]bool{}
+	queue := []term.Term{t}
+	seen[t.String()] = true
+	report := SafetyReport{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		report.States++
+		if IsError(cur) {
+			report.ErrWitness = cur
+			return report
+		}
+		if report.States >= maxStates {
+			report.Truncated = true
+			return report
+		}
+		for _, next := range StepAll(cur) {
+			k := next.String()
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return report
+}
+
+// MustBeSafe is a test helper: it panics if an error term is reachable.
+func MustBeSafe(t term.Term, maxStates int) {
+	if r := CheckSafety(t, maxStates); r.ErrWitness != nil {
+		panic(fmt.Sprintf("reduce: reachable error term: %s", r.ErrWitness))
+	}
+}

@@ -1,0 +1,178 @@
+package reduce
+
+import (
+	"testing"
+
+	"effpi/internal/term"
+	"effpi/internal/typecheck"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// This file samples the two directions of the type/process correspondence
+// on the ping-pong configuration of Ex. 4.3:
+//
+//   - subject transition (Thm. 4.4): every communication step of the term
+//     is matched by a τ[S,S′] transition of its type, and the reduct is
+//     typed by the transition's target;
+//   - type fidelity (Thm. 4.5): every communication transition of the
+//     type is matched by a communication step of the term (possibly after
+//     τ•-steps).
+
+func pingPongTermAndType() (*types.Env, term.Term, types.Type) {
+	env := types.EnvOf(
+		"y", types.ChanIO{Elem: types.Str{}},
+		"z", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}},
+	)
+	t := term.Par{
+		L: term.Send{Ch: v("z"), Val: v("y"),
+			Cont: thunkT(term.Recv{Ch: v("y"), Cont: lam("reply", types.Str{}, term.End{})})},
+		R: term.Recv{Ch: v("z"),
+			Cont: lam("replyTo", types.ChanO{Elem: types.Str{}},
+				term.Send{Ch: v("replyTo"), Val: term.StrLit{Val: "Hi!"}, Cont: thunkT(term.End{})})},
+	}
+	ty := types.Par{
+		L: types.Out{Ch: types.Var{Name: "z"}, Payload: types.Var{Name: "y"},
+			Cont: types.Thunk(types.In{Ch: types.Var{Name: "y"},
+				Cont: types.Pi{Var: "reply", Dom: types.Str{}, Cod: types.Nil{}}})},
+		R: types.In{Ch: types.Var{Name: "z"},
+			Cont: types.Pi{Var: "replyTo", Dom: types.ChanO{Elem: types.Str{}},
+				Cod: types.Out{Ch: types.Var{Name: "replyTo"}, Payload: types.Str{}, Cont: types.Thunk(types.Nil{})}}},
+	}
+	return env, t, ty
+}
+
+// commVar extracts the subject variable name of a τ[x] term step.
+func commVar(l TermLabel) (string, bool) {
+	c, ok := l.(CommLabel)
+	if !ok {
+		return "", false
+	}
+	vv, ok := c.Subject.(term.Var)
+	if !ok {
+		return "", false
+	}
+	return vv.Name, true
+}
+
+// typeCommVar extracts the subject variable of a precise τ[x,x] type step.
+func typeCommVar(l typelts.Label) (string, bool) {
+	c, ok := l.(typelts.Comm)
+	if !ok {
+		return "", false
+	}
+	s, okS := c.Sender.(types.Var)
+	r, okR := c.Receiver.(types.Var)
+	if !okS || !okR || s.Name != r.Name {
+		return "", false
+	}
+	return s.Name, true
+}
+
+// tauStarClosure exhausts τ•-steps (internal, non-interacting) of a term.
+func tauStarClosure(env *types.Env, t term.Term) term.Term {
+	for i := 0; i < 200; i++ {
+		advanced := false
+		for _, s := range Transitions(env, t) {
+			if IsTauStarLabel(s.Label) {
+				t = s.Next
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return t
+		}
+	}
+	return t
+}
+
+// TestFidelitySampledEx43 walks the type and the term side by side: the
+// type's two communications (on z, then on y) must be mirrored by the
+// term, and the reducts must stay in the typing relation.
+func TestFidelitySampledEx43(t *testing.T) {
+	env, tm, ty := pingPongTermAndType()
+	sem := &typelts.Semantics{Env: env}
+
+	if _, err := typecheck.Infer(env, tm); err != nil {
+		t.Fatalf("initial typing: %v", err)
+	}
+
+	for round, wantChan := range []string{"z", "y"} {
+		// Type side: find the precise communication.
+		var nextType types.Type
+		found := false
+		for _, s := range sem.Transitions(ty) {
+			if x, ok := typeCommVar(s.Label); ok && x == wantChan {
+				nextType = s.Next
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("round %d: type has no τ[%s,%s] transition", round, wantChan, wantChan)
+		}
+
+		// Term side (Thm. 4.5(3)): after τ•-steps, the term communicates
+		// on the same channel.
+		tm = tauStarClosure(env, tm)
+		var nextTerm term.Term
+		found = false
+		for _, s := range Transitions(env, tm) {
+			if x, ok := commVar(s.Label); ok && x == wantChan {
+				nextTerm = s.Next
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("round %d: term has no τ[%s] transition (fidelity failure)", round, wantChan)
+		}
+
+		// Subject transition (Thm. 4.4(2d)): the term reduct is typed by
+		// the type reduct.
+		nextTerm = tauStarClosure(env, nextTerm)
+		got, err := typecheck.Infer(env, nextTerm)
+		if err != nil {
+			t.Fatalf("round %d: reduct untypable: %v\n  term %s", round, err, nextTerm)
+		}
+		if !types.Subtype(env, got, nextType) {
+			t.Fatalf("round %d: reduct type %s not below transition target %s", round, got, nextType)
+		}
+		tm, ty = nextTerm, nextType
+	}
+
+	// Both sides must now be terminated.
+	if !types.IsNilPar(ty) {
+		t.Errorf("type did not reach nil‖nil: %s", ty)
+	}
+	final, _ := Eval(tm, 100)
+	if _, ok := final.(term.End); !ok {
+		t.Errorf("term did not reach end: %s", final)
+	}
+}
+
+// TestSubjectTransitionOutputLabel checks Thm. 4.4(2b): a visible output
+// step of the term is matched by an output transition of the type.
+func TestSubjectTransitionOutputLabel(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	tm := term.Send{Ch: v("x"), Val: term.IntLit{Val: 1}, Cont: thunkT(term.End{})}
+	ty := types.Out{Ch: types.Var{Name: "x"}, Payload: types.Int{}, Cont: types.Thunk(types.Nil{})}
+	sem := &typelts.Semantics{Env: env}
+
+	termOut := false
+	for _, s := range Transitions(env, tm) {
+		if _, ok := s.Label.(OutLabel); ok {
+			termOut = true
+		}
+	}
+	typeOut := false
+	for _, s := range sem.Transitions(ty) {
+		if _, ok := s.Label.(typelts.Output); ok {
+			typeOut = true
+		}
+	}
+	if termOut != typeOut {
+		t.Errorf("output capability mismatch: term=%v type=%v", termOut, typeOut)
+	}
+}

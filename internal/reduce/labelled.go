@@ -1,0 +1,277 @@
+package reduce
+
+import (
+	"fmt"
+
+	"effpi/internal/term"
+	"effpi/internal/typecheck"
+	"effpi/internal/types"
+)
+
+// This file implements the over-approximating labelled semantics of open
+// typed terms (Def. 4.1 / Fig. 5). Open terms reduce by instantiating
+// their free variables non-deterministically: ¬x steps to both tt and ff,
+// send/recv on variable channels fire visible input/output labels, and
+// parallel components synchronise on a common channel variable.
+//
+// Not implemented: rule [SR-x()] (application of a variable in function
+// position, which instantiates it with an arbitrary suitably-typed
+// function) — its transition targets are not finitely enumerable and the
+// theory tests do not need it. This mirrors the paper's own use of the
+// semantics as an analysis device rather than an implementation.
+
+// TermLabel is a transition label of the open-term semantics.
+type TermLabel interface {
+	termLabel()
+	String() string
+}
+
+// TauStep is τ[r]: an internal step by base rule r, or the instantiating
+// steps τ[¬x], τ[if x], τ[λ()].
+type TauStep struct{ Rule string }
+
+// OutLabel is w⟨w′⟩: output of w′ on channel w ([SR-send]).
+type OutLabel struct{ Subject, Payload term.Term }
+
+// InLabel is w(w′): input of w′ from channel w ([SR-recv]).
+type InLabel struct{ Subject, Payload term.Term }
+
+// CommLabel is τ[w]: a synchronisation on channel w ([SR-Comm] on a
+// variable or instance w).
+type CommLabel struct{ Subject term.Term }
+
+func (TauStep) termLabel()   {}
+func (OutLabel) termLabel()  {}
+func (InLabel) termLabel()   {}
+func (CommLabel) termLabel() {}
+
+func (l TauStep) String() string   { return "τ[" + l.Rule + "]" }
+func (l OutLabel) String() string  { return fmt.Sprintf("%s⟨%s⟩", l.Subject, l.Payload) }
+func (l InLabel) String() string   { return fmt.Sprintf("%s(%s)", l.Subject, l.Payload) }
+func (l CommLabel) String() string { return fmt.Sprintf("τ[%s]", l.Subject) }
+
+// IsTauStarLabel reports whether l is in the τ•-set of Def. 4.1 (internal
+// moves excluding interaction: no i/o labels, no τ[w] communications).
+func IsTauStarLabel(l TermLabel) bool {
+	switch l := l.(type) {
+	case TauStep:
+		return true
+	case CommLabel:
+		_ = l
+		return false
+	default:
+		return false
+	}
+}
+
+// TermStep is one labelled transition of an open term.
+type TermStep struct {
+	Label TermLabel
+	Next  term.Term
+}
+
+// Transitions computes the labelled transitions Γ ⊢ t --α--> t′ of
+// Fig. 5 (minus [SR-x()], see the package comment).
+func Transitions(env *types.Env, t term.Term) []TermStep {
+	var steps []TermStep
+
+	// [SR-→]: concrete reductions (including [R-Comm] on instances).
+	if t2, rule, ok := Step(t); ok {
+		if rule == "R-Comm" {
+			steps = append(steps, TermStep{Label: TauStep{Rule: "R-Comm"}, Next: t2})
+		} else {
+			steps = append(steps, TermStep{Label: TauStep{Rule: rule}, Next: t2})
+		}
+	}
+
+	steps = append(steps, openTransitions(env, t)...)
+	return steps
+}
+
+// openTransitions computes the variable-instantiating and visible
+// transitions.
+func openTransitions(env *types.Env, t term.Term) []TermStep {
+	switch t := t.(type) {
+	case term.Not:
+		if v, ok := t.T.(term.Var); ok {
+			return []TermStep{
+				{Label: TauStep{Rule: "¬" + v.Name}, Next: term.BoolLit{Val: true}},
+				{Label: TauStep{Rule: "¬" + v.Name}, Next: term.BoolLit{Val: false}},
+			}
+		}
+		return lift(openTransitions(env, t.T), func(s term.Term) term.Term { return term.Not{T: s} })
+
+	case term.If:
+		if v, ok := t.Cond.(term.Var); ok {
+			return []TermStep{
+				{Label: TauStep{Rule: "if " + v.Name}, Next: t.Then},
+				{Label: TauStep{Rule: "if " + v.Name}, Next: t.Else},
+			}
+		}
+		return lift(openTransitions(env, t.Cond), func(s term.Term) term.Term {
+			return term.If{Cond: s, Then: t.Then, Else: t.Else}
+		})
+
+	case term.App:
+		// [SR-λ()]: (λy.t) x → t{x/y}.
+		if lam, ok := t.Fn.(term.Lam); ok {
+			if x, ok := t.Arg.(term.Var); ok {
+				return []TermStep{{Label: TauStep{Rule: "λ()"}, Next: term.Subst(lam.Body, lam.Var, x)}}
+			}
+		}
+		return nil
+
+	case term.Send:
+		// [SR-send]: all three positions must be values or variables.
+		if isValueOrVar(t.Ch) && isValueOrVar(t.Val) && isValueOrVar(t.Cont) {
+			return []TermStep{{
+				Label: OutLabel{Subject: t.Ch, Payload: t.Val},
+				Next:  term.App{Fn: t.Cont, Arg: term.UnitVal{}},
+			}}
+		}
+		return nil
+
+	case term.Recv:
+		// [SR-recv]: early input — receive any w′ with Γ ⊢ w′ : T, where
+		// T is the input payload type. Candidates: environment variables
+		// of a suitable type, plus a canonical closed value.
+		if !isValueOrVar(t.Ch) || !isValueOrVar(t.Cont) {
+			return nil
+		}
+		payloadT, ok := recvPayloadType(env, t)
+		if !ok {
+			return nil
+		}
+		var steps []TermStep
+		for _, w := range inputCandidates(env, payloadT) {
+			steps = append(steps, TermStep{
+				Label: InLabel{Subject: t.Ch, Payload: w},
+				Next:  term.App{Fn: t.Cont, Arg: w},
+			})
+		}
+		return steps
+
+	case term.Par:
+		comps := flattenPar(t)
+		var steps []TermStep
+		per := make([][]TermStep, len(comps))
+		for i, c := range comps {
+			per[i] = openTransitions(env, c)
+			// Interleave, provided labels don't mention bound vars
+			// (Barendregt keeps them distinct, so this is direct).
+			for _, st := range per[i] {
+				next := make([]term.Term, len(comps))
+				copy(next, comps)
+				next[i] = st.Next
+				steps = append(steps, TermStep{Label: st.Label, Next: parOf(next)})
+			}
+		}
+		// [SR-Comm]: matching output/input on the same variable subject.
+		for i := range comps {
+			for j := range comps {
+				if i == j {
+					continue
+				}
+				for _, so := range per[i] {
+					out, ok := so.Label.(OutLabel)
+					if !ok {
+						continue
+					}
+					// [SR-recv] admits any suitably-typed payload, so a
+					// matching receiver accepts exactly what the sender
+					// offers (early semantics).
+					recv, ok := comps[j].(term.Recv)
+					if !ok || !sameSubject(out.Subject, recv.Ch) || !isValueOrVar(recv.Cont) {
+						continue
+					}
+					next := make([]term.Term, len(comps))
+					copy(next, comps)
+					next[i] = so.Next
+					next[j] = term.App{Fn: recv.Cont, Arg: out.Payload}
+					steps = append(steps, TermStep{Label: CommLabel{Subject: out.Subject}, Next: parOf(next)})
+				}
+			}
+		}
+		return steps
+
+	default:
+		return nil
+	}
+}
+
+func lift(steps []TermStep, rebuild func(term.Term) term.Term) []TermStep {
+	out := make([]TermStep, len(steps))
+	for i, s := range steps {
+		out[i] = TermStep{Label: s.Label, Next: rebuild(s.Next)}
+	}
+	return out
+}
+
+func isValueOrVar(t term.Term) bool {
+	if term.IsValue(t) {
+		return true
+	}
+	_, ok := t.(term.Var)
+	return ok
+}
+
+func sameSubject(a, b term.Term) bool {
+	av, aok := a.(term.Var)
+	bv, bok := b.(term.Var)
+	if aok && bok {
+		return av.Name == bv.Name
+	}
+	ac, aok := a.(term.ChanVal)
+	bc, bok := b.(term.ChanVal)
+	return aok && bok && ac.Name == bc.Name
+}
+
+// recvPayloadType resolves the payload type of the receive's channel.
+func recvPayloadType(env *types.Env, t term.Recv) (types.Type, bool) {
+	chT, err := typecheck.Infer(env, t.Ch)
+	if err != nil {
+		return nil, false
+	}
+	cap, ok := types.ResolveChan(env, chT)
+	if !ok || !cap.In {
+		return nil, false
+	}
+	return cap.Payload, true
+}
+
+// inputCandidates enumerates the w′ used by the early-input rule:
+// environment variables whose singleton type fits, plus one canonical
+// closed value of the payload type when it has one.
+func inputCandidates(env *types.Env, payload types.Type) []term.Term {
+	var out []term.Term
+	for _, name := range env.Names() {
+		if types.Subtype(env, types.Var{Name: name}, payload) {
+			out = append(out, term.Var{Name: name})
+		}
+	}
+	if v, ok := canonicalValue(payload); ok {
+		out = append(out, v)
+	}
+	return out
+}
+
+func canonicalValue(t types.Type) (term.Term, bool) {
+	switch t := types.UnfoldAll(t).(type) {
+	case types.Bool:
+		return term.BoolLit{Val: true}, true
+	case types.Int:
+		return term.IntLit{Val: 0}, true
+	case types.Str:
+		return term.StrLit{Val: "·"}, true
+	case types.Unit:
+		return term.UnitVal{}, true
+	case types.ChanIO:
+		return freshChan(t.Elem), true
+	case types.ChanI:
+		return freshChan(t.Elem), true
+	case types.ChanO:
+		return freshChan(t.Elem), true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,320 @@
+// Package reduce implements the operational semantics of λπ⩽ terms: the
+// call-by-value reduction of Def. 2.4 / Fig. 3 (including the error
+// rules), and the over-approximating labelled semantics of open typed
+// terms of Def. 4.1 / Fig. 5 used to relate process behaviour to type
+// behaviour (Thm. 4.4, 4.5).
+package reduce
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"effpi/internal/term"
+	"effpi/internal/types"
+)
+
+var chanCounter atomic.Uint64
+
+// freshChan returns a fresh channel instance ([R-chan()]).
+func freshChan(elem types.Type) term.ChanVal {
+	n := chanCounter.Add(1)
+	return term.ChanVal{Name: fmt.Sprintf("a%d", n), Elem: elem}
+}
+
+// Step performs one reduction step of Def. 2.4, preferring communications,
+// then leftmost-innermost functional reductions. It returns the reduct,
+// the name of the rule applied, and whether any step was possible.
+func Step(t term.Term) (term.Term, string, bool) {
+	// Communication has priority so that closed process soups make
+	// progress deterministically ([R-Comm] modulo ≡).
+	if t2, ok := stepComm(t); ok {
+		return t2, "R-Comm", true
+	}
+	return stepFun(t)
+}
+
+// Eval reduces t for at most maxSteps steps, returning the final term and
+// the number of steps taken.
+func Eval(t term.Term, maxSteps int) (term.Term, int) {
+	steps := 0
+	for steps < maxSteps {
+		t2, _, ok := Step(t)
+		if !ok {
+			return t, steps
+		}
+		t = t2
+		steps++
+	}
+	return t, steps
+}
+
+// IsError reports whether t is (or contains, under evaluation contexts)
+// the error value: t = E[err] for some context E.
+func IsError(t term.Term) bool {
+	switch t := t.(type) {
+	case term.Err:
+		return true
+	case term.Not:
+		return IsError(t.T)
+	case term.If:
+		return IsError(t.Cond)
+	case term.Let:
+		return IsError(t.Bound) || (term.IsValue(t.Bound) && IsError(t.Body))
+	case term.App:
+		return IsError(t.Fn) || IsError(t.Arg)
+	case term.Send:
+		return IsError(t.Ch) || IsError(t.Val) || IsError(t.Cont)
+	case term.Recv:
+		return IsError(t.Ch) || IsError(t.Cont)
+	case term.Par:
+		return IsError(t.L) || IsError(t.R)
+	case term.BinOp:
+		return IsError(t.L) || IsError(t.R)
+	default:
+		return false
+	}
+}
+
+// stepComm implements [R-Comm] modulo the structural congruence ≡:
+// send(a,u,v1) ‖ recv(a,v2) → v1 () ‖ v2 u across a flattened parallel
+// composition.
+func stepComm(t term.Term) (term.Term, bool) {
+	comps := flattenPar(t)
+	if len(comps) < 2 {
+		return nil, false
+	}
+	for i, s := range comps {
+		send, ok := s.(term.Send)
+		if !ok || !term.IsValue(send.Ch) || !term.IsValue(send.Val) || !term.IsValue(send.Cont) {
+			continue
+		}
+		sc, ok := send.Ch.(term.ChanVal)
+		if !ok {
+			continue
+		}
+		for j, r := range comps {
+			if i == j {
+				continue
+			}
+			recv, ok := r.(term.Recv)
+			if !ok || !term.IsValue(recv.Ch) || !term.IsValue(recv.Cont) {
+				continue
+			}
+			rc, ok := recv.Ch.(term.ChanVal)
+			if !ok || rc.Name != sc.Name {
+				continue
+			}
+			next := make([]term.Term, len(comps))
+			copy(next, comps)
+			next[i] = term.App{Fn: send.Cont, Arg: term.UnitVal{}}
+			next[j] = term.App{Fn: recv.Cont, Arg: send.Val}
+			return parOf(next), true
+		}
+	}
+	return nil, false
+}
+
+// stepFun performs one functional (non-communication) reduction step.
+func stepFun(t term.Term) (term.Term, string, bool) {
+	switch t := t.(type) {
+	case term.Not:
+		if b, ok := t.T.(term.BoolLit); ok {
+			return term.BoolLit{Val: !b.Val}, "R-¬", true
+		}
+		if term.IsValue(t.T) {
+			return term.Err{Msg: "¬ applied to non-boolean"}, "Err-¬", true
+		}
+		return inCtx(t.T, func(s term.Term) term.Term { return term.Not{T: s} })
+
+	case term.If:
+		if b, ok := t.Cond.(term.BoolLit); ok {
+			if b.Val {
+				return t.Then, "R-if-tt", true
+			}
+			return t.Else, "R-if-ff", true
+		}
+		if term.IsValue(t.Cond) {
+			return term.Err{Msg: "if on non-boolean"}, "Err-if", true
+		}
+		return inCtx(t.Cond, func(s term.Term) term.Term {
+			return term.If{Cond: s, Then: t.Then, Else: t.Else}
+		})
+
+	case term.BinOp:
+		return stepBinOp(t)
+
+	case term.Let:
+		if !term.IsValue(t.Bound) {
+			return inCtx(t.Bound, func(s term.Term) term.Term {
+				return term.Let{Var: t.Var, Ann: t.Ann, Bound: s, Body: t.Body}
+			})
+		}
+		return stepLet(t)
+
+	case term.App:
+		if !term.IsValue(t.Fn) {
+			return inCtx(t.Fn, func(s term.Term) term.Term { return term.App{Fn: s, Arg: t.Arg} })
+		}
+		if !term.IsValue(t.Arg) {
+			return inCtx(t.Arg, func(s term.Term) term.Term { return term.App{Fn: t.Fn, Arg: s} })
+		}
+		lam, ok := t.Fn.(term.Lam)
+		if !ok {
+			return term.Err{Msg: "application of non-function"}, "Err-app", true
+		}
+		return term.Subst(lam.Body, lam.Var, t.Arg), "R-λ", true
+
+	case term.NewChan:
+		return freshChan(t.Elem), "R-chan()", true
+
+	case term.Send:
+		if !term.IsValue(t.Ch) {
+			return inCtx(t.Ch, func(s term.Term) term.Term { return term.Send{Ch: s, Val: t.Val, Cont: t.Cont} })
+		}
+		if !term.IsValue(t.Val) {
+			return inCtx(t.Val, func(s term.Term) term.Term { return term.Send{Ch: t.Ch, Val: s, Cont: t.Cont} })
+		}
+		if !term.IsValue(t.Cont) {
+			return inCtx(t.Cont, func(s term.Term) term.Term { return term.Send{Ch: t.Ch, Val: t.Val, Cont: s} })
+		}
+		if _, ok := t.Ch.(term.ChanVal); !ok {
+			if _, isVar := t.Ch.(term.Var); !isVar {
+				return term.Err{Msg: "send on non-channel"}, "Err-send", true
+			}
+		}
+		return nil, "", false // a value-send waits for a partner
+
+	case term.Recv:
+		if !term.IsValue(t.Ch) {
+			return inCtx(t.Ch, func(s term.Term) term.Term { return term.Recv{Ch: s, Cont: t.Cont} })
+		}
+		if !term.IsValue(t.Cont) {
+			return inCtx(t.Cont, func(s term.Term) term.Term { return term.Recv{Ch: t.Ch, Cont: s} })
+		}
+		if _, ok := t.Ch.(term.ChanVal); !ok {
+			if _, isVar := t.Ch.(term.Var); !isVar {
+				return term.Err{Msg: "recv on non-channel"}, "Err-recv", true
+			}
+		}
+		return nil, "", false
+
+	case term.Par:
+		// Error rule: a value in parallel composition is an error.
+		if term.IsValue(t.L) || term.IsValue(t.R) {
+			return term.Err{Msg: "value in parallel composition"}, "Err-par", true
+		}
+		// end ‖ end ≡ end.
+		if isEnd(t.L) && isEnd(t.R) {
+			return term.End{}, "≡", true
+		}
+		if t2, rule, ok := stepFun(t.L); ok {
+			return term.Par{L: t2, R: t.R}, rule, true
+		}
+		if t2, rule, ok := stepFun(t.R); ok {
+			return term.Par{L: t.L, R: t2}, rule, true
+		}
+		return nil, "", false
+
+	default:
+		return nil, "", false
+	}
+}
+
+func stepLet(t term.Let) (term.Term, string, bool) {
+	fv := term.FreeVars(t.Body)
+	if !fv[t.Var] {
+		// [R-letgc].
+		return t.Body, "R-letgc", true
+	}
+	bound := t.Bound
+	if term.FreeVars(bound)[t.Var] {
+		// Recursive binding: substitute a self-unfolding box so that
+		// each occurrence re-unfolds on demand ([R-let] applied lazily).
+		bound = term.Let{Var: t.Var, Ann: t.Ann, Bound: t.Bound, Body: term.Var{Name: t.Var}}
+		if v, ok := t.Body.(term.Var); ok && v.Name == t.Var {
+			// let x = w in x → w{box/x}: unfold once.
+			return term.Subst(t.Bound, t.Var, bound), "R-let", true
+		}
+	}
+	return term.Subst(t.Body, t.Var, bound), "R-let", true
+}
+
+func stepBinOp(t term.BinOp) (term.Term, string, bool) {
+	if !term.IsValue(t.L) {
+		return inCtx(t.L, func(s term.Term) term.Term { return term.BinOp{Op: t.Op, L: s, R: t.R} })
+	}
+	if !term.IsValue(t.R) {
+		return inCtx(t.R, func(s term.Term) term.Term { return term.BinOp{Op: t.Op, L: t.L, R: s} })
+	}
+	li, lok := t.L.(term.IntLit)
+	ri, rok := t.R.(term.IntLit)
+	switch t.Op {
+	case "+", "-", "*", ">", "<", ">=", "<=":
+		if !lok || !rok {
+			return term.Err{Msg: "arithmetic on non-integers"}, "Err-op", true
+		}
+		switch t.Op {
+		case "+":
+			return term.IntLit{Val: li.Val + ri.Val}, "R-op", true
+		case "-":
+			return term.IntLit{Val: li.Val - ri.Val}, "R-op", true
+		case "*":
+			return term.IntLit{Val: li.Val * ri.Val}, "R-op", true
+		case ">":
+			return term.BoolLit{Val: li.Val > ri.Val}, "R-op", true
+		case "<":
+			return term.BoolLit{Val: li.Val < ri.Val}, "R-op", true
+		case ">=":
+			return term.BoolLit{Val: li.Val >= ri.Val}, "R-op", true
+		default:
+			return term.BoolLit{Val: li.Val <= ri.Val}, "R-op", true
+		}
+	case "==":
+		return term.BoolLit{Val: t.L.String() == t.R.String()}, "R-op", true
+	case "++":
+		ls, lok := t.L.(term.StrLit)
+		rs, rok := t.R.(term.StrLit)
+		if !lok || !rok {
+			return term.Err{Msg: "concatenation of non-strings"}, "Err-op", true
+		}
+		return term.StrLit{Val: ls.Val + rs.Val}, "R-op", true
+	default:
+		return term.Err{Msg: "unknown operator " + t.Op}, "Err-op", true
+	}
+}
+
+// inCtx reduces inside an evaluation context: step the subterm and
+// rebuild.
+func inCtx(sub term.Term, rebuild func(term.Term) term.Term) (term.Term, string, bool) {
+	if t2, ok := stepComm(sub); ok {
+		return rebuild(t2), "R-Comm", true
+	}
+	t2, rule, ok := stepFun(sub)
+	if !ok {
+		return nil, "", false
+	}
+	return rebuild(t2), rule, true
+}
+
+func flattenPar(t term.Term) []term.Term {
+	if p, ok := t.(term.Par); ok {
+		return append(flattenPar(p.L), flattenPar(p.R)...)
+	}
+	return []term.Term{t}
+}
+
+func parOf(ts []term.Term) term.Term {
+	if len(ts) == 0 {
+		return term.End{}
+	}
+	t := ts[len(ts)-1]
+	for i := len(ts) - 2; i >= 0; i-- {
+		t = term.Par{L: ts[i], R: t}
+	}
+	return t
+}
+
+func isEnd(t term.Term) bool {
+	_, ok := t.(term.End)
+	return ok
+}

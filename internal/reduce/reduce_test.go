@@ -1,0 +1,288 @@
+package reduce
+
+import (
+	"testing"
+
+	"effpi/internal/term"
+	"effpi/internal/typecheck"
+	"effpi/internal/types"
+)
+
+func v(n string) term.Term { return term.Var{Name: n} }
+
+func lam(x string, ann types.Type, body term.Term) term.Term {
+	return term.Lam{Var: x, Ann: ann, Body: body}
+}
+
+func thunkT(body term.Term) term.Term {
+	return term.Lam{Var: "_", Ann: types.Unit{}, Body: body}
+}
+
+func TestFunctionalReduction(t *testing.T) {
+	cases := []struct {
+		in   term.Term
+		want string
+	}{
+		{term.Not{T: term.BoolLit{Val: true}}, "false"},
+		{term.If{Cond: term.BoolLit{Val: true}, Then: term.IntLit{Val: 1}, Else: term.IntLit{Val: 2}}, "1"},
+		{term.If{Cond: term.BoolLit{Val: false}, Then: term.IntLit{Val: 1}, Else: term.IntLit{Val: 2}}, "2"},
+		{term.App{Fn: lam("x", types.Int{}, term.BinOp{Op: "+", L: v("x"), R: term.IntLit{Val: 1}}), Arg: term.IntLit{Val: 41}}, "42"},
+		{term.Let{Var: "x", Bound: term.IntLit{Val: 5}, Body: term.BinOp{Op: "*", L: v("x"), R: v("x")}}, "25"},
+		{term.BinOp{Op: ">", L: term.IntLit{Val: 50000}, R: term.IntLit{Val: 42000}}, "true"},
+		{term.BinOp{Op: "++", L: term.StrLit{Val: "Hi"}, R: term.StrLit{Val: "!"}}, `"Hi!"`},
+	}
+	for _, c := range cases {
+		got, _ := Eval(c.in, 1000)
+		if got.String() != c.want {
+			t.Errorf("Eval(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestErrorRules(t *testing.T) {
+	bad := []term.Term{
+		term.Not{T: term.IntLit{Val: 3}},                                                  // ¬ on non-boolean
+		term.If{Cond: term.IntLit{Val: 1}, Then: term.End{}, Else: term.End{}},            // if on non-boolean
+		term.App{Fn: term.IntLit{Val: 1}, Arg: term.IntLit{Val: 2}},                       // non-function applied
+		term.Send{Ch: term.IntLit{Val: 1}, Val: term.UnitVal{}, Cont: thunkT(term.End{})}, // send on non-channel
+		term.Recv{Ch: term.BoolLit{Val: true}, Cont: lam("x", types.Unit{}, term.End{})},  // recv on non-channel
+		term.Par{L: term.IntLit{Val: 1}, R: term.End{}},                                   // value in parallel
+	}
+	for _, b := range bad {
+		got, _ := Eval(b, 100)
+		if !IsError(got) {
+			t.Errorf("Eval(%s) = %s, expected an error", b, got)
+		}
+	}
+}
+
+// TestPingPongRuns executes the ping-pong system of Ex. 2.2 end-to-end
+// under the Def. 2.4 semantics: main () creates the channels, the
+// processes communicate twice, and everything terminates as end.
+func TestPingPongRuns(t *testing.T) {
+	strT := types.Str{}
+	pinger := lam("self", types.ChanIO{Elem: strT},
+		lam("pongc", types.ChanO{Elem: types.ChanO{Elem: strT}},
+			term.Send{Ch: v("pongc"), Val: v("self"),
+				Cont: thunkT(term.Recv{Ch: v("self"), Cont: lam("reply", strT, term.End{})})}))
+	ponger := lam("self", types.ChanIO{Elem: types.ChanO{Elem: strT}},
+		term.Recv{Ch: v("self"),
+			Cont: lam("replyTo", types.ChanO{Elem: strT},
+				term.Send{Ch: v("replyTo"), Val: term.StrLit{Val: "Hi!"}, Cont: thunkT(term.End{})})})
+	main := term.Let{Var: "y", Bound: term.NewChan{Elem: strT},
+		Body: term.Let{Var: "z", Bound: term.NewChan{Elem: types.ChanO{Elem: strT}},
+			Body: term.Par{
+				L: term.App{Fn: term.App{Fn: pinger, Arg: v("y")}, Arg: v("z")},
+				R: term.App{Fn: ponger, Arg: v("z")},
+			}}}
+
+	got, steps := Eval(main, 1000)
+	if _, ok := got.(term.End); !ok {
+		t.Fatalf("ping-pong did not terminate as end after %d steps: %s", steps, got)
+	}
+	if IsError(got) {
+		t.Fatal("ping-pong produced an error")
+	}
+}
+
+// TestTypeSafetySampled samples Thm. 3.6: well-typed closed terms never
+// reduce to an error.
+func TestTypeSafetySampled(t *testing.T) {
+	intT := types.Int{}
+	progs := []term.Term{
+		// Arithmetic under functions.
+		term.App{Fn: lam("x", intT, term.If{
+			Cond: term.BinOp{Op: ">", L: v("x"), R: term.IntLit{Val: 0}},
+			Then: v("x"),
+			Else: term.BinOp{Op: "-", L: term.IntLit{Val: 0}, R: v("x")},
+		}), Arg: term.IntLit{Val: -7}},
+		// Channel round-trip.
+		term.Let{Var: "c", Bound: term.NewChan{Elem: intT},
+			Body: term.Par{
+				L: term.Send{Ch: v("c"), Val: term.IntLit{Val: 42}, Cont: thunkT(term.End{})},
+				R: term.Recv{Ch: v("c"), Cont: lam("x", intT, term.End{})},
+			}},
+	}
+	env := types.NewEnv()
+	for _, p := range progs {
+		if _, err := typecheck.Infer(env, p); err != nil {
+			t.Errorf("program should be typable: %v\n  %s", err, p)
+			continue
+		}
+		cur := p
+		for i := 0; i < 200; i++ {
+			if IsError(cur) {
+				t.Errorf("well-typed term reduced to error: %s", cur)
+				break
+			}
+			next, _, ok := Step(cur)
+			if !ok {
+				break
+			}
+			cur = next
+		}
+	}
+}
+
+// TestSubjectReductionSampled samples the subject-transition theorem
+// (Thm. 4.4): along reductions of a typed term, every intermediate term
+// stays typable.
+func TestSubjectReductionSampled(t *testing.T) {
+	intT := types.Int{}
+	prog := term.Let{Var: "c", Bound: term.NewChan{Elem: intT},
+		Body: term.Par{
+			L: term.Send{Ch: v("c"), Val: term.BinOp{Op: "+", L: term.IntLit{Val: 40}, R: term.IntLit{Val: 2}}, Cont: thunkT(term.End{})},
+			R: term.Recv{Ch: v("c"), Cont: lam("x", intT, term.End{})},
+		}}
+	env := types.NewEnv()
+	cur := prog
+	var curT term.Term = cur
+	for i := 0; i < 100; i++ {
+		if _, err := typecheck.Infer(env, curT); err != nil {
+			t.Fatalf("step %d: term became untypable: %v\n  %s", i, err, curT)
+		}
+		next, _, ok := Step(curT)
+		if !ok {
+			break
+		}
+		curT = next
+	}
+	if _, ok := curT.(term.End); !ok {
+		t.Errorf("expected termination at end, got %s", curT)
+	}
+}
+
+// TestRecursiveLet: recursive definitions unfold on demand and keep
+// producing (a bounded model of productivity).
+func TestRecursiveLet(t *testing.T) {
+	intT := types.Int{}
+	// let f = λn. if n > 0 then f (n-1) else 0 in f 3  ⇓  0
+	fT := types.Pi{Var: "n", Dom: intT, Cod: intT}
+	prog := term.Let{Var: "f", Ann: fT,
+		Bound: lam("n", intT, term.If{
+			Cond: term.BinOp{Op: ">", L: v("n"), R: term.IntLit{Val: 0}},
+			Then: term.App{Fn: v("f"), Arg: term.BinOp{Op: "-", L: v("n"), R: term.IntLit{Val: 1}}},
+			Else: term.IntLit{Val: 0},
+		}),
+		Body: term.App{Fn: v("f"), Arg: term.IntLit{Val: 3}}}
+	got, steps := Eval(prog, 10000)
+	if got.String() != "0" {
+		t.Errorf("recursive let: got %s after %d steps, want 0", got, steps)
+	}
+}
+
+// TestOpenSemantics exercises Def. 4.1: t1 from Ex. 3.5 fires τ[x] and
+// reaches end ‖ end.
+func TestOpenSemantics(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	t1 := term.Par{
+		L: term.Send{Ch: v("x"), Val: term.IntLit{Val: 42}, Cont: thunkT(term.End{})},
+		R: term.Recv{Ch: v("x"), Cont: lam("y", types.Int{}, term.End{})},
+	}
+	steps := Transitions(env, t1)
+	var comm *TermStep
+	for i := range steps {
+		if c, ok := steps[i].Label.(CommLabel); ok {
+			if vv, ok := c.Subject.(term.Var); ok && vv.Name == "x" {
+				comm = &steps[i]
+			}
+		}
+	}
+	if comm == nil {
+		labels := make([]string, len(steps))
+		for i, s := range steps {
+			labels[i] = s.Label.String()
+		}
+		t.Fatalf("expected τ[x] transition, got %v", labels)
+	}
+	// The continuation applications reduce to end ‖ end.
+	final, _ := Eval(comm.Next, 100)
+	if _, ok := final.(term.End); !ok {
+		t.Errorf("after τ[x]: expected end, got %s", final)
+	}
+}
+
+// TestOpenSemanticsEarlyInput: a receive on an open channel variable
+// fires one input per candidate payload ([SR-recv], early style).
+func TestOpenSemanticsEarlyInput(t *testing.T) {
+	env := types.EnvOf(
+		"x", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}},
+		"r", types.ChanO{Elem: types.Str{}},
+	)
+	rcv := term.Recv{Ch: v("x"), Cont: lam("w", types.ChanO{Elem: types.Str{}}, term.End{})}
+	steps := Transitions(env, rcv)
+	sawVar := false
+	for _, s := range steps {
+		if in, ok := s.Label.(InLabel); ok {
+			if pv, ok := in.Payload.(term.Var); ok && pv.Name == "r" {
+				sawVar = true
+			}
+		}
+	}
+	if !sawVar {
+		t.Error("early input must include the environment witness r")
+	}
+}
+
+// TestOpenIfInstantiation: if on a free boolean variable steps to both
+// branches.
+func TestOpenIfInstantiation(t *testing.T) {
+	env := types.EnvOf("b", types.Bool{})
+	tt := term.If{Cond: v("b"), Then: term.IntLit{Val: 1}, Else: term.IntLit{Val: 2}}
+	steps := Transitions(env, tt)
+	if len(steps) != 2 {
+		t.Fatalf("expected 2 instantiating steps, got %d", len(steps))
+	}
+}
+
+// TestExhaustiveSafety: Thm. 3.6 quantifies over all schedulings;
+// CheckSafety explores every interleaving of a typed term and finds no
+// error, while an untyped term's error is found.
+func TestExhaustiveSafety(t *testing.T) {
+	intT := types.Int{}
+	// Two racing senders, one receiver: both pairings are explored.
+	typed := term.Let{Var: "c", Bound: term.NewChan{Elem: intT},
+		Body: term.Par{
+			L: term.Par{
+				L: term.Send{Ch: v("c"), Val: term.IntLit{Val: 1}, Cont: thunkT(term.End{})},
+				R: term.Send{Ch: v("c"), Val: term.IntLit{Val: 2}, Cont: thunkT(term.End{})},
+			},
+			R: term.Recv{Ch: v("c"), Cont: lam("x", intT, term.End{})},
+		}}
+	r := CheckSafety(typed, 10_000)
+	if r.ErrWitness != nil {
+		t.Fatalf("typed term reached an error: %s", r.ErrWitness)
+	}
+	if r.Truncated {
+		t.Fatal("exploration should exhaust this small space")
+	}
+	if r.States < 3 {
+		t.Errorf("expected several interleavings, visited %d states", r.States)
+	}
+
+	// An ill-typed term whose error is buried behind a communication.
+	buggy := term.Let{Var: "c", Bound: term.NewChan{Elem: intT},
+		Body: term.Par{
+			L: term.Send{Ch: v("c"), Val: term.IntLit{Val: 1}, Cont: thunkT(term.End{})},
+			R: term.Recv{Ch: v("c"), Cont: lam("x", intT, term.Par{L: term.Not{T: v("x")}, R: term.End{}})},
+		}}
+	r = CheckSafety(buggy, 10_000)
+	if r.ErrWitness == nil {
+		t.Error("exploration must find the buried error")
+	}
+}
+
+// TestStepAllEnumeratesPairings: with two senders and two receivers on
+// one channel, all four communication pairings appear.
+func TestStepAllEnumeratesPairings(t *testing.T) {
+	ch := term.ChanVal{Name: "k", Elem: types.Int{}}
+	mk := func(vv int64) term.Term {
+		return term.Send{Ch: ch, Val: term.IntLit{Val: vv}, Cont: thunkT(term.End{})}
+	}
+	rc := func() term.Term { return term.Recv{Ch: ch, Cont: lam("x", types.Int{}, term.End{})} }
+	soup := term.Par{L: term.Par{L: mk(1), R: mk(2)}, R: term.Par{L: rc(), R: rc()}}
+	steps := StepAll(soup)
+	if len(steps) != 4 {
+		t.Errorf("expected 4 communication pairings, got %d", len(steps))
+	}
+}

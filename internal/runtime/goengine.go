@@ -1,0 +1,73 @@
+package runtime
+
+import "sync"
+
+// GoEngine executes each process in its own goroutine, with blocking
+// channel operations. It is the repository's stand-in for Akka Typed
+// (DESIGN.md §1): one schedulable entity per process on a preemptive
+// M:N scheduler, with per-channel FIFO mailboxes.
+type GoEngine struct{}
+
+// NewGoEngine builds the goroutine-per-process engine.
+func NewGoEngine() *GoEngine { return &GoEngine{} }
+
+// Name implements Engine.
+func (*GoEngine) Name() string { return "goroutine" }
+
+// NewChan implements Engine.
+func (*GoEngine) NewChan() *Chan { return &Chan{} }
+
+// Run implements Engine.
+func (e *GoEngine) Run(procs ...Proc) {
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go e.exec(p, &wg)
+	}
+	wg.Wait()
+}
+
+func (e *GoEngine) exec(p Proc, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		switch pp := p.(type) {
+		case End:
+			return
+		case Eval:
+			p = pp.Run()
+		case Par:
+			if len(pp.Procs) == 0 {
+				return
+			}
+			for _, q := range pp.Procs[1:] {
+				wg.Add(1)
+				go e.exec(q, wg)
+			}
+			p = pp.Procs[0]
+		case Send:
+			ch := pp.Ch
+			ch.mu.Lock()
+			cond := ch.ensureCond()
+			for ch.full() {
+				cond.Wait()
+			}
+			ch.buf.push(pp.Val)
+			ch.mu.Unlock()
+			cond.Broadcast()
+			p = pp.Cont()
+		case Recv:
+			ch := pp.Ch
+			ch.mu.Lock()
+			cond := ch.ensureCond()
+			for ch.buf.len() == 0 {
+				cond.Wait()
+			}
+			v, _ := ch.buf.pop()
+			ch.mu.Unlock()
+			cond.Broadcast()
+			p = pp.Cont(v)
+		default:
+			panic("runtime: unknown process")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package runtime implements the Effpi runtime system (§5.1 of the
+// paper): a non-preemptive scheduler that multiplexes a potentially very
+// large number of processes onto a small pool of worker threads.
+//
+// As in λπ⩽, input/output actions and their continuations are closures,
+// so a process waiting for a message costs one parked continuation on the
+// channel — not a blocked thread. The package provides three engines:
+//
+//   - Scheduler with PolicyDefault: every matched send/receive reschedules
+//     both continuations through the run queue (the paper's "Effpi
+//     default" runtime);
+//   - Scheduler with PolicyChannelFSM: a matched pair continues
+//     immediately on the current worker, short-cutting the queue (the
+//     paper's "Effpi with channel FSM");
+//   - GoEngine: one goroutine per process with blocking channel
+//     operations, standing in for Akka Typed as the per-entity-scheduled
+//     baseline (see DESIGN.md §1).
+package runtime
+
+import "sync"
+
+// Proc is a suspended process: a pure description executed by an Engine.
+// Continuations are closures, mirroring the monadic encoding of λπ⩽.
+type Proc interface{ proc() }
+
+// End is the terminated process.
+type End struct{}
+
+// Send sends Val on Ch and continues as Cont(). Sends are asynchronous
+// (channels are unbounded mailboxes, as in actor systems); the scheduler
+// may still yield at a send, which is the distinguishing feature of the
+// Effpi runtime noted in §5.1.
+type Send struct {
+	Ch   *Chan
+	Val  any
+	Cont func() Proc
+}
+
+// Recv receives a value from Ch and continues as Cont(v).
+type Recv struct {
+	Ch   *Chan
+	Cont func(any) Proc
+}
+
+// Par runs the component processes concurrently.
+type Par struct{ Procs []Proc }
+
+// Eval performs a computation step and continues as its result; it is
+// the λ-fragment of the calculus (used for loops and local work).
+type Eval struct{ Run func() Proc }
+
+func (End) proc()  {}
+func (Send) proc() {}
+func (Recv) proc() {}
+func (Par) proc()  {}
+func (Eval) proc() {}
+
+// Seq builds the "and then" combinator ">>" of Fig. 1: run a send, then
+// continue as next.
+func Seq(s Send, next func() Proc) Proc {
+	return Send{Ch: s.Ch, Val: s.Val, Cont: next}
+}
+
+// Forever builds an infinite loop: body is re-instantiated each
+// iteration; the argument passed to body continues the loop.
+func Forever(body func(loop func() Proc) Proc) Proc {
+	var loop func() Proc
+	loop = func() Proc { return body(loop) }
+	return Eval{Run: loop}
+}
+
+// Engine executes processes to completion.
+type Engine interface {
+	// NewChan creates a channel usable with this engine.
+	NewChan() *Chan
+	// Run executes the processes and blocks until all of them (and all
+	// processes they spawn) have terminated.
+	Run(procs ...Proc)
+	// Name identifies the engine in benchmark output.
+	Name() string
+}
+
+// Chan is an asynchronous channel (a mailbox), unbounded by default.
+// A positive capacity bounds the buffer: senders park (scheduler
+// engines) or block (goroutine engine) while it is full — the paper's
+// "buffered channels" extension of §5.1. Under the scheduler engines,
+// waiting processes park their continuation on the channel; under the
+// goroutine engine they block on a condition variable.
+type Chan struct {
+	mu  sync.Mutex
+	cap int // ≤ 0 means unbounded
+	buf ring
+	// waiters are parked receive continuations (scheduler engines).
+	waiters []func(any) Proc
+	// senders are parked send continuations waiting for buffer space.
+	senders []parkedSend
+	// cond signals blocked goroutines (goroutine engine); lazily created.
+	cond *sync.Cond
+}
+
+type parkedSend struct {
+	val  any
+	cont func() Proc
+}
+
+// NewChan creates an unbounded channel (engine-agnostic).
+func NewChan() *Chan { return &Chan{} }
+
+// NewBufChan creates a channel with a bounded buffer of the given
+// capacity; capacity ≤ 0 means unbounded.
+func NewBufChan(capacity int) *Chan { return &Chan{cap: capacity} }
+
+// full reports whether a bounded channel has no buffer space; callers
+// hold c.mu.
+func (c *Chan) full() bool { return c.cap > 0 && c.buf.len() >= c.cap }
+
+// ensureCond lazily creates the goroutine-engine condition variable;
+// callers hold c.mu.
+func (c *Chan) ensureCond() *sync.Cond {
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+	return c.cond
+}
+
+// ring is a cheap FIFO of values backed by a growable circular buffer.
+type ring struct {
+	items []any
+	head  int
+	n     int
+}
+
+func (r *ring) push(v any) {
+	if r.n == len(r.items) {
+		grown := make([]any, max(4, 2*len(r.items)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.items[(r.head+i)%len(r.items)]
+		}
+		r.items = grown
+		r.head = 0
+	}
+	r.items[(r.head+r.n)%len(r.items)] = v
+	r.n++
+}
+
+func (r *ring) pop() (any, bool) {
+	if r.n == 0 {
+		return nil, false
+	}
+	v := r.items[r.head]
+	r.items[r.head] = nil
+	r.head = (r.head + 1) % len(r.items)
+	r.n--
+	return v, true
+}
+
+func (r *ring) len() int { return r.n }

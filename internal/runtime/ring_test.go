@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRingModelBased compares the growable circular buffer against a
+// plain-slice reference model under random push/pop sequences.
+func TestRingModelBased(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		r := rand.New(rand.NewSource(seed))
+		var ring ring
+		var model []any
+		for _, op := range opsRaw {
+			if op%3 == 0 && len(model) > 0 {
+				got, ok := ring.pop()
+				if !ok {
+					return false
+				}
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					return false
+				}
+			} else {
+				v := r.Int()
+				ring.push(v)
+				model = append(model, v)
+			}
+			if ring.len() != len(model) {
+				return false
+			}
+		}
+		// Drain.
+		for len(model) > 0 {
+			got, ok := ring.pop()
+			if !ok || got != model[0] {
+				return false
+			}
+			model = model[1:]
+		}
+		if _, ok := ring.pop(); ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingGrowthPreservesOrder(t *testing.T) {
+	var r ring
+	// Interleave pushes and pops so head wraps before growth.
+	for i := 0; i < 3; i++ {
+		r.push(i)
+	}
+	r.pop()
+	r.pop()
+	for i := 3; i < 20; i++ {
+		r.push(i)
+	}
+	want := 2
+	for r.len() > 0 {
+		got, _ := r.pop()
+		if got != want {
+			t.Fatalf("got %v, want %d", got, want)
+		}
+		want++
+	}
+}

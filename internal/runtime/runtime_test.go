@@ -1,0 +1,332 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func engines() []Engine {
+	return []Engine{
+		NewScheduler(4, PolicyDefault),
+		NewScheduler(4, PolicyChannelFSM),
+		NewGoEngine(),
+	}
+}
+
+func TestPingPongDelivery(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			ping := e.NewChan()
+			pong := e.NewChan()
+			var got atomic.Value
+			sender := Send{Ch: ping, Val: "hello", Cont: func() Proc {
+				return Recv{Ch: pong, Cont: func(v any) Proc {
+					got.Store(v)
+					return End{}
+				}}
+			}}
+			echo := Recv{Ch: ping, Cont: func(v any) Proc {
+				return Send{Ch: pong, Val: v.(string) + "!", Cont: func() Proc { return End{} }}
+			}}
+			e.Run(sender, echo)
+			if got.Load() != "hello!" {
+				t.Errorf("got %v, want hello!", got.Load())
+			}
+		})
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	// Messages from a single sender arrive in order.
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			const n = 1000
+			ch := e.NewChan()
+			var sum, count int64
+			var lastOK atomic.Bool
+			lastOK.Store(true)
+
+			var sendFrom func(i int) Proc
+			sendFrom = func(i int) Proc {
+				if i == n {
+					return End{}
+				}
+				return Send{Ch: ch, Val: i, Cont: func() Proc { return sendFrom(i + 1) }}
+			}
+			prev := -1
+			var recvN func(i int) Proc
+			recvN = func(i int) Proc {
+				if i == n {
+					return End{}
+				}
+				return Recv{Ch: ch, Cont: func(v any) Proc {
+					x := v.(int)
+					if x != prev+1 {
+						lastOK.Store(false)
+					}
+					prev = x
+					atomic.AddInt64(&sum, int64(x))
+					atomic.AddInt64(&count, 1)
+					return recvN(i + 1)
+				}}
+			}
+			e.Run(sendFrom(0), recvN(0))
+			if count != n {
+				t.Fatalf("received %d messages, want %d", count, n)
+			}
+			if !lastOK.Load() {
+				t.Error("messages out of order")
+			}
+			if sum != n*(n-1)/2 {
+				t.Errorf("sum = %d, want %d", sum, n*(n-1)/2)
+			}
+		})
+	}
+}
+
+func TestManyProcesses(t *testing.T) {
+	// A fork-join with 100k processes: cheap under the continuation
+	// schedulers, heavier (but correct) under goroutines.
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			const n = 100_000
+			done := e.NewChan()
+			var received int64
+			procs := make([]Proc, 0, n+1)
+			for i := 0; i < n; i++ {
+				procs = append(procs, Send{Ch: done, Val: struct{}{}, Cont: func() Proc { return End{} }})
+			}
+			var collect func(i int) Proc
+			collect = func(i int) Proc {
+				if i == n {
+					return End{}
+				}
+				return Recv{Ch: done, Cont: func(any) Proc {
+					atomic.AddInt64(&received, 1)
+					return collect(i + 1)
+				}}
+			}
+			procs = append(procs, collect(0))
+			e.Run(procs...)
+			if received != n {
+				t.Errorf("received %d signals, want %d", received, n)
+			}
+		})
+	}
+}
+
+func TestParSpawns(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			var hits int64
+			leaf := func() Proc {
+				return Eval{Run: func() Proc {
+					atomic.AddInt64(&hits, 1)
+					return End{}
+				}}
+			}
+			e.Run(Par{Procs: []Proc{leaf(), leaf(), Par{Procs: []Proc{leaf(), leaf()}}}})
+			if hits != 4 {
+				t.Errorf("hits = %d, want 4", hits)
+			}
+		})
+	}
+}
+
+func TestForeverWithEscape(t *testing.T) {
+	// A bounded "forever": loop until a counter runs out, then End.
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			n := 0
+			p := Forever(func(loop func() Proc) Proc {
+				return Eval{Run: func() Proc {
+					n++
+					if n >= 10_000 {
+						return End{}
+					}
+					return Eval{Run: loop}
+				}}
+			})
+			e.Run(p)
+			if n != 10_000 {
+				t.Errorf("iterations = %d, want 10000", n)
+			}
+		})
+	}
+}
+
+func TestManyToOneMailbox(t *testing.T) {
+	// n producers share one consumer mailbox (the actor pattern).
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			const producers, msgs = 64, 100
+			mb := e.NewChan()
+			procs := make([]Proc, 0, producers+1)
+			for p := 0; p < producers; p++ {
+				var send func(i int) Proc
+				send = func(i int) Proc {
+					if i == msgs {
+						return End{}
+					}
+					return Send{Ch: mb, Val: 1, Cont: func() Proc { return send(i + 1) }}
+				}
+				procs = append(procs, send(0))
+			}
+			total := 0
+			var recv func(i int) Proc
+			recv = func(i int) Proc {
+				if i == producers*msgs {
+					return End{}
+				}
+				return Recv{Ch: mb, Cont: func(v any) Proc {
+					total += v.(int)
+					return recv(i + 1)
+				}}
+			}
+			procs = append(procs, recv(0))
+			e.Run(procs...)
+			if total != producers*msgs {
+				t.Errorf("total = %d, want %d", total, producers*msgs)
+			}
+		})
+	}
+}
+
+func TestRunTwice(t *testing.T) {
+	// Engines are reusable across Run calls.
+	e := NewScheduler(2, PolicyChannelFSM)
+	for round := 0; round < 3; round++ {
+		ch := e.NewChan()
+		ok := false
+		e.Run(
+			Send{Ch: ch, Val: round, Cont: func() Proc { return End{} }},
+			Recv{Ch: ch, Cont: func(v any) Proc {
+				ok = v.(int) == round
+				return End{}
+			}},
+		)
+		if !ok {
+			t.Fatalf("round %d failed", round)
+		}
+	}
+}
+
+func TestBoundedChannelBackpressure(t *testing.T) {
+	// A capacity-4 channel with a fast producer and a consumer: all
+	// messages arrive, in order, under every engine.
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			const n = 2000
+			ch := NewBufChan(4)
+			var received int64
+			okOrder := true
+			prev := -1
+
+			var produce func(i int) Proc
+			produce = func(i int) Proc {
+				if i == n {
+					return End{}
+				}
+				return Send{Ch: ch, Val: i, Cont: func() Proc { return produce(i + 1) }}
+			}
+			var consume func(i int) Proc
+			consume = func(i int) Proc {
+				if i == n {
+					return End{}
+				}
+				return Recv{Ch: ch, Cont: func(v any) Proc {
+					x := v.(int)
+					if x != prev+1 {
+						okOrder = false
+					}
+					prev = x
+					atomic.AddInt64(&received, 1)
+					return consume(i + 1)
+				}}
+			}
+			e.Run(produce(0), consume(0))
+			if received != n {
+				t.Fatalf("received %d, want %d", received, n)
+			}
+			if !okOrder {
+				t.Error("messages out of order through the bounded buffer")
+			}
+		})
+	}
+}
+
+func TestBoundedChannelCapacityOne(t *testing.T) {
+	// Capacity 1 behaves like an alternating hand-off.
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			ch := NewBufChan(1)
+			total := 0
+			var produce func(i int) Proc
+			produce = func(i int) Proc {
+				if i == 100 {
+					return End{}
+				}
+				return Send{Ch: ch, Val: 1, Cont: func() Proc { return produce(i + 1) }}
+			}
+			var consume func(i int) Proc
+			consume = func(i int) Proc {
+				if i == 100 {
+					return End{}
+				}
+				return Recv{Ch: ch, Cont: func(v any) Proc {
+					total += v.(int)
+					return consume(i + 1)
+				}}
+			}
+			e.Run(produce(0), consume(0))
+			if total != 100 {
+				t.Errorf("total = %d, want 100", total)
+			}
+		})
+	}
+}
+
+func TestManyProducersBoundedChannel(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			const producers, msgs = 32, 50
+			ch := NewBufChan(2)
+			var total int64
+			procs := make([]Proc, 0, producers+1)
+			for p := 0; p < producers; p++ {
+				var send func(i int) Proc
+				send = func(i int) Proc {
+					if i == msgs {
+						return End{}
+					}
+					return Send{Ch: ch, Val: 1, Cont: func() Proc { return send(i + 1) }}
+				}
+				procs = append(procs, send(0))
+			}
+			var recv func(i int) Proc
+			recv = func(i int) Proc {
+				if i == producers*msgs {
+					return End{}
+				}
+				return Recv{Ch: ch, Cont: func(v any) Proc {
+					atomic.AddInt64(&total, 1)
+					return recv(i + 1)
+				}}
+			}
+			procs = append(procs, recv(0))
+			e.Run(procs...)
+			if total != producers*msgs {
+				t.Errorf("total = %d, want %d", total, producers*msgs)
+			}
+		})
+	}
+}

@@ -1,0 +1,240 @@
+package runtime
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects how a matched send/receive pair is continued.
+type Policy int
+
+const (
+	// PolicyDefault reschedules both continuations through the run queue
+	// (maximal yielding — the paper's "Effpi default").
+	PolicyDefault Policy = iota
+	// PolicyChannelFSM continues the receiver immediately on the current
+	// worker when a send finds a parked receiver, avoiding two queue
+	// round-trips per message (the paper's "Effpi with channel FSM").
+	PolicyChannelFSM
+)
+
+func (p Policy) String() string {
+	if p == PolicyChannelFSM {
+		return "fsm"
+	}
+	return "default"
+}
+
+// Scheduler is the Effpi runtime: Workers OS-level executors running
+// parked process continuations from a shared run queue.
+type Scheduler struct {
+	policy  Policy
+	workers int
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	queue    []Proc
+	closed   bool
+
+	live atomic.Int64
+	done chan struct{}
+}
+
+// NewScheduler builds a scheduler engine. workers ≤ 0 selects GOMAXPROCS.
+func NewScheduler(workers int, policy Policy) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{policy: policy, workers: workers}
+	s.notEmpty = sync.NewCond(&s.mu)
+	return s
+}
+
+// Name implements Engine.
+func (s *Scheduler) Name() string { return fmt.Sprintf("effpi-%s", s.policy) }
+
+// NewChan implements Engine.
+func (s *Scheduler) NewChan() *Chan { return &Chan{} }
+
+// Run implements Engine: execute the processes until every process has
+// reached End (or parked forever on a channel nobody will ever send to —
+// in that case Run returns once no runnable work remains and no live
+// process can make progress is NOT detected; Run tracks termination by
+// live-count reaching zero, so leaked processes keep Run blocked, as a
+// leaked actor would).
+func (s *Scheduler) Run(procs ...Proc) {
+	s.done = make(chan struct{})
+	s.live.Store(int64(len(procs)))
+	if len(procs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.closed = false
+	s.queue = append(s.queue[:0], procs...)
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+
+	var wg sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker()
+		}()
+	}
+	<-s.done
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+	wg.Wait()
+}
+
+// schedule enqueues a runnable continuation.
+func (s *Scheduler) schedule(p Proc) {
+	s.mu.Lock()
+	s.queue = append(s.queue, p)
+	s.mu.Unlock()
+	s.notEmpty.Signal()
+}
+
+// finish records the termination of one live process.
+func (s *Scheduler) finish() {
+	if s.live.Add(-1) == 0 {
+		close(s.done)
+	}
+}
+
+func (s *Scheduler) worker() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.notEmpty.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		p := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.exec(p)
+	}
+}
+
+// stepBudget bounds the number of inline steps a worker spends on one
+// process before re-queuing it, so that long Eval loops cannot starve
+// parked peers (the scheduler stays non-preemptive but fair-ish).
+const stepBudget = 4096
+
+// exec runs one process until it parks, terminates, or exhausts its
+// step budget.
+func (s *Scheduler) exec(p Proc) {
+	for budget := stepBudget; ; budget-- {
+		if budget <= 0 {
+			s.schedule(p)
+			return
+		}
+		switch pp := p.(type) {
+		case End:
+			s.finish()
+			return
+
+		case Eval:
+			p = pp.Run()
+
+		case Par:
+			if len(pp.Procs) == 0 {
+				s.finish()
+				return
+			}
+			// The current process becomes the first component; siblings
+			// are new live processes.
+			s.live.Add(int64(len(pp.Procs) - 1))
+			for _, q := range pp.Procs[1:] {
+				s.schedule(q)
+			}
+			p = pp.Procs[0]
+
+		case Send:
+			p = s.execSend(pp)
+			if p == nil {
+				return
+			}
+
+		case Recv:
+			next, parked := s.execRecv(pp)
+			if parked {
+				return
+			}
+			p = next
+
+		default:
+			panic(fmt.Sprintf("runtime: unknown process %T", p))
+		}
+	}
+}
+
+// execSend delivers the message. It returns the process to continue with
+// on this worker, or nil if the current process was rescheduled.
+func (s *Scheduler) execSend(snd Send) Proc {
+	ch := snd.Ch
+	ch.mu.Lock()
+	if len(ch.waiters) > 0 {
+		w := ch.waiters[0]
+		copy(ch.waiters, ch.waiters[1:])
+		ch.waiters = ch.waiters[:len(ch.waiters)-1]
+		ch.mu.Unlock()
+		if s.policy == PolicyChannelFSM {
+			// Fast path: continue the receiver inline, requeue our own
+			// continuation.
+			s.schedule(Eval{Run: snd.Cont})
+			return w(snd.Val)
+		}
+		// Default: both go through the queue; this worker yields.
+		s.schedule(w(snd.Val))
+		s.schedule(Eval{Run: snd.Cont})
+		return nil
+	}
+	if ch.full() {
+		// Bounded channel with no space: park the sender until a
+		// receiver drains the buffer.
+		ch.senders = append(ch.senders, parkedSend{val: snd.Val, cont: snd.Cont})
+		ch.mu.Unlock()
+		return nil
+	}
+	ch.buf.push(snd.Val)
+	ch.mu.Unlock()
+	if s.policy == PolicyChannelFSM {
+		return snd.Cont()
+	}
+	// Default policy: yield at outputs too (§5.1: "processes yield
+	// control both when waiting for inputs and also when sending").
+	s.schedule(Eval{Run: snd.Cont})
+	return nil
+}
+
+// execRecv consumes a buffered message or parks the continuation. When a
+// bounded channel frees a slot, one parked sender is admitted.
+func (s *Scheduler) execRecv(rcv Recv) (next Proc, parked bool) {
+	ch := rcv.Ch
+	ch.mu.Lock()
+	if v, ok := ch.buf.pop(); ok {
+		if len(ch.senders) > 0 {
+			ps := ch.senders[0]
+			copy(ch.senders, ch.senders[1:])
+			ch.senders = ch.senders[:len(ch.senders)-1]
+			ch.buf.push(ps.val)
+			ch.mu.Unlock()
+			s.schedule(Eval{Run: ps.cont})
+			return rcv.Cont(v), false
+		}
+		ch.mu.Unlock()
+		return rcv.Cont(v), false
+	}
+	ch.waiters = append(ch.waiters, rcv.Cont)
+	ch.mu.Unlock()
+	return nil, true
+}

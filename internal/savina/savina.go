@@ -1,0 +1,381 @@
+// Package savina implements the subset of the Savina actor benchmark
+// suite (Imam & Sarkar, AGERE! 2014) used in Fig. 8 of the paper:
+// chameneos, counting, fork-join creation, fork-join throughput,
+// ping-pong, ring, and streaming ring. Every benchmark is parameterised
+// by an execution engine, so the same workload compares the Effpi
+// schedulers against the goroutine-per-process baseline.
+package savina
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"effpi/internal/runtime"
+)
+
+// Result reports what a benchmark run did, for validation.
+type Result struct {
+	// Messages is the number of messages processed (benchmark-specific).
+	Messages int64
+}
+
+// Benchmark is a runnable Savina workload at a given size.
+type Benchmark struct {
+	Name string
+	// Run executes the workload of the given size on the engine.
+	Run func(e runtime.Engine, n int) Result
+	// Sizes is the sweep used by the Fig. 8 harness.
+	Sizes []int
+}
+
+// All returns the seven Fig. 8 benchmarks with their default sweeps.
+func All() []Benchmark {
+	return []Benchmark{
+		{Name: "chameneos", Run: Chameneos, Sizes: []int{10, 100, 1_000, 10_000, 100_000}},
+		{Name: "counting", Run: Counting, Sizes: []int{1_000, 10_000, 100_000, 1_000_000}},
+		{Name: "fjc", Run: ForkJoinCreate, Sizes: []int{100, 1_000, 10_000, 100_000, 1_000_000}},
+		{Name: "fjt", Run: ForkJoinThroughput, Sizes: []int{10, 100, 1_000, 10_000}},
+		{Name: "pingpong", Run: PingPong, Sizes: []int{10, 100, 1_000, 10_000, 100_000}},
+		{Name: "ring", Run: Ring, Sizes: []int{10, 100, 1_000, 10_000, 100_000}},
+		{Name: "streamring", Run: StreamingRing, Sizes: []int{10, 100, 1_000, 10_000, 100_000}},
+	}
+}
+
+// ByName looks up a benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("savina: unknown benchmark %q", name)
+}
+
+// --- chameneos -------------------------------------------------------------
+
+type chamMsg struct {
+	id    int
+	reply *runtime.Chan
+}
+
+// Chameneos runs n chameneos that repeatedly visit a central broker; the
+// broker pairs visitors and sends each its peer's reference so they can
+// interact, for a total of n meetings.
+func Chameneos(e runtime.Engine, n int) Result {
+	if n < 2 {
+		n = 2
+	}
+	meetings := n
+	broker := e.NewChan()
+	var total atomic.Int64
+
+	// Chameneo: visit the broker, wait for either a peer id (meet) or a
+	// stop signal.
+	cham := func(id int) runtime.Proc {
+		self := e.NewChan()
+		var visit func() runtime.Proc
+		visit = func() runtime.Proc {
+			return runtime.Send{Ch: broker, Val: chamMsg{id: id, reply: self}, Cont: func() runtime.Proc {
+				return runtime.Recv{Ch: self, Cont: func(v any) runtime.Proc {
+					if v == nil { // stop
+						return runtime.End{}
+					}
+					total.Add(1)
+					return visit()
+				}}
+			}}
+		}
+		return visit()
+	}
+
+	// Broker: pair arrivals until the meeting quota is exhausted, then
+	// stop every chameneo as it arrives.
+	var brokerLoop func(remaining, stopped int) runtime.Proc
+	brokerLoop = func(remaining, stopped int) runtime.Proc {
+		if stopped == n {
+			return runtime.End{}
+		}
+		return runtime.Recv{Ch: broker, Cont: func(v1 any) runtime.Proc {
+			m1 := v1.(chamMsg)
+			if remaining <= 0 {
+				return runtime.Send{Ch: m1.reply, Val: nil, Cont: func() runtime.Proc {
+					return brokerLoop(remaining, stopped+1)
+				}}
+			}
+			return runtime.Recv{Ch: broker, Cont: func(v2 any) runtime.Proc {
+				m2 := v2.(chamMsg)
+				return runtime.Send{Ch: m1.reply, Val: m2.id, Cont: func() runtime.Proc {
+					return runtime.Send{Ch: m2.reply, Val: m1.id, Cont: func() runtime.Proc {
+						return brokerLoop(remaining-1, stopped)
+					}}
+				}}
+			}}
+		}}
+	}
+
+	procs := make([]runtime.Proc, 0, n+1)
+	for i := 0; i < n; i++ {
+		procs = append(procs, cham(i))
+	}
+	procs = append(procs, brokerLoop(meetings, 0))
+	e.Run(procs...)
+	return Result{Messages: total.Load()}
+}
+
+// --- counting ----------------------------------------------------------------
+
+// Counting has actor A send the numbers 1..n to actor B, which adds
+// them; B reports the sum back to A.
+func Counting(e runtime.Engine, n int) Result {
+	toB := e.NewChan()
+	toA := e.NewChan()
+	var final atomic.Int64
+
+	var send func(i int) runtime.Proc
+	send = func(i int) runtime.Proc {
+		if i > n {
+			return runtime.Recv{Ch: toA, Cont: func(v any) runtime.Proc {
+				final.Store(v.(int64))
+				return runtime.End{}
+			}}
+		}
+		return runtime.Send{Ch: toB, Val: int64(i), Cont: func() runtime.Proc { return send(i + 1) }}
+	}
+
+	var add func(i int, acc int64) runtime.Proc
+	add = func(i int, acc int64) runtime.Proc {
+		if i > n {
+			return runtime.Send{Ch: toA, Val: acc, Cont: func() runtime.Proc { return runtime.End{} }}
+		}
+		return runtime.Recv{Ch: toB, Cont: func(v any) runtime.Proc {
+			return add(i+1, acc+v.(int64))
+		}}
+	}
+
+	e.Run(send(1), add(1, 0))
+	if want := int64(n) * int64(n+1) / 2; final.Load() != want {
+		panic(fmt.Sprintf("savina: counting sum %d, want %d", final.Load(), want))
+	}
+	return Result{Messages: int64(n) + 1}
+}
+
+// --- fork-join ---------------------------------------------------------------
+
+// ForkJoinCreate creates n processes; each signals readiness and ends.
+func ForkJoinCreate(e runtime.Engine, n int) Result {
+	done := e.NewChan()
+	procs := make([]runtime.Proc, 0, n+1)
+	for i := 0; i < n; i++ {
+		procs = append(procs, runtime.Send{Ch: done, Val: struct{}{}, Cont: func() runtime.Proc { return runtime.End{} }})
+	}
+	var collect func(i int) runtime.Proc
+	collect = func(i int) runtime.Proc {
+		if i == n {
+			return runtime.End{}
+		}
+		return runtime.Recv{Ch: done, Cont: func(any) runtime.Proc { return collect(i + 1) }}
+	}
+	procs = append(procs, collect(0))
+	e.Run(procs...)
+	return Result{Messages: int64(n)}
+}
+
+// ForkJoinThroughputMessages is the per-worker message count of the
+// throughput variant.
+const ForkJoinThroughputMessages = 100
+
+// ForkJoinThroughput creates n workers and sends each a sequence of
+// messages; workers consume them all and signal completion.
+func ForkJoinThroughput(e runtime.Engine, n int) Result {
+	const k = ForkJoinThroughputMessages
+	done := e.NewChan()
+	procs := make([]runtime.Proc, 0, 2*n+1)
+	chans := make([]*runtime.Chan, n)
+	for i := 0; i < n; i++ {
+		chans[i] = e.NewChan()
+		var worker func(j int) runtime.Proc
+		ch := chans[i]
+		worker = func(j int) runtime.Proc {
+			if j == k {
+				return runtime.Send{Ch: done, Val: struct{}{}, Cont: func() runtime.Proc { return runtime.End{} }}
+			}
+			return runtime.Recv{Ch: ch, Cont: func(any) runtime.Proc { return worker(j + 1) }}
+		}
+		procs = append(procs, worker(0))
+	}
+	// One distributor per worker keeps the send side parallel.
+	for i := 0; i < n; i++ {
+		ch := chans[i]
+		var feed func(j int) runtime.Proc
+		feed = func(j int) runtime.Proc {
+			if j == k {
+				return runtime.End{}
+			}
+			return runtime.Send{Ch: ch, Val: j, Cont: func() runtime.Proc { return feed(j + 1) }}
+		}
+		procs = append(procs, feed(0))
+	}
+	var collect func(i int) runtime.Proc
+	collect = func(i int) runtime.Proc {
+		if i == n {
+			return runtime.End{}
+		}
+		return runtime.Recv{Ch: done, Cont: func(any) runtime.Proc { return collect(i + 1) }}
+	}
+	procs = append(procs, collect(0))
+	e.Run(procs...)
+	return Result{Messages: int64(n) * k}
+}
+
+// --- ping-pong ---------------------------------------------------------------
+
+// PingPongRounds is the number of request/response exchanges per pair.
+const PingPongRounds = 100
+
+// PingPong runs n pairs of processes exchanging requests and responses.
+func PingPong(e runtime.Engine, n int) Result {
+	const rounds = PingPongRounds
+	procs := make([]runtime.Proc, 0, 2*n)
+	var total atomic.Int64
+	for i := 0; i < n; i++ {
+		ping := e.NewChan()
+		pong := e.NewChan()
+		var pinger func(r int) runtime.Proc
+		pinger = func(r int) runtime.Proc {
+			if r == rounds {
+				return runtime.Send{Ch: ping, Val: -1, Cont: func() runtime.Proc { return runtime.End{} }}
+			}
+			return runtime.Send{Ch: ping, Val: r, Cont: func() runtime.Proc {
+				return runtime.Recv{Ch: pong, Cont: func(any) runtime.Proc {
+					total.Add(1)
+					return pinger(r + 1)
+				}}
+			}}
+		}
+		var ponger func() runtime.Proc
+		ponger = func() runtime.Proc {
+			return runtime.Recv{Ch: ping, Cont: func(v any) runtime.Proc {
+				if v.(int) < 0 {
+					return runtime.End{}
+				}
+				return runtime.Send{Ch: pong, Val: v, Cont: ponger}
+			}}
+		}
+		procs = append(procs, pinger(0), ponger())
+	}
+	e.Run(procs...)
+	return Result{Messages: total.Load()}
+}
+
+// --- rings -------------------------------------------------------------------
+
+// RingHopFactor scales the total number of token hops with the ring size.
+const RingHopFactor = 10
+
+// Ring connects n processes in a ring and passes one token
+// RingHopFactor·n times around.
+func Ring(e runtime.Engine, n int) Result {
+	if n < 2 {
+		n = 2
+	}
+	hops := RingHopFactor * n
+	chans := make([]*runtime.Chan, n)
+	for i := range chans {
+		chans[i] = e.NewChan()
+	}
+	// Message encoding: v > 0 is the live token with v hops remaining;
+	// v = 0 retires the token at the receiving member, which then starts
+	// a shutdown wave counting up from -(n-1) to -1 so that each of the
+	// other n-1 members terminates exactly once.
+	member := func(i int) runtime.Proc {
+		in, out := chans[i], chans[(i+1)%n]
+		var loop func() runtime.Proc
+		loop = func() runtime.Proc {
+			return runtime.Recv{Ch: in, Cont: func(v any) runtime.Proc {
+				left := v.(int)
+				switch {
+				case left > 0:
+					return runtime.Send{Ch: out, Val: left - 1, Cont: loop}
+				case left == 0:
+					return runtime.Send{Ch: out, Val: -(n - 1), Cont: func() runtime.Proc { return runtime.End{} }}
+				case left == -1:
+					return runtime.End{}
+				default:
+					return runtime.Send{Ch: out, Val: left + 1, Cont: func() runtime.Proc { return runtime.End{} }}
+				}
+			}}
+		}
+		return loop()
+	}
+	procs := make([]runtime.Proc, 0, n+1)
+	for i := 0; i < n; i++ {
+		procs = append(procs, member(i))
+	}
+	procs = append(procs, runtime.Send{Ch: chans[0], Val: hops, Cont: func() runtime.Proc { return runtime.End{} }})
+	e.Run(procs...)
+	return Result{Messages: int64(hops)}
+}
+
+// StreamingRingTokens is the number of tokens circulating concurrently.
+const StreamingRingTokens = 16
+
+// StreamingRing passes several tokens around the ring concurrently (at
+// most StreamingRingTokens members are active at once).
+func StreamingRing(e runtime.Engine, n int) Result {
+	if n < 2 {
+		n = 2
+	}
+	tokens := StreamingRingTokens
+	if tokens > n {
+		tokens = n
+	}
+	laps := RingHopFactor
+	chans := make([]*runtime.Chan, n)
+	for i := range chans {
+		chans[i] = e.NewChan()
+	}
+
+	// Message encoding: v > 0 is a live token with v hops remaining;
+	// v ≤ 0 is a retirement marker with origin member -v. A member
+	// terminates after observing every token's retirement: once when the
+	// token dies at it (it originates the marker wave), or once when a
+	// marker passes through. A marker travels exactly one lap: the member
+	// whose successor is the origin consumes it without forwarding.
+	member := func(i int) runtime.Proc {
+		in, out := chans[i], chans[(i+1)%n]
+		succ := (i + 1) % n
+		var loop func(retired int) runtime.Proc
+		loop = func(retired int) runtime.Proc {
+			if retired == tokens {
+				return runtime.End{}
+			}
+			return runtime.Recv{Ch: in, Cont: func(v any) runtime.Proc {
+				val := v.(int)
+				if val > 1 {
+					return runtime.Send{Ch: out, Val: val - 1, Cont: func() runtime.Proc { return loop(retired) }}
+				}
+				if val == 1 {
+					// Last hop: the token dies here; start its wave.
+					return runtime.Send{Ch: out, Val: -i, Cont: func() runtime.Proc { return loop(retired + 1) }}
+				}
+				origin := -val
+				if succ == origin {
+					return loop(retired + 1) // wave completed its lap
+				}
+				return runtime.Send{Ch: out, Val: val, Cont: func() runtime.Proc { return loop(retired + 1) }}
+			}}
+		}
+		return loop(0)
+	}
+
+	procs := make([]runtime.Proc, 0, n+tokens)
+	for i := 0; i < n; i++ {
+		procs = append(procs, member(i))
+	}
+	for t := 0; t < tokens; t++ {
+		ch := chans[t%n]
+		procs = append(procs, runtime.Send{Ch: ch, Val: laps * n, Cont: func() runtime.Proc { return runtime.End{} }})
+	}
+	e.Run(procs...)
+	return Result{Messages: int64(tokens) * int64(laps) * int64(n)}
+}

@@ -1,0 +1,117 @@
+package savina
+
+import (
+	"testing"
+
+	"effpi/internal/runtime"
+)
+
+func engines() []runtime.Engine {
+	return []runtime.Engine{
+		runtime.NewScheduler(4, runtime.PolicyDefault),
+		runtime.NewScheduler(4, runtime.PolicyChannelFSM),
+		runtime.NewGoEngine(),
+	}
+}
+
+func TestChameneos(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			r := Chameneos(e, 32)
+			// Every meeting counts twice (once per participant).
+			if r.Messages != 64 {
+				t.Errorf("meetings counted = %d, want 64", r.Messages)
+			}
+		})
+	}
+}
+
+func TestCounting(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			r := Counting(e, 10_000) // panics internally on a wrong sum
+			if r.Messages != 10_001 {
+				t.Errorf("messages = %d", r.Messages)
+			}
+		})
+	}
+}
+
+func TestForkJoinCreate(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			if r := ForkJoinCreate(e, 50_000); r.Messages != 50_000 {
+				t.Errorf("signals = %d, want 50000", r.Messages)
+			}
+		})
+	}
+}
+
+func TestForkJoinThroughput(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			want := int64(200) * ForkJoinThroughputMessages
+			if r := ForkJoinThroughput(e, 200); r.Messages != want {
+				t.Errorf("messages = %d, want %d", r.Messages, want)
+			}
+		})
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			want := int64(50) * PingPongRounds
+			if r := PingPong(e, 50); r.Messages != want {
+				t.Errorf("responses = %d, want %d", r.Messages, want)
+			}
+		})
+	}
+}
+
+func TestRing(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			if r := Ring(e, 100); r.Messages != 1000 {
+				t.Errorf("hops = %d, want 1000", r.Messages)
+			}
+			// Small rings exercise the shutdown wave edge cases.
+			Ring(e, 2)
+			Ring(e, 3)
+		})
+	}
+}
+
+func TestStreamingRing(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			StreamingRing(e, 100)
+			StreamingRing(e, 8) // tokens > members/2
+			StreamingRing(e, 2) // tokens clamped to members
+		})
+	}
+}
+
+func TestAllRegistered(t *testing.T) {
+	if len(All()) != 7 {
+		t.Fatalf("expected the 7 Fig. 8 benchmarks, got %d", len(All()))
+	}
+	for _, b := range All() {
+		if _, err := ByName(b.Name); err != nil {
+			t.Errorf("ByName(%s): %v", b.Name, err)
+		}
+		if len(b.Sizes) == 0 {
+			t.Errorf("%s: empty size sweep", b.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName must reject unknown benchmarks")
+	}
+}

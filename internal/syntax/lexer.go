@@ -1,0 +1,183 @@
+// Package syntax provides a concrete syntax for λπ⩽ terms and types — a
+// lexer, a recursive-descent parser, and a pretty-printer. It plays the
+// role of the Dotty surface syntax in the original artifact: programs are
+// written in .epi files and checked/verified/run by cmd/effpi.
+//
+// The grammar (see parser.go for the full productions):
+//
+//	term  ::= let x [: type] = term in term
+//	        | fun (x: type) => term
+//	        | if term then term else term
+//	        | send(term, term, term) | recv(term, term)
+//	        | chan[type]() | end | term || term | term binop term
+//	        | !term | term term | x | literal | (term)
+//	type  ::= type "|" type | rec t. type | (x: type) -> type
+//	        | Chan[type] | IChan[type] | OChan[type]
+//	        | Out[type, type, type] | In[type, type] | Par[type, ...]
+//	        | Bool | Unit | Int | Str | Top | Bot | Proc | Nil | x | (type)
+package syntax
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier (or keyword; the parser distinguishes).
+	TokIdent
+	// TokInt is an integer literal.
+	TokInt
+	// TokStr is a string literal (already unquoted).
+	TokStr
+	// TokPunct is an operator or punctuation token.
+	TokPunct
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokStr:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// Keywords of the term and type languages.
+var keywords = map[string]bool{
+	"let": true, "in": true, "fun": true, "if": true, "then": true,
+	"else": true, "end": true, "send": true, "recv": true, "chan": true,
+	"true": true, "false": true, "rec": true, "type": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }
+
+// punctuation tokens, longest first so the lexer is greedy.
+var puncts = []string{
+	"||", "|", "(", ")", "[", "]", ",", ".", "=>", "->", "==", "=",
+	"++", "+", "-", "*", ">=", "<=", ">", "<", "!", ":",
+}
+
+// LexError is a lexical error with position information.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenises src.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, sl, sc := i, line, col
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_' || src[i] == '\'') {
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[start:i], Line: sl, Col: sc})
+
+		case unicode.IsDigit(rune(c)):
+			start, sl, sc := i, line, col
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: src[start:i], Line: sl, Col: sc})
+
+		case c == '"':
+			sl, sc := line, col
+			advance(1)
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\\' && i+1 < len(src) {
+					switch src[i+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '"':
+						b.WriteByte('"')
+					case '\\':
+						b.WriteByte('\\')
+					default:
+						return nil, &LexError{Line: line, Col: col, Msg: fmt.Sprintf("unknown escape \\%c", src[i+1])}
+					}
+					advance(2)
+					continue
+				}
+				if src[i] == '"' {
+					advance(1)
+					closed = true
+					break
+				}
+				if src[i] == '\n' {
+					return nil, &LexError{Line: sl, Col: sc, Msg: "newline in string literal"}
+				}
+				b.WriteByte(src[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, &LexError{Line: sl, Col: sc, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokStr, Text: b.String(), Line: sl, Col: sc})
+
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &LexError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}

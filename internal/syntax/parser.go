@@ -1,0 +1,740 @@
+package syntax
+
+import (
+	"fmt"
+	"strconv"
+
+	"effpi/internal/term"
+	"effpi/internal/types"
+)
+
+// ParseError is a syntax error with position information.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks    []Token
+	pos     int
+	aliases map[string]types.Type
+	recVars map[string]bool
+}
+
+// NewParser tokenises src and readies a parser.
+func NewParser(src string) (*Parser, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks, aliases: map[string]types.Type{}, recVars: map[string]bool{}}, nil
+}
+
+// ParseProgram parses a whole .epi file: a sequence of `type N = T`
+// alias declarations followed by one term.
+func ParseProgram(src string) (term.Term, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIdent("type") {
+		if err := p.parseAlias(); err != nil {
+			return nil, err
+		}
+	}
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseTerm parses a single term.
+func ParseTerm(src string) (term.Term, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return t, p.expectEOF()
+}
+
+// ParseType parses a single type.
+func ParseType(src string) (types.Type, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	return t, p.expectEOF()
+}
+
+// --- token plumbing ---------------------------------------------------------
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) peekPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *Parser) peekIdent(s string) bool {
+	t := p.cur()
+	return t.Kind == TokIdent && t.Text == s
+}
+
+func (p *Parser) eatPunct(s string) bool {
+	if p.peekPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) eatIdent(s string) bool {
+	if p.peekIdent(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if !p.eatPunct(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent(s string) error {
+	if !p.eatIdent(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) expectEOF() error {
+	if p.cur().Kind != TokEOF {
+		return p.errf("unexpected trailing input: %s", p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent || IsKeyword(t.Text) {
+		return "", p.errf("expected an identifier, found %s", t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+// --- aliases ----------------------------------------------------------------
+
+func (p *Parser) parseAlias() error {
+	if err := p.expectIdent("type"); err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	p.aliases[name] = t
+	return nil
+}
+
+// --- types ------------------------------------------------------------------
+
+func (p *Parser) parseType() (types.Type, error) {
+	// Union is the lowest-precedence type operator.
+	left, err := p.parseTypeArrow()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatPunct("|") {
+		right, err := p.parseTypeArrow()
+		if err != nil {
+			return nil, err
+		}
+		left = types.Union{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseTypeArrow() (types.Type, error) {
+	if p.peekPunct("(") {
+		return p.parseParenType()
+	}
+	atom, err := p.parseTypeAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatPunct("->") {
+		cod, err := p.parseTypeArrow()
+		if err != nil {
+			return nil, err
+		}
+		return types.Pi{Var: "_", Dom: atom, Cod: cod}, nil
+	}
+	return atom, nil
+}
+
+// parseParenType disambiguates `() -> U`, `(x: T) -> U`, and `(T)`.
+func (p *Parser) parseParenType() (types.Type, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	// Thunk: () -> U.
+	if p.eatPunct(")") {
+		if err := p.expectPunct("->"); err != nil {
+			return nil, err
+		}
+		cod, err := p.parseTypeArrow()
+		if err != nil {
+			return nil, err
+		}
+		return types.Thunk(cod), nil
+	}
+	// Dependent arrow: (x: T) -> U.
+	if p.cur().Kind == TokIdent && !IsKeyword(p.cur().Text) &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == ":" {
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		p.pos++ // ':'
+		dom, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("->"); err != nil {
+			return nil, err
+		}
+		cod, err := p.parseTypeArrow()
+		if err != nil {
+			return nil, err
+		}
+		return types.Pi{Var: x, Dom: dom, Cod: cod}, nil
+	}
+	// Parenthesised type, optionally followed by ->.
+	inner, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.eatPunct("->") {
+		cod, err := p.parseTypeArrow()
+		if err != nil {
+			return nil, err
+		}
+		return types.Pi{Var: "_", Dom: inner, Cod: cod}, nil
+	}
+	return inner, nil
+}
+
+func (p *Parser) parseTypeAtom() (types.Type, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return nil, p.errf("expected a type, found %s", t)
+	}
+	switch t.Text {
+	case "Bool":
+		p.pos++
+		return types.Bool{}, nil
+	case "Unit":
+		p.pos++
+		return types.Unit{}, nil
+	case "Int":
+		p.pos++
+		return types.Int{}, nil
+	case "Str":
+		p.pos++
+		return types.Str{}, nil
+	case "Top":
+		p.pos++
+		return types.Top{}, nil
+	case "Bot":
+		p.pos++
+		return types.Bottom{}, nil
+	case "Proc":
+		p.pos++
+		return types.Proc{}, nil
+	case "Nil":
+		p.pos++
+		return types.Nil{}, nil
+	case "Chan", "IChan", "OChan":
+		p.pos++
+		if err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		switch t.Text {
+		case "Chan":
+			return types.ChanIO{Elem: elem}, nil
+		case "IChan":
+			return types.ChanI{Elem: elem}, nil
+		default:
+			return types.ChanO{Elem: elem}, nil
+		}
+	case "Out":
+		p.pos++
+		args, err := p.typeArgs(3)
+		if err != nil {
+			return nil, err
+		}
+		return types.Out{Ch: args[0], Payload: args[1], Cont: thunkify(args[2])}, nil
+	case "In":
+		p.pos++
+		args, err := p.typeArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return types.In{Ch: args[0], Cont: args[1]}, nil
+	case "Par":
+		p.pos++
+		args, err := p.typeArgsAtLeast(2)
+		if err != nil {
+			return nil, err
+		}
+		return types.ParOf(args...), nil
+	case "rec":
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		saved := p.recVars[name]
+		p.recVars[name] = true
+		body, err := p.parseType()
+		p.recVars[name] = saved
+		if err != nil {
+			return nil, err
+		}
+		return types.Rec{Var: name, Body: body}, nil
+	default:
+		if IsKeyword(t.Text) {
+			return nil, p.errf("expected a type, found keyword %q", t.Text)
+		}
+		p.pos++
+		if p.recVars[t.Text] {
+			return types.RecVar{Name: t.Text}, nil
+		}
+		if alias, ok := p.aliases[t.Text]; ok {
+			return alias, nil
+		}
+		return types.Var{Name: t.Text}, nil
+	}
+}
+
+// thunkify wraps a non-thunk continuation type: Out[S,T,U] may be written
+// with a bare π-type U, which abbreviates () -> U (as in the paper's own
+// notation, e.g. Ex. 3.3).
+func thunkify(t types.Type) types.Type {
+	if pi, ok := t.(types.Pi); ok && pi.Var == "" {
+		return pi
+	}
+	return types.Thunk(t)
+}
+
+func (p *Parser) typeArgs(n int) ([]types.Type, error) {
+	args, err := p.typeArgsAtLeast(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != n {
+		return nil, p.errf("expected %d type arguments, got %d", n, len(args))
+	}
+	return args, nil
+}
+
+func (p *Parser) typeArgsAtLeast(n int) ([]types.Type, error) {
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	var args []types.Type
+	for {
+		a, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	if len(args) < n {
+		return nil, p.errf("expected at least %d type arguments, got %d", n, len(args))
+	}
+	return args, nil
+}
+
+// --- terms ------------------------------------------------------------------
+
+func (p *Parser) parseTerm() (term.Term, error) {
+	return p.parsePar()
+}
+
+func (p *Parser) parsePar() (term.Term, error) {
+	left, err := p.parseCompare()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatPunct("||") {
+		right, err := p.parseCompare()
+		if err != nil {
+			return nil, err
+		}
+		left = term.Par{L: left, R: right}
+	}
+	return left, nil
+}
+
+var compareOps = map[string]bool{"==": true, ">": true, "<": true, ">=": true, "<=": true}
+
+func (p *Parser) parseCompare() (term.Term, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct && compareOps[t.Text] {
+		p.pos++
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return term.BinOp{Op: t.Text, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAdd() (term.Term, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == TokPunct && (t.Text == "+" || t.Text == "-" || t.Text == "++") {
+			p.pos++
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = term.BinOp{Op: t.Text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *Parser) parseMul() (term.Term, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatPunct("*") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = term.BinOp{Op: "*", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseUnary() (term.Term, error) {
+	if p.eatPunct("!") {
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return term.Not{T: t}, nil
+	}
+	return p.parseApp()
+}
+
+func (p *Parser) parseApp() (term.Term, error) {
+	fn, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.startsAtom() {
+		arg, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		fn = term.App{Fn: fn, Arg: arg}
+	}
+	return fn, nil
+}
+
+// startsAtom reports whether the current token can begin an application
+// argument.
+func (p *Parser) startsAtom() bool {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt, TokStr:
+		return true
+	case TokPunct:
+		return t.Text == "("
+	case TokIdent:
+		switch t.Text {
+		case "in", "then", "else", "type":
+			return false
+		case "let", "fun", "if", "rec":
+			return false
+		default:
+			return true
+		}
+	default:
+		return false
+	}
+}
+
+func (p *Parser) parseAtom() (term.Term, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", t.Text)
+		}
+		return term.IntLit{Val: n}, nil
+
+	case TokStr:
+		p.pos++
+		return term.StrLit{Val: t.Text}, nil
+
+	case TokPunct:
+		if t.Text == "(" {
+			p.pos++
+			if p.eatPunct(")") {
+				return term.UnitVal{}, nil
+			}
+			inner, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			return inner, p.expectPunct(")")
+		}
+		return nil, p.errf("expected a term, found %s", t)
+
+	case TokIdent:
+		switch t.Text {
+		case "true":
+			p.pos++
+			return term.BoolLit{Val: true}, nil
+		case "false":
+			p.pos++
+			return term.BoolLit{Val: false}, nil
+		case "end":
+			p.pos++
+			return term.End{}, nil
+		case "let":
+			return p.parseLet()
+		case "fun":
+			return p.parseFun()
+		case "if":
+			return p.parseIf()
+		case "send":
+			p.pos++
+			args, err := p.termArgs(3)
+			if err != nil {
+				return nil, err
+			}
+			return term.Send{Ch: args[0], Val: args[1], Cont: args[2]}, nil
+		case "recv":
+			p.pos++
+			args, err := p.termArgs(2)
+			if err != nil {
+				return nil, err
+			}
+			return term.Recv{Ch: args[0], Cont: args[1]}, nil
+		case "chan":
+			p.pos++
+			if err := p.expectPunct("["); err != nil {
+				return nil, err
+			}
+			elem, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return term.NewChan{Elem: elem}, nil
+		default:
+			if IsKeyword(t.Text) {
+				return nil, p.errf("unexpected keyword %q", t.Text)
+			}
+			p.pos++
+			return term.Var{Name: t.Text}, nil
+		}
+	default:
+		return nil, p.errf("expected a term, found %s", t)
+	}
+}
+
+func (p *Parser) parseLet() (term.Term, error) {
+	if err := p.expectIdent("let"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var ann types.Type
+	if p.eatPunct(":") {
+		ann, err = p.parseType()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	bound, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("in"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return term.Let{Var: name, Ann: ann, Bound: bound, Body: body}, nil
+}
+
+func (p *Parser) parseFun() (term.Term, error) {
+	if err := p.expectIdent("fun"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	ann, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("=>"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return term.Lam{Var: name, Ann: ann, Body: body}, nil
+}
+
+func (p *Parser) parseIf() (term.Term, error) {
+	if err := p.expectIdent("if"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("then"); err != nil {
+		return nil, err
+	}
+	thn, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("else"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return term.If{Cond: cond, Then: thn, Else: els}, nil
+}
+
+func (p *Parser) termArgs(n int) ([]term.Term, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []term.Term
+	for {
+		a, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if len(args) != n {
+		return nil, p.errf("expected %d arguments, got %d", n, len(args))
+	}
+	return args, nil
+}

@@ -1,0 +1,87 @@
+package systems
+
+import (
+	"testing"
+
+	"effpi/internal/types"
+	"effpi/internal/verify"
+)
+
+// checkSystem verifies all six properties of a system against the
+// expected verdicts.
+func checkSystem(t *testing.T, s *System, maxStates int) {
+	t.Helper()
+	if err := verify.Admissible(s.Env, s.Type); err != nil {
+		t.Fatalf("%s: not admissible: %v", s.Name, err)
+	}
+	outcomes, err := verify.VerifyAll(s.Env, s.Type, s.Props, maxStates)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	for _, o := range outcomes {
+		want, ok := s.Expected[o.Property.Kind]
+		if !ok {
+			continue
+		}
+		if o.Holds != want {
+			t.Errorf("%s / %s: got %v, want %v (states=%d)", s.Name, o.Property, o.Holds, want, o.States)
+			if o.Counterexample != nil && want {
+				t.Logf("  counterexample prefix: %v", o.Counterexample.Prefix)
+				t.Logf("  counterexample cycle:  %v", o.Counterexample.Cycle)
+			}
+		}
+	}
+}
+
+// Small instances keep the unit-test suite fast; the full Fig. 9 sizes
+// run in TestFig9Matrix (guarded by -short) and in cmd/mcbench.
+
+func TestPaymentAuditSmall(t *testing.T) {
+	checkSystem(t, PaymentAudit(2), 1<<18)
+}
+
+func TestDiningPhilosophersSmall(t *testing.T) {
+	checkSystem(t, DiningPhilosophers(3, true), 1<<18)
+	checkSystem(t, DiningPhilosophers(3, false), 1<<18)
+}
+
+func TestPingPongSmall(t *testing.T) {
+	checkSystem(t, PingPongPairs(2, false), 1<<18)
+	checkSystem(t, PingPongPairs(2, true), 1<<18)
+}
+
+func TestRingSmall(t *testing.T) {
+	checkSystem(t, Ring(4, 1), 1<<18)
+	checkSystem(t, Ring(5, 2), 1<<18)
+}
+
+func TestSystemsAreWellFormed(t *testing.T) {
+	for _, s := range []*System{
+		PaymentAudit(2), DiningPhilosophers(3, true), PingPongPairs(2, true), Ring(4, 1),
+	} {
+		if err := types.CheckProcType(s.Env, s.Type); err != nil {
+			t.Errorf("%s: not a π-type: %v", s.Name, err)
+		}
+		if err := types.CheckGuarded(s.Type); err != nil {
+			t.Errorf("%s: unguarded: %v", s.Name, err)
+		}
+		if err := types.CheckFiniteControl(s.Type); err != nil {
+			t.Errorf("%s: infinite control: %v", s.Name, err)
+		}
+	}
+}
+
+// TestFig9Matrix reproduces the complete true/false outcome matrix of
+// Fig. 9 (19 systems × 6 properties) at the paper's sizes. Run with
+// -timeout suitably large; skipped in -short mode.
+func TestFig9Matrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig. 9 full matrix skipped in -short mode")
+	}
+	for _, s := range Fig9Systems() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			checkSystem(t, s, 1<<22)
+		})
+	}
+}

@@ -1,0 +1,335 @@
+// Package term implements the term language of the λπ⩽ calculus
+// (PLDI 2019, Fig. 2): a call-by-value λ-calculus extended with channel
+// creation, input/output process primitives, and parallel composition.
+//
+// Following the paper's §2 remark, the language is extended with integer
+// and string literals (and the comparison/arithmetic needed by the
+// examples, e.g. the payment service's `pay.amount > 42000`).
+package term
+
+import (
+	"fmt"
+	"strings"
+
+	"effpi/internal/types"
+)
+
+// Term is a λπ⩽ term (Fig. 2). Terms include the run-time syntax of
+// channel instances (ChanVal), which programmers cannot write but which
+// reduction introduces via chan().
+type Term interface {
+	term()
+	String() string
+}
+
+// Var is a term variable x ∈ X.
+type Var struct{ Name string }
+
+// BoolLit is a boolean value tt or ff.
+type BoolLit struct{ Val bool }
+
+// IntLit is an integer literal (paper §2 extension).
+type IntLit struct{ Val int64 }
+
+// StrLit is a string literal (paper §2 extension).
+type StrLit struct{ Val string }
+
+// UnitVal is the unit value ().
+type UnitVal struct{}
+
+// Err is the error value err; reduction produces it when a term "goes
+// wrong" (Fig. 3, last row). It has no typing rule: typed terms are safe.
+type Err struct{ Msg string }
+
+// ChanVal is a channel instance a ∈ C, tagged with its payload type
+// (the paper's a^T, rule [t-C]). Part of the run-time syntax.
+type ChanVal struct {
+	Name string
+	Elem types.Type
+}
+
+// Lam is a function abstraction λx^U. Body ([t-λ] requires the annotation).
+type Lam struct {
+	Var  string
+	Ann  types.Type
+	Body Term
+}
+
+// Not is boolean negation ¬t.
+type Not struct{ T Term }
+
+// If is the conditional if t then t1 else t2.
+type If struct{ Cond, Then, Else Term }
+
+// Let is let x^U = Bound in Body. The bound variable is in scope in Bound
+// as well (rule [t-let] types recursion this way).
+type Let struct {
+	Var   string
+	Ann   types.Type
+	Bound Term
+	Body  Term
+}
+
+// App is function application t t′.
+type App struct{ Fn, Arg Term }
+
+// NewChan is channel creation chan()^T; it evaluates to a fresh ChanVal.
+type NewChan struct{ Elem types.Type }
+
+// End is the terminated process end.
+type End struct{}
+
+// Send is the output primitive send(Ch, Val, Cont): send Val on Ch and
+// continue as the process thunk Cont (applied to unit).
+type Send struct{ Ch, Val, Cont Term }
+
+// Recv is the input primitive recv(Ch, Cont): receive a value from Ch and
+// continue as Cont applied to it.
+type Recv struct{ Ch, Cont Term }
+
+// Par is parallel composition t ‖ t′.
+type Par struct{ L, R Term }
+
+// BinOp is a primitive binary operation on base values (§2 extension);
+// Op is one of "+", "-", "*", ">", "<", "==", "++" (string concat).
+type BinOp struct {
+	Op   string
+	L, R Term
+}
+
+func (Var) term()     {}
+func (BoolLit) term() {}
+func (IntLit) term()  {}
+func (StrLit) term()  {}
+func (UnitVal) term() {}
+func (Err) term()     {}
+func (ChanVal) term() {}
+func (Lam) term()     {}
+func (Not) term()     {}
+func (If) term()      {}
+func (Let) term()     {}
+func (App) term()     {}
+func (NewChan) term() {}
+func (End) term()     {}
+func (Send) term()    {}
+func (Recv) term()    {}
+func (Par) term()     {}
+func (BinOp) term()   {}
+
+func (v Var) String() string { return v.Name }
+
+func (b BoolLit) String() string {
+	if b.Val {
+		return "true"
+	}
+	return "false"
+}
+
+func (i IntLit) String() string { return fmt.Sprintf("%d", i.Val) }
+func (s StrLit) String() string { return fmt.Sprintf("%q", s.Val) }
+func (UnitVal) String() string  { return "()" }
+
+func (e Err) String() string {
+	if e.Msg == "" {
+		return "err"
+	}
+	return fmt.Sprintf("err(%s)", e.Msg)
+}
+
+func (c ChanVal) String() string { return fmt.Sprintf("#%s", c.Name) }
+
+func (l Lam) String() string {
+	if l.Ann == nil {
+		return fmt.Sprintf("(fun %s => %s)", l.Var, l.Body)
+	}
+	return fmt.Sprintf("(fun %s: %s => %s)", l.Var, l.Ann, l.Body)
+}
+
+func (n Not) String() string { return fmt.Sprintf("!%s", n.T) }
+
+func (i If) String() string {
+	return fmt.Sprintf("(if %s then %s else %s)", i.Cond, i.Then, i.Else)
+}
+
+func (l Let) String() string {
+	if l.Ann == nil {
+		return fmt.Sprintf("let %s = %s in %s", l.Var, l.Bound, l.Body)
+	}
+	return fmt.Sprintf("let %s: %s = %s in %s", l.Var, l.Ann, l.Bound, l.Body)
+}
+
+func (a App) String() string { return fmt.Sprintf("(%s %s)", a.Fn, a.Arg) }
+
+func (n NewChan) String() string { return fmt.Sprintf("chan[%s]()", n.Elem) }
+
+func (End) String() string { return "end" }
+
+func (s Send) String() string { return fmt.Sprintf("send(%s, %s, %s)", s.Ch, s.Val, s.Cont) }
+func (r Recv) String() string { return fmt.Sprintf("recv(%s, %s)", r.Ch, r.Cont) }
+func (p Par) String() string  { return fmt.Sprintf("(%s || %s)", p.L, p.R) }
+
+func (b BinOp) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// IsValue reports whether t is a value (the set V of Fig. 2, plus the
+// base-literal extensions).
+func IsValue(t Term) bool {
+	switch t.(type) {
+	case BoolLit, IntLit, StrLit, UnitVal, Err, ChanVal, Lam:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsProcTerm reports whether t is (syntactically) a process term from the
+// production P of Fig. 2.
+func IsProcTerm(t Term) bool {
+	switch t.(type) {
+	case End, Send, Recv, Par:
+		return true
+	default:
+		return false
+	}
+}
+
+// FreeVars returns the free term variables of t.
+func FreeVars(t Term) map[string]bool {
+	fv := make(map[string]bool)
+	collectFree(t, map[string]bool{}, fv)
+	return fv
+}
+
+func collectFree(t Term, bound, out map[string]bool) {
+	switch t := t.(type) {
+	case Var:
+		if !bound[t.Name] {
+			out[t.Name] = true
+		}
+	case Lam:
+		inner := copySet(bound)
+		inner[t.Var] = true
+		collectFree(t.Body, inner, out)
+	case Not:
+		collectFree(t.T, bound, out)
+	case If:
+		collectFree(t.Cond, bound, out)
+		collectFree(t.Then, bound, out)
+		collectFree(t.Else, bound, out)
+	case Let:
+		inner := copySet(bound)
+		inner[t.Var] = true
+		collectFree(t.Bound, inner, out)
+		collectFree(t.Body, inner, out)
+	case App:
+		collectFree(t.Fn, bound, out)
+		collectFree(t.Arg, bound, out)
+	case Send:
+		collectFree(t.Ch, bound, out)
+		collectFree(t.Val, bound, out)
+		collectFree(t.Cont, bound, out)
+	case Recv:
+		collectFree(t.Ch, bound, out)
+		collectFree(t.Cont, bound, out)
+	case Par:
+		collectFree(t.L, bound, out)
+		collectFree(t.R, bound, out)
+	case BinOp:
+		collectFree(t.L, bound, out)
+		collectFree(t.R, bound, out)
+	}
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s)+1)
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Subst returns t{v/x}: capture-avoiding substitution of v for the free
+// variable x in t.
+func Subst(t Term, x string, v Term) Term {
+	if !FreeVars(t)[x] {
+		return t
+	}
+	return substTerm(t, x, v)
+}
+
+func substTerm(t Term, x string, v Term) Term {
+	switch t := t.(type) {
+	case Var:
+		if t.Name == x {
+			return v
+		}
+		return t
+	case Lam:
+		if t.Var == x {
+			return t
+		}
+		body, bv := avoidCapture(t.Body, t.Var, v)
+		return Lam{Var: bv, Ann: t.Ann, Body: substTerm(body, x, v)}
+	case Not:
+		return Not{T: substTerm(t.T, x, v)}
+	case If:
+		return If{Cond: substTerm(t.Cond, x, v), Then: substTerm(t.Then, x, v), Else: substTerm(t.Else, x, v)}
+	case Let:
+		if t.Var == x {
+			return t
+		}
+		bv, bound, body := t.Var, t.Bound, t.Body
+		if FreeVars(v)[bv] {
+			fresh := types.FreshName(bv)
+			bound = substTerm(bound, bv, Var{Name: fresh})
+			body = substTerm(body, bv, Var{Name: fresh})
+			bv = fresh
+		}
+		return Let{Var: bv, Ann: t.Ann, Bound: substTerm(bound, x, v), Body: substTerm(body, x, v)}
+	case App:
+		return App{Fn: substTerm(t.Fn, x, v), Arg: substTerm(t.Arg, x, v)}
+	case Send:
+		return Send{Ch: substTerm(t.Ch, x, v), Val: substTerm(t.Val, x, v), Cont: substTerm(t.Cont, x, v)}
+	case Recv:
+		return Recv{Ch: substTerm(t.Ch, x, v), Cont: substTerm(t.Cont, x, v)}
+	case Par:
+		return Par{L: substTerm(t.L, x, v), R: substTerm(t.R, x, v)}
+	case BinOp:
+		return BinOp{Op: t.Op, L: substTerm(t.L, x, v), R: substTerm(t.R, x, v)}
+	default:
+		return t
+	}
+}
+
+// avoidCapture α-renames the binder bv in body if bv occurs free in v,
+// returning the (possibly renamed) body and binder name.
+func avoidCapture(body Term, bv string, v Term) (Term, string) {
+	if !FreeVars(v)[bv] {
+		return body, bv
+	}
+	fresh := types.FreshName(bv)
+	return substTerm(body, bv, Var{Name: fresh}), fresh
+}
+
+// Render pretty-prints a term with indentation, for diagnostics.
+func Render(t Term) string {
+	var b strings.Builder
+	render(t, 0, &b)
+	return b.String()
+}
+
+func render(t Term, depth int, b *strings.Builder) {
+	ind := strings.Repeat("  ", depth)
+	switch t := t.(type) {
+	case Let:
+		fmt.Fprintf(b, "%slet %s = %s in\n", ind, t.Var, t.Bound)
+		render(t.Body, depth, b)
+	case Par:
+		b.WriteString(ind + "(\n")
+		render(t.L, depth+1, b)
+		b.WriteString("\n" + ind + "||\n")
+		render(t.R, depth+1, b)
+		b.WriteString("\n" + ind + ")")
+	default:
+		b.WriteString(ind + t.String())
+	}
+}

@@ -1,0 +1,120 @@
+package term
+
+import (
+	"testing"
+
+	"effpi/internal/types"
+)
+
+func TestIsValue(t *testing.T) {
+	values := []Term{
+		BoolLit{Val: true}, IntLit{Val: 1}, StrLit{Val: "s"}, UnitVal{},
+		Err{}, ChanVal{Name: "a", Elem: types.Int{}},
+		Lam{Var: "x", Ann: types.Int{}, Body: Var{Name: "x"}},
+	}
+	for _, v := range values {
+		if !IsValue(v) {
+			t.Errorf("IsValue(%s) = false", v)
+		}
+	}
+	nonValues := []Term{
+		Var{Name: "x"}, Not{T: BoolLit{Val: true}}, End{},
+		App{Fn: Var{Name: "f"}, Arg: IntLit{Val: 1}},
+		Send{Ch: Var{Name: "c"}, Val: UnitVal{}, Cont: UnitVal{}},
+		Par{L: End{}, R: End{}},
+	}
+	for _, v := range nonValues {
+		if IsValue(v) {
+			t.Errorf("IsValue(%s) = true", v)
+		}
+	}
+}
+
+func TestIsProcTerm(t *testing.T) {
+	procs := []Term{End{}, Par{L: End{}, R: End{}},
+		Send{Ch: Var{Name: "c"}, Val: UnitVal{}, Cont: UnitVal{}},
+		Recv{Ch: Var{Name: "c"}, Cont: UnitVal{}}}
+	for _, p := range procs {
+		if !IsProcTerm(p) {
+			t.Errorf("IsProcTerm(%s) = false", p)
+		}
+	}
+	if IsProcTerm(IntLit{Val: 3}) {
+		t.Error("IsProcTerm(3) = true")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	// λx. x y — x bound, y free.
+	tm := Lam{Var: "x", Ann: types.Int{}, Body: App{Fn: Var{Name: "x"}, Arg: Var{Name: "y"}}}
+	fv := FreeVars(tm)
+	if fv["x"] || !fv["y"] {
+		t.Errorf("FreeVars = %v", fv)
+	}
+	// let x = x in x — the binder scopes over the bound term too
+	// (recursive let), so x is NOT free.
+	tm2 := Let{Var: "x", Bound: Var{Name: "x"}, Body: Var{Name: "x"}}
+	if FreeVars(tm2)["x"] {
+		t.Error("recursive let must bind x in its own bound term")
+	}
+}
+
+func TestSubstShadowing(t *testing.T) {
+	// (λx. x){v/x} leaves the bound x alone.
+	lam := Lam{Var: "x", Ann: types.Int{}, Body: Var{Name: "x"}}
+	got := Subst(lam, "x", IntLit{Val: 5})
+	if got.String() != lam.String() {
+		t.Errorf("bound occurrence substituted: %s", got)
+	}
+	// (λy. x){y/x}: the y in the substitute must not be captured.
+	lam2 := Lam{Var: "y", Ann: types.Int{}, Body: Var{Name: "x"}}
+	got2 := Subst(lam2, "x", Var{Name: "y"}).(Lam)
+	if got2.Var == "y" {
+		t.Fatalf("capture: %s", got2)
+	}
+	if v, ok := got2.Body.(Var); !ok || v.Name != "y" {
+		t.Errorf("substitution wrong: %s", got2)
+	}
+}
+
+func TestSubstLetCapture(t *testing.T) {
+	// (let y = 1 in x){y/x} must rename the let binder.
+	l := Let{Var: "y", Bound: IntLit{Val: 1}, Body: Var{Name: "x"}}
+	got := Subst(l, "x", Var{Name: "y"}).(Let)
+	if got.Var == "y" {
+		t.Fatalf("capture in let: %s", got)
+	}
+	if v, ok := got.Body.(Var); !ok || v.Name != "y" {
+		t.Errorf("substitution wrong: %s", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{BoolLit{Val: true}, "true"},
+		{IntLit{Val: 42}, "42"},
+		{StrLit{Val: "hi"}, `"hi"`},
+		{UnitVal{}, "()"},
+		{End{}, "end"},
+		{Par{L: End{}, R: End{}}, "(end || end)"},
+		{Not{T: Var{Name: "b"}}, "!b"},
+		{BinOp{Op: "+", L: IntLit{Val: 1}, R: IntLit{Val: 2}}, "(1 + 2)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestRenderMultiline(t *testing.T) {
+	tm := Let{Var: "x", Bound: IntLit{Val: 1},
+		Body: Par{L: End{}, R: End{}}}
+	out := Render(tm)
+	if out == "" {
+		t.Error("Render produced nothing")
+	}
+}

@@ -1,0 +1,518 @@
+package typecheck
+
+import (
+	"testing"
+
+	"effpi/internal/term"
+	"effpi/internal/types"
+)
+
+// --- Helpers to build the paper's running examples -----------------------
+
+func str() types.Type  { return types.Str{} }
+func i64() types.Type  { return types.Int{} }
+func tnil() types.Type { return types.Nil{} }
+
+func tvar(n string) types.Type { return types.Var{Name: n} }
+func v(n string) term.Term     { return term.Var{Name: n} }
+
+func lam(x string, ann types.Type, body term.Term) term.Term {
+	return term.Lam{Var: x, Ann: ann, Body: body}
+}
+
+func thunkT(body term.Term) term.Term {
+	return term.Lam{Var: "_", Ann: types.Unit{}, Body: body}
+}
+
+// pingerTerm is pinger from Ex. 2.2:
+// λself.λpongc. send(pongc, self, λ_. recv(self, λreply. end))
+func pingerTerm() term.Term {
+	return lam("self", types.ChanIO{Elem: str()},
+		lam("pongc", types.ChanO{Elem: types.ChanO{Elem: str()}},
+			term.Send{
+				Ch:  v("pongc"),
+				Val: v("self"),
+				Cont: thunkT(term.Recv{
+					Ch:   v("self"),
+					Cont: lam("reply", str(), term.End{}),
+				}),
+			}))
+}
+
+// pongerTerm is ponger from Ex. 2.2:
+// λself. recv(self, λreplyTo. send(replyTo, "Hi!", λ_. end))
+func pongerTerm() term.Term {
+	return lam("self", types.ChanIO{Elem: types.ChanO{Elem: str()}},
+		term.Recv{
+			Ch: v("self"),
+			Cont: lam("replyTo", types.ChanO{Elem: str()},
+				term.Send{Ch: v("replyTo"), Val: term.StrLit{Val: "Hi!"}, Cont: thunkT(term.End{})}),
+		})
+}
+
+// tPing is Tping from Ex. 3.3.
+func tPing() types.Type {
+	return types.Pi{Var: "self", Dom: types.ChanIO{Elem: str()},
+		Cod: types.Pi{Var: "pongc", Dom: types.ChanO{Elem: types.ChanO{Elem: str()}},
+			Cod: types.Out{
+				Ch:      tvar("pongc"),
+				Payload: tvar("self"),
+				Cont: types.Thunk(types.In{
+					Ch:   tvar("self"),
+					Cont: types.Pi{Var: "reply", Dom: str(), Cod: tnil()},
+				}),
+			}}}
+}
+
+// tPong is Tpong from Ex. 3.3.
+func tPong() types.Type {
+	return types.Pi{Var: "self", Dom: types.ChanIO{Elem: types.ChanO{Elem: str()}},
+		Cod: types.In{
+			Ch: tvar("self"),
+			Cont: types.Pi{Var: "replyTo", Dom: types.ChanO{Elem: str()},
+				Cod: types.Out{Ch: tvar("replyTo"), Payload: str(), Cont: types.Thunk(tnil())}},
+		}}
+}
+
+// --- Tests ----------------------------------------------------------------
+
+func TestBaseTyping(t *testing.T) {
+	e := types.NewEnv()
+	cases := []struct {
+		t    term.Term
+		want types.Type
+	}{
+		{term.BoolLit{Val: true}, types.Bool{}},
+		{term.IntLit{Val: 42}, types.Int{}},
+		{term.StrLit{Val: "hi"}, types.Str{}},
+		{term.UnitVal{}, types.Unit{}},
+		{term.End{}, types.Nil{}},
+		{term.Not{T: term.BoolLit{Val: false}}, types.Bool{}},
+		{term.NewChan{Elem: types.Int{}}, types.ChanIO{Elem: types.Int{}}},
+		{term.BinOp{Op: ">", L: term.IntLit{Val: 1}, R: term.IntLit{Val: 2}}, types.Bool{}},
+		{term.BinOp{Op: "+", L: term.IntLit{Val: 1}, R: term.IntLit{Val: 2}}, types.Int{}},
+	}
+	for _, c := range cases {
+		got, err := Infer(e, c.t)
+		if err != nil {
+			t.Errorf("Infer(%s): %v", c.t, err)
+			continue
+		}
+		if !types.Equal(got, c.want) {
+			t.Errorf("Infer(%s) = %s, want %s", c.t, got, c.want)
+		}
+	}
+}
+
+func TestErrUntypable(t *testing.T) {
+	if _, err := Infer(types.NewEnv(), term.Err{}); err == nil {
+		t.Error("err must be untypable")
+	}
+}
+
+func TestVarSingletonType(t *testing.T) {
+	e := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	got, err := Infer(e, v("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !types.Equal(got, tvar("x")) {
+		t.Errorf("Infer(x) = %s, want the singleton type x̱", got)
+	}
+	// Subsumption recovers the environment bound.
+	if err := Check(e, v("x"), types.ChanIO{Elem: types.Int{}}); err != nil {
+		t.Errorf("Check(x : cio[int]) failed: %v", err)
+	}
+}
+
+func TestPingerHasTping(t *testing.T) {
+	e := types.NewEnv()
+	got, err := Infer(e, pingerTerm())
+	if err != nil {
+		t.Fatalf("Infer(pinger): %v", err)
+	}
+	want := tPing()
+	if !types.Subtype(e, got, want) {
+		t.Errorf("pinger : Tping failed\n  got  %s\n  want %s", got, want)
+	}
+	if !types.Subtype(e, want, got) {
+		t.Errorf("inferred pinger type is less precise than Tping\n  got  %s\n  want %s", got, want)
+	}
+}
+
+func TestPongerHasTpong(t *testing.T) {
+	e := types.NewEnv()
+	got, err := Infer(e, pongerTerm())
+	if err != nil {
+		t.Fatalf("Infer(ponger): %v", err)
+	}
+	if !types.Subtype(e, got, tPong()) {
+		t.Errorf("ponger : Tpong failed\n  got  %s\n  want %s", got, tPong())
+	}
+}
+
+// TestSysComposition reproduces Ex. 3.3/4.3: the type of sys y z must be
+// the parallel composition of Tping y z and Tpong z, with the type-level
+// applications substituting y and z into the bodies.
+func TestSysComposition(t *testing.T) {
+	e := types.EnvOf(
+		"y", types.ChanIO{Elem: str()},
+		"z", types.ChanIO{Elem: types.ChanO{Elem: str()}},
+	)
+	sys := term.Let{Var: "pinger", Ann: tPing(), Bound: pingerTerm(),
+		Body: term.Let{Var: "ponger", Ann: tPong(), Bound: pongerTerm(),
+			Body: term.Par{
+				L: term.App{Fn: term.App{Fn: v("pinger"), Arg: v("y")}, Arg: v("z")},
+				R: term.App{Fn: v("ponger"), Arg: v("z")},
+			}}}
+	got, err := Infer(e, sys)
+	if err != nil {
+		t.Fatalf("Infer(sys y z): %v", err)
+	}
+	// T from Ex. 4.3.
+	want := types.Par{
+		L: types.Out{Ch: tvar("z"), Payload: tvar("y"),
+			Cont: types.Thunk(types.In{Ch: tvar("y"), Cont: types.Pi{Var: "reply", Dom: str(), Cod: tnil()}})},
+		R: types.In{Ch: tvar("z"),
+			Cont: types.Pi{Var: "replyTo", Dom: types.ChanO{Elem: str()},
+				Cod: types.Out{Ch: tvar("replyTo"), Payload: str(), Cont: types.Thunk(tnil())}}},
+	}
+	if !types.Subtype(e, got, want) || !types.Subtype(e, want, got) {
+		t.Errorf("sys composition type mismatch\n  got  %s\n  want %s", got, want)
+	}
+}
+
+// TestPrecisionLossEx35 reproduces Ex. 3.5: binding a channel with let
+// loses precision — the bound variable cannot appear in the type, and is
+// replaced by its supertype cio[int].
+func TestPrecisionLossEx35(t *testing.T) {
+	e := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	// t2's left component: let z = chan() in send(z, 42, λ_. end)
+	t2l := term.Let{Var: "z", Bound: term.NewChan{Elem: types.Int{}},
+		Body: term.Send{Ch: v("z"), Val: term.IntLit{Val: 42}, Cont: thunkT(term.End{})}}
+	got, err := Infer(e, t2l)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	want := types.Out{Ch: types.ChanIO{Elem: types.Int{}}, Payload: types.Int{}, Cont: types.Thunk(tnil())}
+	if !types.Equal(got, want) {
+		t.Errorf("Ex. 3.5: got %s, want %s (z must be erased to cio[int])", got, want)
+	}
+}
+
+// TestMissingReplyFailsCheck: a ponger that forgets to reply does not
+// check against Tpong — the paper's "missing communication" bug class.
+func TestMissingReplyFailsCheck(t *testing.T) {
+	buggy := lam("self", types.ChanIO{Elem: types.ChanO{Elem: str()}},
+		term.Recv{
+			Ch:   v("self"),
+			Cont: lam("replyTo", types.ChanO{Elem: str()}, term.End{}), // no send!
+		})
+	e := types.NewEnv()
+	got, err := Infer(e, buggy)
+	if err != nil {
+		t.Fatalf("Infer(buggy ponger): %v", err)
+	}
+	if types.Subtype(e, got, tPong()) {
+		t.Error("buggy ponger (missing reply) must not have type Tpong")
+	}
+}
+
+// TestWrongChannelFailsCheck: auditing on the wrong channel (the paper's
+// "null instead of aud" bug) is rejected.
+func TestWrongChannelFailsCheck(t *testing.T) {
+	// Expected: send on pongc; buggy version sends on a freshly made
+	// channel instead. The precise type then mentions cio[...] rather than
+	// pongc̱, so checking against Tping fails.
+	buggy := lam("self", types.ChanIO{Elem: str()},
+		lam("pongc", types.ChanO{Elem: types.ChanO{Elem: str()}},
+			term.Let{Var: "other", Bound: term.NewChan{Elem: types.ChanO{Elem: str()}},
+				Body: term.Send{
+					Ch:  v("other"),
+					Val: v("self"),
+					Cont: thunkT(term.Recv{
+						Ch:   v("self"),
+						Cont: lam("reply", str(), term.End{}),
+					}),
+				}}))
+	e := types.NewEnv()
+	got, err := Infer(e, buggy)
+	if err != nil {
+		t.Fatalf("Infer(buggy pinger): %v", err)
+	}
+	if types.Subtype(e, got, tPing()) {
+		t.Error("pinger sending on the wrong channel must not have type Tping")
+	}
+}
+
+// --- Mobile code (Ex. 3.4) -------------------------------------------------
+
+// tMobile is Tm from Ex. 3.4:
+// Π(i1:ci[int])Π(i2:ci[int])Π(o:co[int]) µt. i[i1, Π(x:int) i[i2, Π(y:int) o[o, x∨y, Π()t]]]
+func tMobile() types.Type {
+	return types.Pi{Var: "i1", Dom: types.ChanI{Elem: i64()},
+		Cod: types.Pi{Var: "i2", Dom: types.ChanI{Elem: i64()},
+			Cod: types.Pi{Var: "o", Dom: types.ChanO{Elem: i64()},
+				Cod: types.Rec{Var: "t", Body: types.In{
+					Ch: tvar("i1"),
+					Cont: types.Pi{Var: "x", Dom: i64(), Cod: types.In{
+						Ch: tvar("i2"),
+						Cont: types.Pi{Var: "y", Dom: i64(), Cod: types.Out{
+							Ch:      tvar("o"),
+							Payload: types.Union{L: tvar("x"), R: tvar("y")},
+							Cont:    types.Thunk(types.RecVar{Name: "t"}),
+						}},
+					}},
+				}}}}}
+}
+
+// mForward is the m1-style filter: always forward x from i1, recursing
+// with the channels in the same order. (The paper's m1 swaps i1/i2 on
+// recursion; under the strict pointwise reading of Tm the swapped variant
+// alternates which channel is read first and does not conform — see
+// TestMobileSwapDoesNotConform. DESIGN.md records this deviation.)
+func mForward() term.Term {
+	body := lam("i1", types.ChanI{Elem: i64()},
+		lam("i2", types.ChanI{Elem: i64()},
+			lam("o", types.ChanO{Elem: i64()},
+				term.Recv{Ch: v("i1"), Cont: lam("x", i64(),
+					term.Recv{Ch: v("i2"), Cont: lam("y", i64(),
+						term.Send{Ch: v("o"), Val: v("x"),
+							Cont: thunkT(term.App{Fn: term.App{Fn: term.App{Fn: v("m"), Arg: v("i1")}, Arg: v("i2")}, Arg: v("o")})})})})))
+	return term.Let{Var: "m", Ann: tMobile(), Bound: body, Body: v("m")}
+}
+
+// mMax sends the maximum of x and y (the paper's m2).
+func mMax() term.Term {
+	maxXY := term.If{
+		Cond: term.BinOp{Op: ">", L: v("x"), R: v("y")},
+		Then: v("x"),
+		Else: v("y"),
+	}
+	body := lam("i1", types.ChanI{Elem: i64()},
+		lam("i2", types.ChanI{Elem: i64()},
+			lam("o", types.ChanO{Elem: i64()},
+				term.Recv{Ch: v("i1"), Cont: lam("x", i64(),
+					term.Recv{Ch: v("i2"), Cont: lam("y", i64(),
+						term.Send{Ch: v("o"), Val: maxXY,
+							Cont: thunkT(term.App{Fn: term.App{Fn: term.App{Fn: v("m"), Arg: v("i1")}, Arg: v("i2")}, Arg: v("o")})})})})))
+	return term.Let{Var: "m", Ann: tMobile(), Bound: body, Body: v("m")}
+}
+
+func TestMobileCodeConforms(t *testing.T) {
+	e := types.NewEnv()
+	for name, m := range map[string]term.Term{"forward": mForward(), "max": mMax()} {
+		got, err := Infer(e, m)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !types.Subtype(e, got, tMobile()) {
+			t.Errorf("%s : Tm failed; got %s", name, got)
+		}
+	}
+}
+
+func TestMobileSwapDoesNotConform(t *testing.T) {
+	// m1 with the i1/i2 swap on recursion: reads i2 first on even rounds.
+	body := lam("i1", types.ChanI{Elem: i64()},
+		lam("i2", types.ChanI{Elem: i64()},
+			lam("o", types.ChanO{Elem: i64()},
+				term.Recv{Ch: v("i1"), Cont: lam("x", i64(),
+					term.Recv{Ch: v("i2"), Cont: lam("y", i64(),
+						term.Send{Ch: v("o"), Val: v("x"),
+							Cont: thunkT(term.App{Fn: term.App{Fn: term.App{Fn: v("m"), Arg: v("i2")}, Arg: v("i1")}, Arg: v("o")})})})})))
+	e := types.EnvOf("m", tMobile())
+	got, err := Infer(e, body)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if types.Subtype(e, got, types.UnfoldAll(tMobile())) {
+		t.Error("the swapped variant alternates input order and must not conform to Tm pointwise")
+	}
+}
+
+// TestMobileCodeUntypableFork: a Tm-typed term cannot be a forkbomb —
+// parallel composition in the continuation is rejected by the type.
+func TestMobileCodeUntypableFork(t *testing.T) {
+	forkbomb := lam("i1", types.ChanI{Elem: i64()},
+		lam("i2", types.ChanI{Elem: i64()},
+			lam("o", types.ChanO{Elem: i64()},
+				term.Recv{Ch: v("i1"), Cont: lam("x", i64(),
+					term.Par{
+						L: term.Send{Ch: v("o"), Val: v("x"), Cont: thunkT(term.End{})},
+						R: term.Send{Ch: v("o"), Val: v("x"), Cont: thunkT(term.End{})},
+					})})))
+	e := types.NewEnv()
+	got, err := Infer(e, forkbomb)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if types.Subtype(e, got, tMobile()) {
+		t.Error("a forking filter must not conform to Tm")
+	}
+}
+
+// TestDependentApplication checks the type-level substitution of [t-app]:
+// applying a function to a channel variable records that very variable in
+// the result type.
+func TestDependentApplication(t *testing.T) {
+	e := types.EnvOf("c", types.ChanIO{Elem: i64()})
+	f := lam("x", types.ChanO{Elem: i64()},
+		term.Send{Ch: v("x"), Val: term.IntLit{Val: 1}, Cont: thunkT(term.End{})})
+	app := term.App{Fn: f, Arg: v("c")}
+	got, err := Infer(e, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.Out{Ch: tvar("c"), Payload: i64(), Cont: types.Thunk(tnil())}
+	if !types.Equal(got, want) {
+		t.Errorf("dependent application: got %s, want %s", got, want)
+	}
+}
+
+func TestLamNeedsAnnotation(t *testing.T) {
+	if _, err := Infer(types.NewEnv(), term.Lam{Var: "x", Body: v("x")}); err == nil {
+		t.Error("unannotated λ must be rejected")
+	}
+}
+
+func TestIfUnion(t *testing.T) {
+	e := types.EnvOf("x", i64(), "y", i64())
+	tt := term.If{Cond: term.BoolLit{Val: true}, Then: v("x"), Else: v("y")}
+	got, err := Infer(e, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.Union{L: tvar("x"), R: tvar("y")}
+	if !types.Equal(got, want) {
+		t.Errorf("if: got %s, want %s", got, want)
+	}
+	if !types.Subtype(e, got, i64()) {
+		t.Error("x̱ ∨ y̱ ⩽ int should hold")
+	}
+}
+
+func TestParRequiresProcesses(t *testing.T) {
+	e := types.NewEnv()
+	// [Err-par]: a value in parallel composition is an error; the type
+	// system rejects it.
+	bad := term.Par{L: term.IntLit{Val: 1}, R: term.End{}}
+	if _, err := Infer(e, bad); err == nil {
+		t.Error("value ‖ process must be untypable")
+	}
+}
+
+// --- Payment service at the calculus level (§1 / Fig. 1) --------------------
+
+// tService is the Π-abstracted payment-service protocol: receive a Pay
+// (carrying the payer's reply channel p), then either reject (reply
+// immediately) or accept (audit by forwarding p, then reply), forever.
+func tService() types.Type {
+	// Accepted and Rejected are distinct message types (Int vs Str), as
+	// in the Akka Typed original — this is what makes the missing audit
+	// detectable: replying Accepted is only allowed after the audit.
+	respT := types.Union{L: types.Int{}, R: types.Str{}}
+	payT := types.ChanO{Elem: respT}
+	reject := func(cont types.Type) types.Type {
+		return types.Out{Ch: tvar("p"), Payload: types.Str{}, Cont: types.Thunk(cont)}
+	}
+	accept := func(cont types.Type) types.Type {
+		return types.Out{Ch: tvar("p"), Payload: types.Int{}, Cont: types.Thunk(cont)}
+	}
+	body := types.Rec{Var: "t", Body: types.In{Ch: tvar("m"),
+		Cont: types.Pi{Var: "p", Dom: payT, Cod: types.Union{
+			L: reject(types.RecVar{Name: "t"}),
+			R: types.Out{Ch: tvar("aud"), Payload: tvar("p"),
+				Cont: types.Thunk(accept(types.RecVar{Name: "t"}))},
+		}}}}
+	return types.Pi{Var: "m", Dom: types.ChanIO{Elem: payT},
+		Cod: types.Pi{Var: "aud", Dom: types.ChanIO{Elem: payT}, Cod: body}}
+}
+
+// serviceTerm implements tService; buggy variants drop the audit or
+// respond on the wrong channel.
+func serviceTerm(auditBeforeAccept bool) term.Term {
+	respT := types.Union{L: types.Int{}, R: types.Str{}}
+	payT := types.ChanO{Elem: respT}
+	recurse := term.App{Fn: term.App{Fn: v("srv"), Arg: v("m")}, Arg: v("aud")}
+	reject := term.Send{Ch: v("p"), Val: term.StrLit{Val: "rejected"}, Cont: thunkT(recurse)}
+	accepted := term.IntLit{Val: 1} // the Accepted message
+	var accept term.Term
+	if auditBeforeAccept {
+		accept = term.Send{Ch: v("aud"), Val: v("p"),
+			Cont: thunkT(term.Send{Ch: v("p"), Val: accepted, Cont: thunkT(recurse)})}
+	} else {
+		// The §1 bug: forgetting line 7 — accept without auditing.
+		accept = term.Send{Ch: v("p"), Val: accepted, Cont: thunkT(recurse)}
+	}
+	body := lam("m", types.ChanIO{Elem: payT},
+		lam("aud", types.ChanIO{Elem: payT},
+			term.Recv{Ch: v("m"), Cont: lam("p", payT,
+				term.If{
+					Cond: term.BinOp{Op: ">", L: term.IntLit{Val: 50000}, R: term.IntLit{Val: 42000}},
+					Then: reject,
+					Else: accept,
+				})}))
+	return term.Let{Var: "srv", Ann: tService(), Bound: body, Body: v("srv")}
+}
+
+// TestPaymentServiceConforms: the correct implementation checks against
+// the protocol type; this is the paper's opening promise.
+func TestPaymentServiceConforms(t *testing.T) {
+	e := types.NewEnv()
+	got, err := Infer(e, serviceTerm(true))
+	if err != nil {
+		t.Fatalf("Infer(service): %v", err)
+	}
+	if !types.Subtype(e, got, tService()) {
+		t.Errorf("payment service does not conform to its protocol\n  got %s", got)
+	}
+}
+
+// TestPaymentServiceMissingAuditRejected: dropping the audit send (the
+// paper's "if the developer forgets to write line 7" bug) makes the
+// program fail to type-check against the protocol.
+func TestPaymentServiceMissingAuditRejected(t *testing.T) {
+	e := types.NewEnv()
+	got, err := Infer(e, serviceTerm(false))
+	if err != nil {
+		return // rejected at the let annotation — the compile error the paper promises
+	}
+	if types.Subtype(e, got, tService()) {
+		t.Error("the audit-less service must NOT conform to the protocol")
+	}
+}
+
+// TestCheckHelper exercises the Check entry point.
+func TestCheckHelper(t *testing.T) {
+	e := types.NewEnv()
+	if err := Check(e, serviceTerm(true), tService()); err != nil {
+		t.Errorf("Check(service): %v", err)
+	}
+	if err := Check(e, serviceTerm(false), tService()); err == nil {
+		t.Error("Check must reject the audit-less service")
+	}
+}
+
+// TestUnionBranchTyping: the if-branches produce the union type that the
+// protocol's internal choice (∨) expects.
+func TestUnionBranchTyping(t *testing.T) {
+	e := types.EnvOf("c", types.ChanIO{Elem: types.Str{}})
+	tt := term.If{
+		Cond: term.BoolLit{Val: true},
+		Then: term.Send{Ch: v("c"), Val: term.StrLit{Val: "l"}, Cont: thunkT(term.End{})},
+		Else: term.End{},
+	}
+	got, err := Infer(e, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := got.(types.Union)
+	if !ok {
+		t.Fatalf("expected a union type, got %s", got)
+	}
+	if err := types.CheckProcType(e, u); err != nil {
+		t.Errorf("union of π-types must be a π-type: %v", err)
+	}
+}

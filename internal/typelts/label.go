@@ -1,0 +1,123 @@
+// Package typelts implements the labelled transition semantics of λπ⩽
+// types (PLDI 2019, Def. 4.2 / Fig. 6), the Y-limitation operator of
+// Def. 4.9, and bounded state-space exploration.
+//
+// Types act: an output type o[S,T,Π()U] fires the label S⟨T⟩; an input
+// type i[S,Π(x:T)U] fires S(T′) for every admissible payload T′ (early
+// semantics); a parallel composition fires τ[S,S′] when two components
+// might interact (Γ ⊢ S ▷◁ S′); unions resolve via τ[∨]. Transmitted
+// *variables* are substituted into input continuations, which is how the
+// theory tracks channels across transmissions (Ex. 4.3).
+package typelts
+
+import (
+	"fmt"
+
+	"effpi/internal/types"
+)
+
+// Label is a transition label of the type LTS.
+//
+// The implementations are TauChoice (τ[∨]), Output (S⟨T⟩), Input (S(T)),
+// Comm (τ[S,S′]), and the two run-completion labels Done (✔, fired forever
+// by a properly terminated state) and Stuck (⊠, fired forever by a state
+// with no other transitions — a deadlock).
+type Label interface {
+	label()
+	// Key is a canonical identity string: two labels with equal keys are
+	// the same action of the LTS alphabet.
+	Key() string
+	String() string
+}
+
+// TauChoice is the internal choice label τ[∨].
+type TauChoice struct{}
+
+// Output is the label S⟨T⟩: a value of type T is sent on an S-typed
+// channel. Subject is the channel type (often a variable x̱).
+type Output struct {
+	Subject types.Type
+	Payload types.Type
+}
+
+// Input is the label S(T): a value of type T is received from an S-typed
+// channel (early input semantics: T ranges over admissible payloads).
+type Input struct {
+	Subject types.Type
+	Payload types.Type
+}
+
+// Comm is the synchronisation label τ[S,S′]: an output on an S-typed
+// channel met an input on an S′-typed channel (Γ ⊢ S ▷◁ S′). Payload
+// records the transmitted type. The paper's labels τ[S,S′] omit the
+// payload; recording it refines the alphabet harmlessly and mirrors the
+// paper's mCRL2 encoding into CCS *without restriction*, where the
+// complementary send/receive actions of a synchronisation stay visible —
+// which is what lets the Fig. 7 liveness schemas observe interactions
+// inside closed compositions.
+type Comm struct {
+	Sender   types.Type
+	Receiver types.Type
+	Payload  types.Type
+}
+
+// Done is the completion label ✔: self-loop of a state whose parallel
+// components are all nil. Runs of Def. 4.6 are maximal; completing
+// terminated states with ✔^ω lets the linear-time semantics distinguish
+// proper termination from deadlock.
+type Done struct{}
+
+// Stuck is the completion label ⊠: self-loop of a non-nil state with no
+// transitions (a deadlocked composition).
+type Stuck struct{}
+
+func (TauChoice) label() {}
+func (Output) label()    {}
+func (Input) label()     {}
+func (Comm) label()      {}
+func (Done) label()      {}
+func (Stuck) label()     {}
+
+func (TauChoice) Key() string { return "τ∨" }
+func (Done) Key() string      { return "✔" }
+func (Stuck) Key() string     { return "⊠" }
+
+func (l Output) Key() string {
+	return "!" + types.Canon(l.Subject) + "⟨" + types.Canon(l.Payload) + "⟩"
+}
+
+func (l Input) Key() string {
+	return "?" + types.Canon(l.Subject) + "(" + types.Canon(l.Payload) + ")"
+}
+
+func (l Comm) Key() string {
+	return "τ[" + types.Canon(l.Sender) + "," + types.Canon(l.Receiver) + ":" + types.Canon(l.Payload) + "]"
+}
+
+func (TauChoice) String() string { return "τ[∨]" }
+func (Done) String() string      { return "✔" }
+func (Stuck) String() string     { return "⊠" }
+
+func (l Output) String() string { return fmt.Sprintf("%s⟨%s⟩", l.Subject, l.Payload) }
+func (l Input) String() string  { return fmt.Sprintf("%s(%s)", l.Subject, l.Payload) }
+func (l Comm) String() string   { return fmt.Sprintf("τ[%s,%s]", l.Sender, l.Receiver) }
+
+// IsTau reports whether l is an internal action (τ[∨] or τ[S,S′]).
+func IsTau(l Label) bool {
+	switch l.(type) {
+	case TauChoice, Comm:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsCompletion reports whether l is a run-completion label (✔ or ⊠).
+func IsCompletion(l Label) bool {
+	switch l.(type) {
+	case Done, Stuck:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,339 @@
+package typelts
+
+import (
+	"testing"
+
+	"effpi/internal/types"
+)
+
+func tvar(n string) types.Type { return types.Var{Name: n} }
+
+// pingPongType builds T from Ex. 4.3:
+//
+//	p[ o[z, y, Π() i[y, Π(reply:str) nil]],
+//	   i[z, Π(replyTo:co[str]) o[replyTo, str, Π()nil]] ]
+func pingPongType() types.Type {
+	return types.Par{
+		L: types.Out{Ch: tvar("z"), Payload: tvar("y"),
+			Cont: types.Thunk(types.In{Ch: tvar("y"),
+				Cont: types.Pi{Var: "reply", Dom: types.Str{}, Cod: types.Nil{}}})},
+		R: types.In{Ch: tvar("z"),
+			Cont: types.Pi{Var: "replyTo", Dom: types.ChanO{Elem: types.Str{}},
+				Cod: types.Out{Ch: tvar("replyTo"), Payload: types.Str{}, Cont: types.Thunk(types.Nil{})}}},
+	}
+}
+
+func pingPongEnv() *types.Env {
+	return types.EnvOf(
+		"y", types.ChanIO{Elem: types.Str{}},
+		"z", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}},
+	)
+}
+
+// TestExample43 replays the type transition sequence of Ex. 4.3:
+// T --τ[z,z]--> p[i[y,...], o[y,str,...]] --τ[y,y]--> p[nil,nil].
+func TestExample43(t *testing.T) {
+	sem := &Semantics{Env: pingPongEnv()}
+	t0 := pingPongType()
+
+	steps := sem.Transitions(t0)
+	comm := findComm(steps, "z", "z")
+	if comm == nil {
+		t.Fatalf("expected τ[z,z] transition, got %v", labels(steps))
+	}
+
+	// After the communication, y must have been substituted for replyTo:
+	// the ponger's reply goes back on y (channel tracking across
+	// transmission).
+	want1 := types.Par{
+		L: types.In{Ch: tvar("y"), Cont: types.Pi{Var: "reply", Dom: types.Str{}, Cod: types.Nil{}}},
+		R: types.Out{Ch: tvar("y"), Payload: types.Str{}, Cont: types.Thunk(types.Nil{})},
+	}
+	if !types.Equal(comm.Next, want1) {
+		t.Fatalf("after τ[z,z]:\n  got  %s\n  want %s", comm.Next, want1)
+	}
+
+	steps = sem.Transitions(comm.Next)
+	comm2 := findComm(steps, "y", "y")
+	if comm2 == nil {
+		t.Fatalf("expected τ[y,y] transition, got %v", labels(steps))
+	}
+	if !types.IsNilPar(comm2.Next) {
+		t.Fatalf("after τ[y,y]: got %s, want nil‖nil", comm2.Next)
+	}
+}
+
+// TestEarlyInputCandidates: an input type fires one transition per
+// admissible payload — the parameter type itself plus every environment
+// variable below it ([T→i]).
+func TestEarlyInputCandidates(t *testing.T) {
+	env := pingPongEnv()
+	sem := &Semantics{Env: env}
+	in := types.In{Ch: tvar("z"),
+		Cont: types.Pi{Var: "replyTo", Dom: types.ChanO{Elem: types.Str{}},
+			Cod: types.Out{Ch: tvar("replyTo"), Payload: types.Str{}, Cont: types.Thunk(types.Nil{})}}}
+	steps := sem.Transitions(in)
+	// Candidates: co[str] (the parameter type) and y (y̱ ⩽ co[str]).
+	if len(steps) != 2 {
+		t.Fatalf("expected 2 early-input instances, got %d: %v", len(steps), labels(steps))
+	}
+	var sawVar, sawType bool
+	for _, s := range steps {
+		in := s.Label.(Input)
+		switch p := in.Payload.(type) {
+		case types.Var:
+			if p.Name != "y" {
+				t.Errorf("unexpected variable payload %s", p.Name)
+			}
+			sawVar = true
+			// Substitution: continuation must now output on y.
+			wantNext := types.Out{Ch: tvar("y"), Payload: types.Str{}, Cont: types.Thunk(types.Nil{})}
+			if !types.Equal(s.Next, wantNext) {
+				t.Errorf("variable input: next = %s, want %s", s.Next, wantNext)
+			}
+		default:
+			sawType = true
+		}
+	}
+	if !sawVar || !sawType {
+		t.Errorf("missing input instance: sawVar=%v sawType=%v", sawVar, sawType)
+	}
+}
+
+// TestNoCrossTalk: distinct channels do not synchronise (x ▷◁ y fails).
+func TestNoCrossTalk(t *testing.T) {
+	env := types.EnvOf(
+		"x", types.ChanIO{Elem: types.Int{}},
+		"y", types.ChanIO{Elem: types.Int{}},
+	)
+	sem := &Semantics{Env: env}
+	par := types.Par{
+		L: types.Out{Ch: tvar("x"), Payload: types.Int{}, Cont: types.Thunk(types.Nil{})},
+		R: types.In{Ch: tvar("y"), Cont: types.Pi{Var: "v", Dom: types.Int{}, Cod: types.Nil{}}},
+	}
+	for _, s := range sem.Transitions(par) {
+		if _, ok := s.Label.(Comm); ok {
+			t.Fatalf("x and y must not communicate, got %s", s.Label)
+		}
+	}
+}
+
+// TestImpreciseCommunication: Ex. 3.5's T2 — an output whose channel type
+// is cio[int] (a supertype of x̱) still synchronises with an input on x,
+// because cio[int] ▷◁ x̱ holds. The label records both subjects; the
+// verifier's Aτ set treats it as imprecise.
+func TestImpreciseCommunication(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	sem := &Semantics{Env: env}
+	par := types.Par{
+		L: types.Out{Ch: types.ChanIO{Elem: types.Int{}}, Payload: types.Int{}, Cont: types.Thunk(types.Nil{})},
+		R: types.In{Ch: tvar("x"), Cont: types.Pi{Var: "v", Dom: types.Int{}, Cod: types.Nil{}}},
+	}
+	var comm *Step
+	for _, s := range sem.Transitions(par) {
+		if _, ok := s.Label.(Comm); ok {
+			comm = &s
+			break
+		}
+	}
+	if comm == nil {
+		t.Fatal("expected imprecise communication cio[int] ▷◁ x")
+	}
+}
+
+// TestUnionChoice: T ∨ U fires τ[∨] to each branch.
+func TestUnionChoice(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	sem := &Semantics{Env: env}
+	u := types.Union{
+		L: types.Out{Ch: tvar("x"), Payload: types.Int{}, Cont: types.Thunk(types.Nil{})},
+		R: types.Nil{},
+	}
+	steps := sem.Transitions(u)
+	if len(steps) != 2 {
+		t.Fatalf("expected 2 τ[∨] steps, got %v", labels(steps))
+	}
+	for _, s := range steps {
+		if _, ok := s.Label.(TauChoice); !ok {
+			t.Errorf("expected τ[∨], got %s", s.Label)
+		}
+	}
+}
+
+// TestRecUnfoldTransitions: µ-types act like their unfolding.
+func TestRecUnfoldTransitions(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	sem := &Semantics{Env: env}
+	rec := types.Rec{Var: "t", Body: types.Out{Ch: tvar("x"), Payload: types.Int{}, Cont: types.Thunk(types.RecVar{Name: "t"})}}
+	steps := sem.Transitions(rec)
+	if len(steps) != 1 {
+		t.Fatalf("expected 1 output step, got %v", labels(steps))
+	}
+	out, ok := steps[0].Label.(Output)
+	if !ok {
+		t.Fatalf("expected output, got %s", steps[0].Label)
+	}
+	if types.Canon(out.Subject) != types.Canon(tvar("x")) {
+		t.Errorf("subject = %s, want x", out.Subject)
+	}
+	// The continuation is the µ-type again: infinite run x⟨int⟩^ω.
+	steps2 := sem.Transitions(steps[0].Next)
+	if len(steps2) != 1 {
+		t.Fatalf("recursive continuation must keep firing, got %v", labels(steps2))
+	}
+}
+
+// TestYLimitation: Def. 4.9 hides i/o on channels outside Y but keeps
+// synchronisations.
+func TestYLimitation(t *testing.T) {
+	env := types.EnvOf(
+		"x", types.ChanIO{Elem: types.Int{}},
+		"y", types.ChanIO{Elem: types.Int{}},
+	)
+	par := types.Par{
+		L: types.Out{Ch: tvar("x"), Payload: types.Int{}, Cont: types.Thunk(types.Nil{})},
+		R: types.Out{Ch: tvar("y"), Payload: types.Int{}, Cont: types.Thunk(types.Nil{})},
+	}
+	sem := &Semantics{Env: env, Observable: map[string]bool{"x": true}}
+	steps := sem.Transitions(par)
+	for _, s := range steps {
+		if out, ok := s.Label.(Output); ok {
+			if types.Canon(out.Subject) == types.Canon(tvar("y")) {
+				t.Errorf("output on y must be hidden under ↑{x}")
+			}
+		}
+	}
+	if len(steps) != 1 {
+		t.Errorf("expected only the x output, got %v", labels(steps))
+	}
+}
+
+func findComm(steps []Step, sender, receiver string) *Step {
+	for i := range steps {
+		if c, ok := steps[i].Label.(Comm); ok {
+			s, okS := c.Sender.(types.Var)
+			r, okR := c.Receiver.(types.Var)
+			if okS && okR && s.Name == sender && r.Name == receiver {
+				return &steps[i]
+			}
+		}
+	}
+	return nil
+}
+
+func labels(steps []Step) []string {
+	out := make([]string, len(steps))
+	for i, s := range steps {
+		out[i] = s.Label.String()
+	}
+	return out
+}
+
+// TestWitnessOnlyDropsAnonymousInstance: with a witness in Γ, the
+// verifier's early-input rule keeps only variable payloads; without one
+// it falls back to the parameter type.
+func TestWitnessOnlyDropsAnonymousInstance(t *testing.T) {
+	env := types.EnvOf(
+		"z", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}},
+		"w", types.ChanO{Elem: types.Str{}},
+	)
+	in := types.In{Ch: tvar("z"),
+		Cont: types.Pi{Var: "r", Dom: types.ChanO{Elem: types.Str{}}, Cod: types.Nil{}}}
+
+	strict := &Semantics{Env: env, WitnessOnly: true}
+	for _, s := range strict.Transitions(in) {
+		if _, isVar := s.Label.(Input).Payload.(types.Var); !isVar {
+			t.Errorf("WitnessOnly must drop the anonymous instance, got %s", s.Label)
+		}
+	}
+
+	// Without a variable candidate, the parameter type survives.
+	env2 := types.EnvOf("z", types.ChanIO{Elem: types.Unit{}})
+	in2 := types.In{Ch: types.Var{Name: "z"},
+		Cont: types.Pi{Var: "u", Dom: types.Unit{}, Cod: types.Nil{}}}
+	strict2 := &Semantics{Env: env2, WitnessOnly: true}
+	steps := strict2.Transitions(in2)
+	if len(steps) != 1 {
+		t.Fatalf("expected the Dom fallback instance, got %v", labels(steps))
+	}
+}
+
+// TestUnionInChannelPosition: a union in the output's channel position
+// resolves via τ[∨] (the reduction context o[E,T,U] of Def. 4.2).
+func TestUnionInChannelPosition(t *testing.T) {
+	env := types.EnvOf(
+		"x", types.ChanIO{Elem: types.Int{}},
+		"y", types.ChanIO{Elem: types.Int{}},
+	)
+	sem := &Semantics{Env: env}
+	out := types.Out{
+		Ch:      types.Union{L: tvar("x"), R: tvar("y")},
+		Payload: types.Int{},
+		Cont:    types.Thunk(types.Nil{}),
+	}
+	steps := sem.Transitions(out)
+	if len(steps) != 2 {
+		t.Fatalf("expected 2 τ[∨] resolutions, got %v", labels(steps))
+	}
+	for _, s := range steps {
+		if _, ok := s.Label.(TauChoice); !ok {
+			t.Errorf("expected τ[∨], got %s", s.Label)
+		}
+		next := s.Next.(types.Out)
+		if _, ok := next.Ch.(types.Var); !ok {
+			t.Errorf("union must resolve to a concrete subject, got %s", next.Ch)
+		}
+	}
+}
+
+// TestCommLabelRecordsPayload: synchronisation labels carry the
+// transmitted payload (needed by the forwarding/responsive schemas).
+func TestCommLabelRecordsPayload(t *testing.T) {
+	env := pingPongEnv()
+	sem := &Semantics{Env: env}
+	steps := sem.Transitions(pingPongType())
+	found := false
+	for _, s := range steps {
+		if c, ok := s.Label.(Comm); ok {
+			if p, ok := c.Payload.(types.Var); ok && p.Name == "y" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("τ[z,z] must record the transmitted payload y")
+	}
+}
+
+// TestProcHasNoTransitions: proc is opaque (Thm. 4.10 excludes it).
+func TestProcHasNoTransitions(t *testing.T) {
+	sem := &Semantics{Env: types.NewEnv()}
+	if steps := sem.Transitions(types.Proc{}); len(steps) != 0 {
+		t.Errorf("proc must have no transitions, got %v", labels(steps))
+	}
+	if steps := sem.Transitions(types.Nil{}); len(steps) != 0 {
+		t.Errorf("nil must have no transitions, got %v", labels(steps))
+	}
+}
+
+// TestThreeWayInterleaving: a 3-component soup interleaves all enabled
+// actions and synchronises every compatible pair.
+func TestThreeWayInterleaving(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	sem := &Semantics{Env: env}
+	sender := func() types.Type {
+		return types.Out{Ch: tvar("x"), Payload: types.Int{}, Cont: types.Thunk(types.Nil{})}
+	}
+	recv := types.In{Ch: tvar("x"), Cont: types.Pi{Var: "v", Dom: types.Int{}, Cod: types.Nil{}}}
+	soup := types.ParOf(sender(), sender(), recv)
+	comms := 0
+	for _, s := range sem.Transitions(soup) {
+		if _, ok := s.Label.(Comm); ok {
+			comms++
+		}
+	}
+	// Either sender can synchronise with the single receiver.
+	if comms != 2 {
+		t.Errorf("expected 2 synchronisations, got %d", comms)
+	}
+}

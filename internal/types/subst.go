@@ -1,0 +1,144 @@
+package types
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+var freshCounter atomic.Uint64
+
+// FreshName returns a name, derived from base, that has not been returned
+// before in this process. It implements the Barendregt convention used
+// throughout the paper: bound variables are kept distinct by renaming.
+func FreshName(base string) string {
+	n := freshCounter.Add(1)
+	return fmt.Sprintf("%s%%%d", base, n)
+}
+
+// Subst returns t with every free occurrence of the term variable x (as a
+// type, Var{x}) replaced by s: the type-level substitution T{S/x} of
+// Def. 3.1. The substitution is capture-avoiding: Π-binders whose variable
+// occurs free in s are α-renamed first.
+func Subst(t Type, x string, s Type) Type {
+	if !FreeVars(t)[x] {
+		return t
+	}
+	return subst(t, x, s)
+}
+
+func subst(t Type, x string, s Type) Type {
+	switch t := t.(type) {
+	case Var:
+		if t.Name == x {
+			return s
+		}
+		return t
+	case Union:
+		return Union{L: subst(t.L, x, s), R: subst(t.R, x, s)}
+	case Pi:
+		if t.Var == x {
+			// x is shadowed in the codomain.
+			return Pi{Var: t.Var, Dom: subst(t.Dom, x, s), Cod: t.Cod}
+		}
+		if t.Var == "" {
+			// Thunk: no binder, substitute everywhere.
+			return Pi{Var: "", Dom: subst(t.Dom, x, s), Cod: subst(t.Cod, x, s)}
+		}
+		cod := t.Cod
+		v := t.Var
+		if FreeVars(s)[v] {
+			fresh := FreshName(v)
+			cod = subst(cod, v, Var{Name: fresh})
+			v = fresh
+		}
+		return Pi{Var: v, Dom: subst(t.Dom, x, s), Cod: subst(cod, x, s)}
+	case Rec:
+		return Rec{Var: t.Var, Body: subst(t.Body, x, s)}
+	case ChanIO:
+		return ChanIO{Elem: subst(t.Elem, x, s)}
+	case ChanI:
+		return ChanI{Elem: subst(t.Elem, x, s)}
+	case ChanO:
+		return ChanO{Elem: subst(t.Elem, x, s)}
+	case Out:
+		return Out{Ch: subst(t.Ch, x, s), Payload: subst(t.Payload, x, s), Cont: subst(t.Cont, x, s)}
+	case In:
+		return In{Ch: subst(t.Ch, x, s), Cont: subst(t.Cont, x, s)}
+	case Par:
+		return Par{L: subst(t.L, x, s), R: subst(t.R, x, s)}
+	default:
+		return t
+	}
+}
+
+// SubstRec returns t with every free occurrence of the recursion variable
+// name replaced by s. It is used to unfold µ-types.
+func SubstRec(t Type, name string, s Type) Type {
+	switch t := t.(type) {
+	case RecVar:
+		if t.Name == name {
+			return s
+		}
+		return t
+	case Union:
+		return Union{L: SubstRec(t.L, name, s), R: SubstRec(t.R, name, s)}
+	case Pi:
+		return Pi{Var: t.Var, Dom: SubstRec(t.Dom, name, s), Cod: SubstRec(t.Cod, name, s)}
+	case Rec:
+		if t.Var == name {
+			return t
+		}
+		return Rec{Var: t.Var, Body: SubstRec(t.Body, name, s)}
+	case ChanIO:
+		return ChanIO{Elem: SubstRec(t.Elem, name, s)}
+	case ChanI:
+		return ChanI{Elem: SubstRec(t.Elem, name, s)}
+	case ChanO:
+		return ChanO{Elem: SubstRec(t.Elem, name, s)}
+	case Out:
+		return Out{Ch: SubstRec(t.Ch, name, s), Payload: SubstRec(t.Payload, name, s), Cont: SubstRec(t.Cont, name, s)}
+	case In:
+		return In{Ch: SubstRec(t.Ch, name, s), Cont: SubstRec(t.Cont, name, s)}
+	case Par:
+		return Par{L: SubstRec(t.L, name, s), R: SubstRec(t.R, name, s)}
+	default:
+		return t
+	}
+}
+
+// Unfold performs one step of equi-recursive unfolding:
+// µt.T ≡ T{µt.T/t}. Non-recursive types are returned unchanged.
+func Unfold(t Type) Type {
+	if r, ok := t.(Rec); ok {
+		return SubstRec(r.Body, r.Var, r)
+	}
+	return t
+}
+
+// UnfoldAll unfolds top-level µ-binders until the head constructor is not
+// a Rec. The limit guards against non-contractive types such as µt.t,
+// which well-formedness rejects but malformed inputs may contain.
+func UnfoldAll(t Type) Type {
+	for i := 0; i < 64; i++ {
+		r, ok := t.(Rec)
+		if !ok {
+			return t
+		}
+		t = SubstRec(r.Body, r.Var, r)
+	}
+	return t
+}
+
+// Apply performs the type-level application T S of Def. 3.1: if t is a
+// dependent function type Π(x:U)T it returns T{S/x}; a thunk Π()T returns
+// T unchanged. The boolean reports whether t was a Π-type.
+func Apply(t Type, arg Type) (Type, bool) {
+	p, ok := UnfoldAll(t).(Pi)
+	if !ok {
+		return nil, false
+	}
+	if p.Var == "" {
+		return p.Cod, true
+	}
+	return Subst(p.Cod, p.Var, arg), true
+}

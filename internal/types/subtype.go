@@ -1,0 +1,287 @@
+package types
+
+// This file implements the subtyping judgement Γ ⊢ T ⩽ U of Fig. 4.
+//
+// Subtyping is coinductive (the double-lined rules in the paper); we decide
+// it with the standard assume-on-revisit algorithm: when checking a pair
+// (T, U) that is already on the current derivation path, the check succeeds
+// (the infinite derivation exists). Equi-recursive µ-types are unfolded on
+// demand; contractivity (enforced by well-formedness) plus the finiteness
+// of reachable subterm pairs guarantee termination.
+//
+// The congruence ≡ is folded in by working with canonical forms: parallel
+// compositions are flattened multisets (nil dropped), unions are flattened,
+// and reflexivity is checked on canonical renderings.
+
+// Subtype reports Γ ⊢ t ⩽ u.
+func Subtype(env *Env, t, u Type) bool {
+	c := &subtypeChecker{env: env, assumed: make(map[string]bool)}
+	return c.sub(t, u)
+}
+
+type subtypeChecker struct {
+	env     *Env
+	assumed map[string]bool
+	depth   int
+}
+
+const maxSubtypeDepth = 512
+
+func (c *subtypeChecker) sub(t, u Type) bool {
+	c.depth++
+	defer func() { c.depth-- }()
+	if c.depth > maxSubtypeDepth {
+		return false
+	}
+
+	t = UnfoldAll(t)
+	u = UnfoldAll(u)
+
+	ct, cu := Canon(t), Canon(u)
+	if ct == cu {
+		return true // [⩽-refl] modulo ≡ (AC laws)
+	}
+	key := ct + " <: " + cu
+	if c.assumed[key] {
+		return true // coinduction hypothesis
+	}
+	c.assumed[key] = true
+	defer delete(c.assumed, key)
+
+	// [⩽-⊤] and [⩽-⊥].
+	if _, ok := u.(Top); ok {
+		return true
+	}
+	if _, ok := t.(Bottom); ok {
+		return true
+	}
+
+	// [⩽-∨L]: T ∨ U ⩽ S iff both branches are.
+	if tu, ok := t.(Union); ok {
+		return c.sub(tu.L, u) && c.sub(tu.R, u)
+	}
+
+	// [⩽-∨R]: S ⩽ T ∨ U if either branch works.
+	if uu, ok := u.(Union); ok {
+		if c.sub(t, uu.L) || c.sub(t, uu.R) {
+			return true
+		}
+		// fall through: a Var on the left may still resolve via [⩽-x].
+	}
+
+	// [⩽-x]: x ⩽ T if Γ(x) ⩽ T.
+	if tv, ok := t.(Var); ok {
+		bound, ok := c.env.Lookup(tv.Name)
+		if !ok {
+			return false
+		}
+		return c.sub(bound, u)
+	}
+
+	// [⩽-proc]: any π-type is a subtype of proc.
+	if _, ok := u.(Proc); ok {
+		return looksProcType(t)
+	}
+
+	switch t := t.(type) {
+	case Pi:
+		up, ok := u.(Pi)
+		if !ok {
+			return false
+		}
+		return c.subPi(t, up)
+	case ChanIO:
+		switch u := u.(type) {
+		case ChanI: // cio[T] ⩽ ci[T'] if T ⩽ T'
+			return c.sub(t.Elem, u.Elem)
+		case ChanO: // cio[T'] ⩽ co[T] if T ⩽ T'
+			return c.sub(u.Elem, t.Elem)
+		case ChanIO: // only via ≡; allow mutual payload subtyping
+			return c.sub(t.Elem, u.Elem) && c.sub(u.Elem, t.Elem)
+		}
+		return false
+	case ChanI:
+		u, ok := u.(ChanI)
+		return ok && c.sub(t.Elem, u.Elem)
+	case ChanO:
+		u, ok := u.(ChanO)
+		return ok && c.sub(u.Elem, t.Elem)
+	case Out:
+		u, ok := u.(Out)
+		return ok && c.sub(t.Ch, u.Ch) && c.sub(t.Payload, u.Payload) && c.sub(t.Cont, u.Cont)
+	case In:
+		u, ok := u.(In)
+		return ok && c.sub(t.Ch, u.Ch) && c.sub(t.Cont, u.Cont)
+	case Par, Nil:
+		return c.subPar(FlattenPar(t), u)
+	}
+	return false
+}
+
+// subPi implements [⩽-Π] (kernel rule, after Cardelli-Wegner [9]):
+// Π(x:T)U ⩽ Π(x:T)U' iff Γ,x:T ⊢ U ⩽ U'. Domains must be equivalent;
+// bound variables are α-aligned on a fresh name.
+func (c *subtypeChecker) subPi(t, u Pi) bool {
+	if !(c.sub(t.Dom, u.Dom) && c.sub(u.Dom, t.Dom)) {
+		return false
+	}
+	if t.Var == "" && u.Var == "" {
+		return c.sub(t.Cod, u.Cod)
+	}
+	base := t.Var
+	if base == "" {
+		base = u.Var
+	}
+	env, fresh := c.env.ExtendFresh(base, t.Dom)
+	tCod, uCod := t.Cod, u.Cod
+	if t.Var != "" {
+		tCod = Subst(tCod, t.Var, Var{Name: fresh})
+	}
+	if u.Var != "" {
+		uCod = Subst(uCod, u.Var, Var{Name: fresh})
+	}
+	saved := c.env
+	c.env = env
+	ok := c.sub(tCod, uCod)
+	c.env = saved
+	return ok
+}
+
+// subPar implements [⩽-p] modulo the AC+nil congruence on parallel
+// compositions: the flattened components of t must match the flattened
+// components of u by some bijection, componentwise covariantly.
+func (c *subtypeChecker) subPar(ts []Type, u Type) bool {
+	switch UnfoldAll(u).(type) {
+	case Par, Nil:
+	default:
+		// p[T, nil] ≡ T: a singleton composition may be compared with a
+		// non-parallel type directly.
+		if len(ts) == 1 {
+			return c.sub(ts[0], u)
+		}
+		return false
+	}
+	us := FlattenPar(UnfoldAll(u))
+	if len(ts) != len(us) {
+		return false
+	}
+	if len(ts) == 0 {
+		return true
+	}
+	used := make([]bool, len(us))
+	return c.matchPar(ts, us, used, 0)
+}
+
+func (c *subtypeChecker) matchPar(ts, us []Type, used []bool, i int) bool {
+	if i == len(ts) {
+		return true
+	}
+	for j := range us {
+		if used[j] {
+			continue
+		}
+		if c.sub(ts[i], us[j]) {
+			used[j] = true
+			if c.matchPar(ts, us, used, i+1) {
+				return true
+			}
+			used[j] = false
+		}
+	}
+	return false
+}
+
+// looksProcType is a structural approximation of the judgement
+// Γ ⊢ T π-type sufficient for [⩽-proc]: process constructors, unions of
+// them, and recursive types whose body is one.
+func looksProcType(t Type) bool {
+	switch t := UnfoldAll(t).(type) {
+	case Nil, Proc, Out, In, Par:
+		return true
+	case Union:
+		return looksProcType(t.L) && looksProcType(t.R)
+	default:
+		return false
+	}
+}
+
+// MightInteract implements Γ ⊢ S ▷◁ S′ (Def. 4.2): S and S′ have a common
+// subtype other than ⊥, i.e. some term might be typed by both, so an
+// output using an S-typed channel can synchronise with an input using an
+// S′-typed channel.
+func MightInteract(env *Env, s, sp Type) bool {
+	s = UnfoldAll(s)
+	sp = UnfoldAll(sp)
+	if _, ok := s.(Bottom); ok {
+		return false
+	}
+	if _, ok := sp.(Bottom); ok {
+		return false
+	}
+	// A mutual subtype is itself the common subtype (vars included:
+	// x ⩽ S′ makes x̱ the witness).
+	if Subtype(env, s, sp) || Subtype(env, sp, s) {
+		return true
+	}
+	// Distinct variables have no common subtype besides ⊥ unless related
+	// through their bounds (covered above).
+	if _, ok := s.(Var); ok {
+		return false
+	}
+	if _, ok := sp.(Var); ok {
+		return false
+	}
+	// Channel-lattice meets not covered by mutual subtyping.
+	switch a := s.(type) {
+	case ChanI:
+		if b, ok := sp.(ChanO); ok {
+			// cio[X] ⩽ ci[A] iff X ⩽ A; cio[X] ⩽ co[B] iff B ⩽ X.
+			return Subtype(env, b.Elem, a.Elem)
+		}
+		if b, ok := sp.(ChanI); ok {
+			return Subtype(env, a.Elem, b.Elem) || Subtype(env, b.Elem, a.Elem)
+		}
+	case ChanO:
+		if b, ok := sp.(ChanI); ok {
+			return Subtype(env, a.Elem, b.Elem)
+		}
+		if _, ok := sp.(ChanO); ok {
+			// co[A∨B] is always a common subtype of co[A] and co[B].
+			return true
+		}
+	}
+	return false
+}
+
+// ChanCap describes the capabilities offered by a resolved channel type.
+type ChanCap struct {
+	In      bool // values may be received
+	Out     bool // values may be sent
+	Payload Type
+}
+
+// ResolveChan resolves t (through variables, µ-unfolding, and environment
+// bounds) to a channel capability. It reports false if t does not resolve
+// to a channel type.
+func ResolveChan(env *Env, t Type) (ChanCap, bool) {
+	for i := 0; i < 64; i++ {
+		t = UnfoldAll(t)
+		switch tt := t.(type) {
+		case ChanIO:
+			return ChanCap{In: true, Out: true, Payload: tt.Elem}, true
+		case ChanI:
+			return ChanCap{In: true, Payload: tt.Elem}, true
+		case ChanO:
+			return ChanCap{Out: true, Payload: tt.Elem}, true
+		case Var:
+			bound, ok := env.Lookup(tt.Name)
+			if !ok {
+				return ChanCap{}, false
+			}
+			t = bound
+		default:
+			return ChanCap{}, false
+		}
+	}
+	return ChanCap{}, false
+}

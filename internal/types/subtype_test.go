@@ -1,0 +1,271 @@
+package types
+
+import "testing"
+
+func env(bindings ...any) *Env { return EnvOf(bindings...) }
+
+func TestSubtypeReflexivity(t *testing.T) {
+	samples := []Type{
+		Bool{}, Unit{}, Int{}, Str{}, Top{}, Bottom{},
+		Union{L: Bool{}, R: Int{}},
+		ChanIO{Elem: Int{}}, ChanI{Elem: Str{}}, ChanO{Elem: Bool{}},
+		Nil{}, Proc{},
+		Out{Ch: ChanO{Elem: Int{}}, Payload: Int{}, Cont: Thunk(Nil{})},
+		In{Ch: ChanI{Elem: Int{}}, Cont: Pi{Var: "x", Dom: Int{}, Cod: Nil{}}},
+		Par{L: Nil{}, R: Proc{}},
+		Pi{Var: "x", Dom: Int{}, Cod: Bool{}},
+		Rec{Var: "t", Body: In{Ch: ChanI{Elem: Int{}}, Cont: Pi{Var: "x", Dom: Int{}, Cod: RecVar{Name: "t"}}}},
+	}
+	e := NewEnv()
+	for _, s := range samples {
+		if !Subtype(e, s, s) {
+			t.Errorf("reflexivity failed for %s", s)
+		}
+	}
+}
+
+func TestSubtypeTopBottom(t *testing.T) {
+	e := NewEnv()
+	for _, s := range []Type{Bool{}, Int{}, ChanIO{Elem: Str{}}, Union{L: Bool{}, R: Int{}}} {
+		if !Subtype(e, s, Top{}) {
+			t.Errorf("%s ⩽ ⊤ failed", s)
+		}
+		if !Subtype(e, Bottom{}, s) {
+			t.Errorf("⊥ ⩽ %s failed", s)
+		}
+	}
+	if Subtype(e, Top{}, Bool{}) {
+		t.Error("⊤ ⩽ Bool should fail")
+	}
+}
+
+func TestSubtypeChannelVariance(t *testing.T) {
+	e := NewEnv()
+	cio := ChanIO{Elem: Int{}}
+	ci := ChanI{Elem: Int{}}
+	co := ChanO{Elem: Int{}}
+	// [⩽-c]: cio[T] ⩽ ci[T'], cio[T'] ⩽ co[T] when T ⩽ T'.
+	if !Subtype(e, cio, ci) {
+		t.Error("cio[int] ⩽ ci[int] failed")
+	}
+	if !Subtype(e, cio, co) {
+		t.Error("cio[int] ⩽ co[int] failed")
+	}
+	if Subtype(e, ci, cio) {
+		t.Error("ci[int] ⩽ cio[int] should fail")
+	}
+	if Subtype(e, ci, co) {
+		t.Error("ci[int] ⩽ co[int] should fail")
+	}
+	// Input covariance.
+	if !Subtype(e, ChanI{Elem: Bottom{}}, ChanI{Elem: Int{}}) {
+		t.Error("ci covariance failed")
+	}
+	if Subtype(e, ChanI{Elem: Int{}}, ChanI{Elem: Bottom{}}) {
+		t.Error("ci covariance direction wrong")
+	}
+	// Output contravariance.
+	big := Union{L: Int{}, R: Bool{}}
+	if !Subtype(e, ChanO{Elem: big}, ChanO{Elem: Int{}}) {
+		t.Error("co contravariance failed: co[int∨bool] ⩽ co[int]")
+	}
+	if Subtype(e, ChanO{Elem: Int{}}, ChanO{Elem: big}) {
+		t.Error("co contravariance direction wrong")
+	}
+}
+
+func TestSubtypeUnion(t *testing.T) {
+	e := NewEnv()
+	u := Union{L: Int{}, R: Bool{}}
+	if !Subtype(e, Int{}, u) {
+		t.Error("[⩽-∨R] failed: Int ⩽ Int∨Bool")
+	}
+	if !Subtype(e, u, Union{L: Bool{}, R: Int{}}) {
+		t.Error("union commutativity failed")
+	}
+	if !Subtype(e, u, Union{L: Str{}, R: u}) {
+		t.Error("union widening failed")
+	}
+	if Subtype(e, u, Int{}) {
+		t.Error("Int∨Bool ⩽ Int should fail")
+	}
+	// Associativity via ≡.
+	a := Union{L: Int{}, R: Union{L: Bool{}, R: Str{}}}
+	b := Union{L: Union{L: Int{}, R: Bool{}}, R: Str{}}
+	if !Subtype(e, a, b) || !Subtype(e, b, a) {
+		t.Error("union associativity failed")
+	}
+}
+
+func TestSubtypeVarRule(t *testing.T) {
+	// [⩽-x]: x ⩽ T whenever Γ(x) ⩽ T.
+	e := env("x", ChanIO{Elem: Int{}})
+	x := Var{Name: "x"}
+	if !Subtype(e, x, x) {
+		t.Error("x ⩽ x failed")
+	}
+	if !Subtype(e, x, ChanIO{Elem: Int{}}) {
+		t.Error("x ⩽ cio[int] failed (Γ(x) = cio[int])")
+	}
+	if !Subtype(e, x, ChanO{Elem: Int{}}) {
+		t.Error("x ⩽ co[int] failed (via Γ(x) = cio[int] ⩽ co[int])")
+	}
+	if Subtype(e, ChanIO{Elem: Int{}}, x) {
+		t.Error("cio[int] ⩽ x should fail: x̱ is a singleton type")
+	}
+	e2 := env("x", ChanIO{Elem: Int{}}, "y", ChanIO{Elem: Int{}})
+	if Subtype(e2, Var{Name: "x"}, Var{Name: "y"}) {
+		t.Error("distinct variables must not be subtypes")
+	}
+}
+
+func TestSubtypeProcTop(t *testing.T) {
+	e := NewEnv()
+	procs := []Type{
+		Nil{},
+		Out{Ch: ChanO{Elem: Int{}}, Payload: Int{}, Cont: Thunk(Nil{})},
+		In{Ch: ChanI{Elem: Int{}}, Cont: Pi{Var: "x", Dom: Int{}, Cod: Nil{}}},
+		Par{L: Nil{}, R: Nil{}},
+		Union{L: Nil{}, R: Proc{}},
+	}
+	for _, p := range procs {
+		if !Subtype(e, p, Proc{}) {
+			t.Errorf("[⩽-proc] failed for %s", p)
+		}
+	}
+	if Subtype(e, Bool{}, Proc{}) {
+		t.Error("Bool ⩽ proc should fail")
+	}
+}
+
+func TestSubtypeParCongruence(t *testing.T) {
+	e := NewEnv()
+	a := Out{Ch: ChanO{Elem: Int{}}, Payload: Int{}, Cont: Thunk(Nil{})}
+	b := In{Ch: ChanI{Elem: Int{}}, Cont: Pi{Var: "x", Dom: Int{}, Cod: Nil{}}}
+	// p[T,U] ≡ p[U,T].
+	if !Subtype(e, Par{L: a, R: b}, Par{L: b, R: a}) {
+		t.Error("parallel commutativity failed")
+	}
+	// p[T,nil] ≡ T.
+	if !Subtype(e, Par{L: a, R: Nil{}}, a) || !Subtype(e, a, Par{L: a, R: Nil{}}) {
+		t.Error("parallel nil unit failed")
+	}
+	// Associativity.
+	l := Par{L: a, R: Par{L: b, R: Nil{}}}
+	r := Par{L: Par{L: a, R: b}, R: Nil{}}
+	if !Subtype(e, l, r) || !Subtype(e, r, l) {
+		t.Error("parallel associativity failed")
+	}
+	// end ‖ end ≡ end.
+	if !Subtype(e, Par{L: Nil{}, R: Nil{}}, Nil{}) {
+		t.Error("p[nil,nil] ⩽ nil failed")
+	}
+	// Covariance: components may be widened to proc.
+	if !Subtype(e, Par{L: a, R: b}, Par{L: Proc{}, R: Proc{}}) {
+		t.Error("[⩽-p] covariance failed")
+	}
+}
+
+func TestSubtypeOutInCovariance(t *testing.T) {
+	e := env("x", ChanIO{Elem: Int{}})
+	x := Var{Name: "x"}
+	// Ex. 3.5: o[x̱, int, Π()nil] ⩽ o[cio[int], int, Π()nil].
+	t1 := Out{Ch: x, Payload: Int{}, Cont: Thunk(Nil{})}
+	t2 := Out{Ch: ChanIO{Elem: Int{}}, Payload: Int{}, Cont: Thunk(Nil{})}
+	if !Subtype(e, t1, t2) {
+		t.Error("[⩽-o] covariance in channel position failed (Ex. 3.5)")
+	}
+	if Subtype(e, t2, t1) {
+		t.Error("o[cio[int],...] ⩽ o[x̱,...] should fail")
+	}
+	i1 := In{Ch: x, Cont: Pi{Var: "y", Dom: Int{}, Cod: Nil{}}}
+	i2 := In{Ch: ChanIO{Elem: Int{}}, Cont: Pi{Var: "y", Dom: Int{}, Cod: Nil{}}}
+	if !Subtype(e, i1, i2) {
+		t.Error("[⩽-i] covariance failed")
+	}
+	// Full Ex. 3.5: T1 ⩽ T2.
+	T1 := Par{L: t1, R: i1}
+	T2 := Par{L: t2, R: i1}
+	if !Subtype(e, T1, T2) {
+		t.Error("Ex. 3.5: T1 ⩽ T2 failed")
+	}
+}
+
+func TestSubtypeRecUnfold(t *testing.T) {
+	e := env("x", ChanIO{Elem: Int{}})
+	x := Var{Name: "x"}
+	// µt. i[x, Π(y:int) o[x, y, Π()t]]
+	rec := Rec{Var: "t", Body: In{Ch: x, Cont: Pi{Var: "y", Dom: Int{},
+		Cod: Out{Ch: x, Payload: Var{Name: "y"}, Cont: Thunk(RecVar{Name: "t"})}}}}
+	unfolded := Unfold(rec)
+	if !Subtype(e, rec, unfolded) || !Subtype(e, unfolded, rec) {
+		t.Error("equi-recursive unfolding equivalence failed")
+	}
+	if !Subtype(e, rec, Proc{}) {
+		t.Error("recursive π-type ⩽ proc failed")
+	}
+}
+
+func TestSubtypePi(t *testing.T) {
+	e := NewEnv()
+	// [⩽-Π]: covariant codomain, invariant domain.
+	f1 := Pi{Var: "x", Dom: Int{}, Cod: Int{}}
+	f2 := Pi{Var: "x", Dom: Int{}, Cod: Union{L: Int{}, R: Bool{}}}
+	if !Subtype(e, f1, f2) {
+		t.Error("Π codomain covariance failed")
+	}
+	if Subtype(e, f2, f1) {
+		t.Error("Π codomain covariance direction wrong")
+	}
+	f3 := Pi{Var: "x", Dom: Bool{}, Cod: Int{}}
+	if Subtype(e, f1, f3) || Subtype(e, f3, f1) {
+		t.Error("Π domain must be invariant")
+	}
+	// α-equivalence.
+	g1 := Pi{Var: "a", Dom: ChanIO{Elem: Int{}}, Cod: Out{Ch: Var{Name: "a"}, Payload: Int{}, Cont: Thunk(Nil{})}}
+	g2 := Pi{Var: "b", Dom: ChanIO{Elem: Int{}}, Cod: Out{Ch: Var{Name: "b"}, Payload: Int{}, Cont: Thunk(Nil{})}}
+	if !Subtype(e, g1, g2) {
+		t.Error("Π α-equivalence failed")
+	}
+}
+
+func TestMightInteract(t *testing.T) {
+	e := env("x", ChanIO{Elem: Int{}}, "y", ChanIO{Elem: Int{}})
+	x, y := Var{Name: "x"}, Var{Name: "y"}
+	if !MightInteract(e, x, x) {
+		t.Error("x ▷◁ x failed")
+	}
+	if MightInteract(e, x, y) {
+		t.Error("x ▷◁ y should fail for distinct channels")
+	}
+	if !MightInteract(e, x, ChanIO{Elem: Int{}}) {
+		t.Error("x ▷◁ cio[int] failed (x ⩽ cio[int])")
+	}
+	if !MightInteract(e, ChanO{Elem: Int{}}, ChanI{Elem: Int{}}) {
+		t.Error("co[int] ▷◁ ci[int] failed")
+	}
+	if MightInteract(e, ChanO{Elem: Int{}}, ChanI{Elem: Bool{}}) {
+		t.Error("co[int] ▷◁ ci[bool] should fail")
+	}
+	if MightInteract(e, Bottom{}, x) {
+		t.Error("⊥ interacts with nothing")
+	}
+}
+
+func TestResolveChan(t *testing.T) {
+	e := env("x", ChanIO{Elem: Int{}}, "r", ChanO{Elem: Str{}})
+	cap, ok := ResolveChan(e, Var{Name: "x"})
+	if !ok || !cap.In || !cap.Out {
+		t.Fatalf("ResolveChan(x) = %+v, %v", cap, ok)
+	}
+	if _, ok := cap.Payload.(Int); !ok {
+		t.Errorf("payload = %s, want Int", cap.Payload)
+	}
+	cap, ok = ResolveChan(e, Var{Name: "r"})
+	if !ok || cap.In || !cap.Out {
+		t.Fatalf("ResolveChan(r) = %+v, %v", cap, ok)
+	}
+	if _, ok := ResolveChan(e, Bool{}); ok {
+		t.Error("Bool should not resolve to a channel")
+	}
+}

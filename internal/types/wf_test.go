@@ -1,0 +1,176 @@
+package types
+
+import "testing"
+
+func TestCheckTypeBasics(t *testing.T) {
+	e := env("x", ChanIO{Elem: Int{}})
+	good := []Type{
+		Bool{}, Unit{}, Int{}, Str{}, Top{}, Bottom{},
+		Union{L: Int{}, R: Bool{}},
+		ChanIO{Elem: Str{}}, ChanI{Elem: ChanO{Elem: Int{}}},
+		Var{Name: "x"},
+		Pi{Var: "y", Dom: Int{}, Cod: Bool{}},
+		Pi{Var: "c", Dom: ChanIO{Elem: Int{}}, Cod: Out{Ch: Var{Name: "c"}, Payload: Int{}, Cont: Thunk(Nil{})}},
+	}
+	for _, g := range good {
+		if err := CheckType(e, g); err != nil {
+			t.Errorf("CheckType(%s): %v", g, err)
+		}
+	}
+	bad := []Type{
+		Var{Name: "unbound"},
+		Nil{},  // π-type, not a type
+		Proc{}, // π-type
+		Par{L: Nil{}, R: Nil{}},
+		RecVar{Name: "t"},
+	}
+	for _, b := range bad {
+		if err := CheckType(e, b); err == nil {
+			t.Errorf("CheckType(%s) should fail", b)
+		}
+	}
+}
+
+func TestCheckProcTypeBasics(t *testing.T) {
+	e := env("x", ChanIO{Elem: Int{}})
+	good := []Type{
+		Nil{}, Proc{},
+		Out{Ch: Var{Name: "x"}, Payload: Int{}, Cont: Thunk(Nil{})},
+		In{Ch: Var{Name: "x"}, Cont: Pi{Var: "v", Dom: Int{}, Cod: Nil{}}},
+		Par{L: Nil{}, R: Proc{}},
+		Union{L: Nil{}, R: Proc{}},
+		Rec{Var: "t", Body: Out{Ch: Var{Name: "x"}, Payload: Int{}, Cont: Thunk(RecVar{Name: "t"})}},
+	}
+	for _, g := range good {
+		if err := CheckProcType(e, g); err != nil {
+			t.Errorf("CheckProcType(%s): %v", g, err)
+		}
+	}
+	bad := []struct {
+		name string
+		t    Type
+	}{
+		{"bool is not a π-type", Bool{}},
+		{"output payload too big", Out{Ch: Var{Name: "x"}, Payload: Str{}, Cont: Thunk(Nil{})}},
+		{"output on non-channel", Out{Ch: Bool{}, Payload: Int{}, Cont: Thunk(Nil{})}},
+		{"input domain too small", In{Ch: Var{Name: "x"}, Cont: Pi{Var: "v", Dom: Bottom{}, Cod: Nil{}}}},
+		{"parallel of non-processes", Par{L: Bool{}, R: Nil{}}},
+	}
+	for _, b := range bad {
+		if err := CheckProcType(e, b.t); err == nil {
+			t.Errorf("%s: CheckProcType(%s) should fail", b.name, b.t)
+		}
+	}
+}
+
+func TestClassifyType(t *testing.T) {
+	e := env("x", ChanIO{Elem: Int{}})
+	if k := ClassifyType(e, Bool{}); k != KindType {
+		t.Errorf("Bool classified as %s", k)
+	}
+	if k := ClassifyType(e, Nil{}); k != KindProc {
+		t.Errorf("Nil classified as %s", k)
+	}
+	if k := ClassifyType(e, Var{Name: "zzz"}); k != KindNone {
+		t.Errorf("unbound var classified as %s", k)
+	}
+}
+
+func TestContractivity(t *testing.T) {
+	// µt.t and µt.(t ∨ U) are rejected ([T-µ] side conditions).
+	bad := []Type{
+		Rec{Var: "t", Body: RecVar{Name: "t"}},
+		Rec{Var: "t", Body: Union{L: RecVar{Name: "t"}, R: Nil{}}},
+		Rec{Var: "t", Body: Rec{Var: "u", Body: RecVar{Name: "t"}}},
+	}
+	e := NewEnv()
+	for _, b := range bad {
+		if err := CheckProcType(e, b); err == nil {
+			t.Errorf("non-contractive %s must be rejected", b)
+		}
+	}
+}
+
+func TestNegativeRecursionRejected(t *testing.T) {
+	// µt.co[t]: t in contravariant position.
+	b := Rec{Var: "t", Body: ChanO{Elem: RecVar{Name: "t"}}}
+	if err := CheckType(NewEnv(), b); err == nil {
+		t.Error("recursion variable in negative position must be rejected")
+	}
+	// µt.ci[t] is fine (covariant).
+	g := Rec{Var: "t", Body: ChanI{Elem: RecVar{Name: "t"}}}
+	if err := CheckType(NewEnv(), g); err != nil {
+		t.Errorf("covariant recursion rejected: %v", err)
+	}
+}
+
+func TestGuardedness(t *testing.T) {
+	e := env("x", ChanIO{Elem: Int{}})
+	_ = e
+	guarded := Rec{Var: "t", Body: In{Ch: Var{Name: "x"},
+		Cont: Pi{Var: "v", Dom: Int{}, Cod: RecVar{Name: "t"}}}}
+	if err := CheckGuarded(guarded); err != nil {
+		t.Errorf("guarded type rejected: %v", err)
+	}
+	unguarded := Rec{Var: "t", Body: Par{L: RecVar{Name: "t"}, R: Nil{}}}
+	if err := CheckGuarded(unguarded); err == nil {
+		t.Error("recursion under parallel without i/o guard must be rejected (Lemma 4.7)")
+	}
+	unguardedUnion := Rec{Var: "t", Body: Union{L: RecVar{Name: "t"}, R: Nil{}}}
+	if err := CheckGuarded(unguardedUnion); err == nil {
+		t.Error("recursion exposed through a union must be rejected")
+	}
+}
+
+func TestFiniteControl(t *testing.T) {
+	e := env("x", ChanIO{Elem: Int{}})
+	_ = e
+	ok := Par{
+		L: Rec{Var: "t", Body: Out{Ch: Var{Name: "x"}, Payload: Int{}, Cont: Thunk(RecVar{Name: "t"})}},
+		R: Nil{},
+	}
+	if err := CheckFiniteControl(ok); err != nil {
+		t.Errorf("parallel of recursive components rejected: %v", err)
+	}
+	bad := Rec{Var: "t", Body: Out{Ch: Var{Name: "x"}, Payload: Int{},
+		Cont: Thunk(Par{L: RecVar{Name: "t"}, R: RecVar{Name: "t"}})}}
+	if err := CheckFiniteControl(bad); err == nil {
+		t.Error("parallel under recursion must be rejected (§5.1 limitation 2)")
+	}
+}
+
+func TestCheckEnv(t *testing.T) {
+	good := env("x", ChanIO{Elem: Int{}}, "y", Pi{Var: "v", Dom: Int{}, Cod: Bool{}})
+	if err := CheckEnv(good); err != nil {
+		t.Errorf("CheckEnv: %v", err)
+	}
+	// Environments may not bind π-types ([Γ-x]).
+	bad := env("p", Nil{})
+	if err := CheckEnv(bad); err == nil {
+		t.Error("an environment binding a π-type must be rejected")
+	}
+}
+
+func TestEnvOperations(t *testing.T) {
+	e := NewEnv()
+	e2, err := e.Extend("x", Int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Has("x") {
+		t.Error("Extend must not mutate the receiver")
+	}
+	if _, err := e2.Extend("x", Bool{}); err == nil {
+		t.Error("duplicate binding must be rejected")
+	}
+	e3, name := e2.ExtendFresh("x", Bool{})
+	if name == "x" {
+		t.Error("ExtendFresh must rename on collision")
+	}
+	if !e3.Has(name) {
+		t.Error("fresh name not bound")
+	}
+	if got := e2.Key(); got != env("x", Int{}).Key() {
+		t.Errorf("Key mismatch: %q", got)
+	}
+}

@@ -1,0 +1,216 @@
+package verify
+
+import (
+	"fmt"
+
+	"effpi/internal/lts"
+	"effpi/internal/mucalc"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// Compile builds the right-hand-column formula of Fig. 7 for the
+// requested property, instantiated with the action sets of Def. 4.8
+// computed over the alphabet of m.
+func Compile(env *types.Env, m *lts.LTS, p Property) (mucalc.Formula, error) {
+	u := NewUses(env, m)
+	switch p.Kind {
+	case NonUsage:
+		return compileNonUsage(u, p.Channels)
+	case DeadlockFree:
+		return compileDeadlockFree(u, p.Channels)
+	case EventualOutput:
+		return nil, fmt.Errorf("verify: ev-usage is checked by reachability (EvUsageHolds), not LTL")
+	case Forwarding:
+		return compileForwarding(u, p.From, p.To)
+	case Reactive:
+		return compileReactive(u, p.From)
+	case Responsive:
+		return compileResponsive(u, p.From)
+	default:
+		return nil, fmt.Errorf("verify: unknown property kind %d", p.Kind)
+	}
+}
+
+// compileNonUsage implements Fig. 7(1):
+//
+//	T ↑Γ {xi} |= □(¬(∨i (UoΓ,T(xi))⊤))
+//
+// i.e. no position fires a potential output use of any probed channel.
+func compileNonUsage(u *Uses, channels []string) (mucalc.Formula, error) {
+	var all []typelts.Label
+	for _, x := range channels {
+		all = append(all, u.OutputUses(x)...)
+	}
+	set := mucalc.LabelSet("Uo("+joinNames(channels)+")", all...)
+	return mucalc.Box(mucalc.NegProp{Set: set}), nil
+}
+
+// compileDeadlockFree implements Fig. 7(2):
+//
+//	T ↑Γ {xi} |= □(−Aτ)⊤ ∧ □((τ)⊤ ∨ ∨i ({xi(U′), xi⟨U′⟩})⊤)
+//
+// plus the ✔ disjunct: proper termination is not a deadlock (DESIGN.md).
+func compileDeadlockFree(u *Uses, channels []string) (mucalc.Formula, error) {
+	atau := mucalc.LabelSet("Aτ", u.ImpreciseTaus()...)
+	var io []typelts.Label
+	for _, x := range channels {
+		io = append(io, u.ExactInputs(x)...)
+		io = append(io, u.ExactOutputs(x)...)
+	}
+	ioSet := mucalc.LabelSet("io("+joinNames(channels)+")", io...)
+	progress := mucalc.Or{
+		L: mucalc.Prop{Set: mucalc.TauActions()},
+		R: mucalc.Or{L: mucalc.Prop{Set: ioSet}, R: mucalc.Prop{Set: mucalc.DoneActions()}},
+	}
+	return mucalc.And{
+		L: mucalc.Box(mucalc.NegProp{Set: atau}),
+		R: mucalc.Box(progress),
+	}, nil
+}
+
+// EvUsageHolds implements Fig. 7(3) in the existential (branching-time)
+// reading used by the paper's mCRL2 backend — footnote 3 notes mCRL2
+// checks branching-time formulas: µZ.⟨∨i xi⟨U′⟩⟩⊤ ∨ ⟨−Aτ⟩Z, i.e. some
+// output use of a probed channel is reachable along imprecision-free
+// transitions. (The universal LTL reading is rarely wanted: any system
+// with an unfair scheduler run that starves xi would fail it.)
+func EvUsageHolds(u *Uses, m *lts.LTS, channels []string) bool {
+	atau := mucalc.LabelSet("Aτ", u.ImpreciseTaus()...)
+	var outs []typelts.Label
+	for _, x := range channels {
+		outs = append(outs, u.ExactOutputs(x)...)
+	}
+	target := mucalc.LabelSet("out("+joinNames(channels)+")", outs...)
+
+	visited := make([]bool, m.Len())
+	queue := []int{m.Initial}
+	visited[m.Initial] = true
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, e := range m.Edges[s] {
+			if target.Contains(e.Label) {
+				return true
+			}
+			if atau.Contains(e.Label) {
+				continue // runs through imprecise synchronisations don't count
+			}
+			if !visited[e.Dst] {
+				visited[e.Dst] = true
+				queue = append(queue, e.Dst)
+			}
+		}
+	}
+	return false
+}
+
+// compileForwarding implements Fig. 7(4):
+//
+//	T ↑Γ {x,y} |= □( ({S(z) | S(z) ∈ Ui(x)})⊤ ⇒ ((−(Aτ ∪ Ui(x)))⊤ U (y⟨z⟩)⊤) )
+//
+// for every variable z received on x (a conjunction over the z occurring
+// in the alphabet). The paper's caption reads (α)⊤ ⇒ ϕ as
+// (α)⊤ ⇒ (α)ϕ: the until obligation starts after the input position.
+func compileForwarding(u *Uses, x, y string) (mucalc.Formula, error) {
+	ui := u.InputUses(x)
+	zs := PayloadVars(ui)
+	if len(zs) == 0 {
+		// Nothing is ever received on x as a trackable variable: the
+		// forwarding obligation is vacuous only if x has no input uses at
+		// all; inputs of unknown payloads cannot be proven forwarded.
+		if len(ui) == 0 {
+			return mucalc.True{}, nil
+		}
+		return mucalc.False{}, nil
+	}
+	blockName := "Aτ∪Ui(" + x + ")"
+	block := mucalc.LabelSet(blockName, append(u.ImpreciseTaus(), ui...)...)
+	var phi mucalc.Formula = mucalc.True{}
+	for _, z := range zs {
+		trigger := mucalc.LabelSet(fmt.Sprintf("in(%s,%s)", x, z), InputsCarrying(ui, z)...)
+		oblige := mucalc.LabelSet(fmt.Sprintf("%s⟨%s⟩", y, z), u.OutputsWithPayloadVar(y, z)...)
+		clause := mucalc.Box(mucalc.Implies(
+			mucalc.Prop{Set: trigger},
+			mucalc.Next{F: mucalc.Until{
+				L: mucalc.NegProp{Set: block},
+				R: mucalc.Prop{Set: oblige},
+			}},
+		))
+		phi = conj(phi, clause)
+	}
+	return phi, nil
+}
+
+// compileReactive implements Fig. 7(5), reading the schema through its
+// stated intent — "t runs forever, and is always eventually able to
+// receive inputs from x":
+//
+//	T ↑Γ {x} |= □(−Aτ)⊤ ∧ □♢({x(U′) | any U′})⊤
+//
+// Every run performs inputs on x infinitely often, with no imprecise
+// synchronisation. (The literal right-column disjunction □((τ)⊤ ∨ …) is
+// vacuous on closed compositions, whose positions are all τ; the □♢ form
+// is the linear-time counterpart of the left column's □((τ)⊤ U (x(w))⊤).)
+func compileReactive(u *Uses, x string) (mucalc.Formula, error) {
+	atau := mucalc.LabelSet("Aτ", u.ImpreciseTaus()...)
+	inSet := mucalc.LabelSet("in("+x+")", u.ExactInputs(x)...)
+	return mucalc.And{
+		L: mucalc.Box(mucalc.NegProp{Set: atau}),
+		R: mucalc.Box(mucalc.Diamond(mucalc.Prop{Set: inSet})),
+	}, nil
+}
+
+// compileResponsive implements Fig. 7(6):
+//
+//	T ↑Γ {x} |= □( ({S(z) | S(z) ∈ Ui(x)})⊤ ⇒ ((−(Aτ ∪ Ui(x)))⊤ U ({z⟨U′⟩ | any U′})⊤) )
+//
+// Whenever a channel z is received from x, z is eventually used to send
+// a response, before x is read again.
+func compileResponsive(u *Uses, x string) (mucalc.Formula, error) {
+	ui := u.InputUses(x)
+	zs := PayloadVars(ui)
+	if len(zs) == 0 {
+		if len(ui) == 0 {
+			return mucalc.True{}, nil
+		}
+		return mucalc.False{}, nil
+	}
+	blockName := "Aτ∪Ui(" + x + ")"
+	block := mucalc.LabelSet(blockName, append(u.ImpreciseTaus(), ui...)...)
+	var phi mucalc.Formula = mucalc.True{}
+	for _, z := range zs {
+		trigger := mucalc.LabelSet(fmt.Sprintf("in(%s,%s)", x, z), InputsCarrying(ui, z)...)
+		oblige := mucalc.LabelSet("out("+z+")", u.ExactOutputs(z)...)
+		clause := mucalc.Box(mucalc.Implies(
+			mucalc.Prop{Set: trigger},
+			mucalc.Next{F: mucalc.Until{
+				L: mucalc.NegProp{Set: block},
+				R: mucalc.Prop{Set: oblige},
+			}},
+		))
+		phi = conj(phi, clause)
+	}
+	return phi, nil
+}
+
+func conj(a, b mucalc.Formula) mucalc.Formula {
+	if _, ok := a.(mucalc.True); ok {
+		return b
+	}
+	if _, ok := b.(mucalc.True); ok {
+		return a
+	}
+	return mucalc.And{L: a, R: b}
+}
+
+func joinNames(ns []string) string {
+	out := ""
+	for i, n := range ns {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"effpi/internal/lts"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// exploreLoop builds a one-channel output loop and its closed LTS.
+func exploreLoop(t *testing.T) (*types.Env, *lts.LTS) {
+	t.Helper()
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	loop := types.Par{
+		L: types.Rec{Var: "t", Body: types.Out{Ch: types.Var{Name: "x"}, Payload: types.Int{},
+			Cont: types.Thunk(types.RecVar{Name: "t"})}},
+		R: types.Rec{Var: "t", Body: types.In{Ch: types.Var{Name: "x"},
+			Cont: types.Pi{Var: "v", Dom: types.Int{}, Cod: types.RecVar{Name: "t"}}}},
+	}
+	sem := &typelts.Semantics{Env: env, Observable: map[string]bool{}, WitnessOnly: true}
+	m, err := lts.Explore(sem, loop, lts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, m
+}
+
+func TestCompileEachKind(t *testing.T) {
+	env, m := exploreLoop(t)
+	for _, p := range []Property{
+		{Kind: NonUsage, Channels: []string{"x"}},
+		{Kind: DeadlockFree, Channels: []string{"x"}},
+		{Kind: Forwarding, From: "x", To: "x"},
+		{Kind: Reactive, From: "x"},
+		{Kind: Responsive, From: "x"},
+	} {
+		phi, err := Compile(env, m, p)
+		if err != nil {
+			t.Errorf("Compile(%s): %v", p, err)
+			continue
+		}
+		if phi == nil {
+			t.Errorf("Compile(%s) returned nil", p)
+		}
+	}
+	// Ev-usage has no LTL compilation (reachability check).
+	if _, err := Compile(env, m, Property{Kind: EventualOutput, Channels: []string{"x"}}); err == nil {
+		t.Error("Compile(ev-usage) must redirect to EvUsageHolds")
+	}
+}
+
+func TestCompiledFormulasMentionUseSets(t *testing.T) {
+	env, m := exploreLoop(t)
+	phi, err := Compile(env, m, Property{Kind: NonUsage, Channels: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(phi.String(), "Uo(x)") {
+		t.Errorf("non-usage formula should name the Def. 4.8 set: %s", phi)
+	}
+}
+
+func TestUsesOnLoop(t *testing.T) {
+	env, m := exploreLoop(t)
+	u := NewUses(env, m)
+	// The closed loop's only label is the x synchronisation, which counts
+	// as both an input use and an output use of x.
+	if len(u.OutputUses("x")) == 0 {
+		t.Error("Uo(x) must include τ[x,x]")
+	}
+	if len(u.InputUses("x")) == 0 {
+		t.Error("Ui(x) must include τ[x,x]")
+	}
+	if len(u.ImpreciseTaus()) != 0 {
+		t.Errorf("precise synchronisations must not be in Aτ")
+	}
+	if len(u.ExactOutputs("x")) == 0 || len(u.ExactInputs("x")) == 0 {
+		t.Error("exact use sets must include the synchronisation")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		NonUsage: "non-usage", DeadlockFree: "deadlock-free",
+		EventualOutput: "ev-usage", Forwarding: "forwarding",
+		Reactive: "reactive", Responsive: "responsive",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k, want)
+		}
+	}
+	if len(AllKinds()) != 6 {
+		t.Error("AllKinds must list the six Fig. 9 columns")
+	}
+	p := Property{Kind: Forwarding, From: "a", To: "b"}
+	if p.String() != "forwarding(a→b)" {
+		t.Errorf("Property.String = %q", p)
+	}
+}

@@ -1,0 +1,197 @@
+package verify
+
+import (
+	"effpi/internal/lts"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// This file implements Def. 4.8 (input/output uses) and the auxiliary
+// action sets needed by the Fig. 7 formulas, all computed over the finite
+// alphabet AΓ(T) of the explored LTS.
+//
+// Synchronisation labels τ[S,S′] count as an output use of S and an input
+// use of S′: a communication is an output that met an input. This mirrors
+// the paper's mCRL2 encoding into CCS without restriction, where the two
+// halves of a synchronisation remain visible; without it, every liveness
+// property would be vacuously false on closed compositions (whose runs
+// consist solely of synchronisations).
+
+// Uses collects the action-set ingredients of the Fig. 7 schemas for a
+// fixed environment and explored LTS.
+type Uses struct {
+	env      *types.Env
+	alphabet []typelts.Label
+}
+
+// NewUses analyses the alphabet of m in env.
+func NewUses(env *types.Env, m *lts.LTS) *Uses {
+	return &Uses{env: env, alphabet: m.Alphabet()}
+}
+
+// InputUses is UiΓ,T(x): all labels of the alphabet that might be fired
+// when a process uses x for input — input labels S(U′) and communications
+// τ[·,S′:U′] with Γ ⊢ x ⩽ S (accounting for imprecise typing, Ex. 3.5).
+func (u *Uses) InputUses(x string) []typelts.Label {
+	xv := types.Var{Name: x}
+	var out []typelts.Label
+	for _, l := range u.alphabet {
+		switch l := l.(type) {
+		case typelts.Input:
+			if types.Subtype(u.env, xv, l.Subject) {
+				out = append(out, l)
+			}
+		case typelts.Comm:
+			if types.Subtype(u.env, xv, l.Receiver) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// OutputUses is UoΓ,T(x): the output analogue of InputUses.
+func (u *Uses) OutputUses(x string) []typelts.Label {
+	xv := types.Var{Name: x}
+	var out []typelts.Label
+	for _, l := range u.alphabet {
+		switch l := l.(type) {
+		case typelts.Output:
+			if types.Subtype(u.env, xv, l.Subject) {
+				out = append(out, l)
+			}
+		case typelts.Comm:
+			if types.Subtype(u.env, xv, l.Sender) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// ImpreciseTaus is the set Aτ of Thm. 4.10: synchronisation labels
+// τ[S,S′] where S or S′ is not a variable of Γ. Such a communication
+// cannot be traced to concrete channels, so liveness arguments must not
+// rely on runs containing it.
+func (u *Uses) ImpreciseTaus() []typelts.Label {
+	var out []typelts.Label
+	for _, l := range u.alphabet {
+		if c, ok := l.(typelts.Comm); ok {
+			if !u.isEnvVar(c.Sender) || !u.isEnvVar(c.Receiver) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+func (u *Uses) isEnvVar(t types.Type) bool {
+	v, ok := t.(types.Var)
+	return ok && u.env.Has(v.Name)
+}
+
+// ExactInputs returns the labels receiving on exactly the variable x:
+// inputs x(U′) and communications τ[·,x:U′] (the sets {x(U′) | any U′}
+// of Fig. 7).
+func (u *Uses) ExactInputs(x string) []typelts.Label {
+	var out []typelts.Label
+	for _, l := range u.alphabet {
+		switch l := l.(type) {
+		case typelts.Input:
+			if isVarNamed(l.Subject, x) {
+				out = append(out, l)
+			}
+		case typelts.Comm:
+			if isVarNamed(l.Receiver, x) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// ExactOutputs returns the labels sending on exactly the variable x:
+// outputs x⟨U′⟩ and communications τ[x,·:U′].
+func (u *Uses) ExactOutputs(x string) []typelts.Label {
+	var out []typelts.Label
+	for _, l := range u.alphabet {
+		switch l := l.(type) {
+		case typelts.Output:
+			if isVarNamed(l.Subject, x) {
+				out = append(out, l)
+			}
+		case typelts.Comm:
+			if isVarNamed(l.Sender, x) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// OutputsWithPayloadVar returns labels y⟨z⟩: sends on subject variable y
+// carrying exactly the variable z, free or synchronised (used by
+// Forwarding).
+func (u *Uses) OutputsWithPayloadVar(y, z string) []typelts.Label {
+	var out []typelts.Label
+	for _, l := range u.alphabet {
+		switch l := l.(type) {
+		case typelts.Output:
+			if isVarNamed(l.Subject, y) && isVarNamed(l.Payload, z) {
+				out = append(out, l)
+			}
+		case typelts.Comm:
+			if isVarNamed(l.Sender, y) && isVarNamed(l.Payload, z) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+func isVarNamed(t types.Type, name string) bool {
+	v, ok := t.(types.Var)
+	return ok && v.Name == name
+}
+
+// PayloadVars returns the distinct variables z received in the given
+// input-use labels (the z bound by "whenever some z is received…" in
+// Fig. 7.4/7.6), in deterministic order.
+func PayloadVars(inputs []typelts.Label) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p types.Type) {
+		if v, ok := p.(types.Var); ok && !seen[v.Name] {
+			seen[v.Name] = true
+			out = append(out, v.Name)
+		}
+	}
+	for _, l := range inputs {
+		switch l := l.(type) {
+		case typelts.Input:
+			add(l.Payload)
+		case typelts.Comm:
+			add(l.Payload)
+		}
+	}
+	return out
+}
+
+// InputsCarrying filters input-use labels to those whose payload is
+// exactly the variable z.
+func InputsCarrying(inputs []typelts.Label, z string) []typelts.Label {
+	var out []typelts.Label
+	for _, l := range inputs {
+		switch l := l.(type) {
+		case typelts.Input:
+			if isVarNamed(l.Payload, z) {
+				out = append(out, l)
+			}
+		case typelts.Comm:
+			if isVarNamed(l.Payload, z) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}

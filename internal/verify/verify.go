@@ -1,0 +1,305 @@
+// Package verify implements the paper's headline result: verification of
+// safety and liveness properties of message-passing programs by model
+// checking their types (Thm. 4.10 and Fig. 7).
+//
+// Given Γ ⊢ t : T, a property of t is established by (1) exploring the
+// labelled transition system of T under the Y-limitation ↑Γ {x1..xn}
+// (Def. 4.2, 4.9), (2) compiling the requested property schema from the
+// right-hand column of Fig. 7 — using the input/output uses of Def. 4.8
+// and the imprecise-synchronisation set Aτ — and (3) model checking the
+// formula on the LTS. The paper delegated step (3) to mCRL2; here it is
+// the native checker of package mucalc.
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"effpi/internal/lts"
+	"effpi/internal/mucalc"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// Kind enumerates the property schemas of Fig. 7.
+type Kind int
+
+const (
+	// NonUsage (Fig. 7.1): none of the probed channels is ever used for
+	// output.
+	NonUsage Kind = iota
+	// DeadlockFree (Fig. 7.2): the process only pauses to interact on the
+	// probed channels and never gets stuck (proper termination ✔ counts
+	// as success, see DESIGN.md).
+	DeadlockFree
+	// EventualOutput (Fig. 7.3): some probed channel is eventually used
+	// for output, with no imprecise synchronisation before.
+	EventualOutput
+	// Forwarding (Fig. 7.4): every z received from channel From is
+	// eventually forwarded on channel To, before From is read again.
+	Forwarding
+	// Reactive (Fig. 7.5): the process runs forever and is always
+	// eventually able to receive from channel From.
+	Reactive
+	// Responsive (Fig. 7.6): every channel z received from From is
+	// eventually used to send a response, before From is read again.
+	Responsive
+)
+
+var kindNames = map[Kind]string{
+	NonUsage:       "non-usage",
+	DeadlockFree:   "deadlock-free",
+	EventualOutput: "ev-usage",
+	Forwarding:     "forwarding",
+	Reactive:       "reactive",
+	Responsive:     "responsive",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// AllKinds lists the six schemas in the column order of Fig. 9.
+func AllKinds() []Kind {
+	return []Kind{DeadlockFree, EventualOutput, Forwarding, NonUsage, Reactive, Responsive}
+}
+
+// Property is a property instance to verify.
+type Property struct {
+	Kind Kind
+	// Channels are the probe channels x1..xn (NonUsage, DeadlockFree,
+	// EventualOutput).
+	Channels []string
+	// From and To parameterise Forwarding (From → To); Reactive and
+	// Responsive use From only.
+	From, To string
+	// Closed verifies the type as a closed composition: the Y-limitation
+	// is ∅, so no free inputs/outputs fire and every action is an
+	// internal synchronisation (whose labels record subjects and
+	// payloads, so the Def. 4.8 use-sets still see them). This is the
+	// right mode for self-contained systems such as the Fig. 9
+	// benchmarks: free environment moves would otherwise let arbitrarily
+	// unfair injections starve any liveness obligation. Open (partial)
+	// processes leave Closed false, exposing the probe channels to the
+	// environment as in Def. 4.9.
+	Closed bool
+}
+
+// Observables returns the Y-limitation set implied by the property.
+func (p Property) Observables() []string {
+	switch p.Kind {
+	case Forwarding:
+		return []string{p.From, p.To}
+	case Reactive, Responsive:
+		return []string{p.From}
+	default:
+		return p.Channels
+	}
+}
+
+func (p Property) String() string {
+	switch p.Kind {
+	case Forwarding:
+		return fmt.Sprintf("forwarding(%s→%s)", p.From, p.To)
+	case Reactive, Responsive:
+		return fmt.Sprintf("%s(%s)", p.Kind, p.From)
+	default:
+		return fmt.Sprintf("%s(%s)", p.Kind, strings.Join(p.Channels, ","))
+	}
+}
+
+// Request bundles a verification query: check that every process of type
+// Type (in Env) satisfies Property.
+type Request struct {
+	Env      *types.Env
+	Type     types.Type
+	Property Property
+	// MaxStates bounds LTS exploration (0 = lts.DefaultMaxStates).
+	MaxStates int
+	// Reuse, when non-nil, skips exploration and verifies on a previously
+	// explored LTS (which must have been built with the same observables).
+	Reuse *lts.LTS
+}
+
+// Outcome is a verification result.
+type Outcome struct {
+	Property Property
+	// Holds is the verdict: by Thm. 4.10, when it is true, every
+	// productive process of the given type satisfies the corresponding
+	// left-column property of Fig. 7 at run time.
+	Holds bool
+	// Formula is the compiled right-column formula.
+	Formula mucalc.Formula
+	// States is the size of the (Y-limited, run-completed) type LTS.
+	States int
+	// ProductStates and AutomatonStates report model-checker effort.
+	ProductStates   int
+	AutomatonStates int
+	// Duration is the wall-clock verification time (exploration+check).
+	Duration time.Duration
+	// Counterexample is a violating run when Holds is false.
+	Counterexample *mucalc.Trace
+	// LTS is the explored state space (reusable across properties).
+	LTS *lts.LTS
+}
+
+// Verify runs the full pipeline for one property.
+func Verify(req Request) (*Outcome, error) {
+	start := time.Now()
+
+	if err := Admissible(req.Env, req.Type); err != nil {
+		return nil, err
+	}
+
+	obsList, err := ObservablesFor(req.Env, req.Property)
+	if err != nil {
+		return nil, err
+	}
+	obs := map[string]bool{}
+	for _, x := range obsList {
+		obs[x] = true
+	}
+	sem := &typelts.Semantics{Env: req.Env, Observable: obs, WitnessOnly: true}
+
+	m := req.Reuse
+	if m == nil {
+		var err error
+		m, err = lts.Explore(sem, req.Type, lts.Options{MaxStates: req.MaxStates})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Outcome{
+		Property: req.Property,
+		States:   m.Len(),
+		LTS:      m,
+	}
+
+	if req.Property.Kind == EventualOutput {
+		// Fig. 7(3), existential reachability (see EvUsageHolds).
+		u := NewUses(req.Env, m)
+		out.Holds = EvUsageHolds(u, m, req.Property.Channels)
+		out.Duration = time.Since(start)
+		return out, nil
+	}
+
+	phi, err := Compile(req.Env, m, req.Property)
+	if err != nil {
+		return nil, err
+	}
+	res := mucalc.Check(m, phi)
+	out.Holds = res.Holds
+	out.Formula = phi
+	out.ProductStates = res.ProductStates
+	out.AutomatonStates = res.AutomatonStates
+	out.Counterexample = res.Counterexample
+	out.Duration = time.Since(start)
+	return out, nil
+}
+
+// VerifyAll verifies all six Fig. 9 properties of a system, reusing the
+// explored LTS across properties that share the same observables.
+func VerifyAll(env *types.Env, t types.Type, props []Property, maxStates int) ([]*Outcome, error) {
+	outcomes := make([]*Outcome, 0, len(props))
+	cache := map[string]*lts.LTS{}
+	for _, p := range props {
+		obs, err := ObservablesFor(env, p)
+		if err != nil {
+			return outcomes, fmt.Errorf("%s: %w", p, err)
+		}
+		key := strings.Join(obs, ",")
+		req := Request{Env: env, Type: t, Property: p, MaxStates: maxStates, Reuse: cache[key]}
+		o, err := Verify(req)
+		if err != nil {
+			return outcomes, fmt.Errorf("%s: %w", p, err)
+		}
+		cache[key] = o.LTS
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}
+
+// ObservablesFor computes the Y-limitation set for a property: the
+// property's probe channels, plus — for Responsive — the environment
+// witnesses of channels receivable on From (Thm. 4.10's footnote assumes
+// such witnesses exist in Γ; their outputs carry the response obligation
+// {z⟨U′⟩}, so they must remain observable).
+func ObservablesFor(env *types.Env, p Property) ([]string, error) {
+	base := p.Observables()
+	for _, x := range base {
+		if !env.Has(x) {
+			return nil, fmt.Errorf("verify: probe channel %s is not in the environment", x)
+		}
+	}
+	if p.Closed {
+		return nil, nil
+	}
+	if p.Kind != Responsive {
+		return base, nil
+	}
+	out := append([]string{}, base...)
+	seen := map[string]bool{}
+	for _, x := range base {
+		seen[x] = true
+	}
+	cap, ok := types.ResolveChan(env, types.Var{Name: p.From})
+	if !ok || !cap.In {
+		return out, nil
+	}
+	for _, w := range env.Names() {
+		if seen[w] {
+			continue
+		}
+		if types.Subtype(env, types.Var{Name: w}, cap.Payload) {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// Admissible checks the preconditions of Thm. 4.10 and Lemma 4.7: the
+// type must be a well-formed π-type, must not contain proc, must be
+// guarded, and must have finite control (no p[...] under µ).
+func Admissible(env *types.Env, t types.Type) error {
+	if err := types.CheckProcType(env, t); err != nil {
+		return fmt.Errorf("verify: not a π-type: %w", err)
+	}
+	if containsProc(t) {
+		return fmt.Errorf("verify: type contains proc, which Thm. 4.10 excludes (proc hides behaviour)")
+	}
+	if err := types.CheckGuarded(t); err != nil {
+		return fmt.Errorf("verify: %w (Lemma 4.7 requires guarded types)", err)
+	}
+	if err := types.CheckFiniteControl(t); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	return nil
+}
+
+func containsProc(t types.Type) bool {
+	switch t := t.(type) {
+	case types.Proc:
+		return true
+	case types.Union:
+		return containsProc(t.L) || containsProc(t.R)
+	case types.Pi:
+		return containsProc(t.Dom) || containsProc(t.Cod)
+	case types.Rec:
+		return containsProc(t.Body)
+	case types.ChanIO:
+		return containsProc(t.Elem)
+	case types.ChanI:
+		return containsProc(t.Elem)
+	case types.ChanO:
+		return containsProc(t.Elem)
+	case types.Out:
+		return containsProc(t.Ch) || containsProc(t.Payload) || containsProc(t.Cont)
+	case types.In:
+		return containsProc(t.Ch) || containsProc(t.Cont)
+	case types.Par:
+		return containsProc(t.L) || containsProc(t.R)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,241 @@
+package verify
+
+import (
+	"testing"
+
+	"effpi/internal/lts"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+func tv(n string) types.Type { return types.Var{Name: n} }
+
+// pongerType is Tpong z from Ex. 4.11:
+// i[z, Π(replyTo: co[str]) o[replyTo, str, Π()nil]].
+func pongerType() types.Type {
+	return types.In{Ch: tv("z"),
+		Cont: types.Pi{Var: "replyTo", Dom: types.ChanO{Elem: types.Str{}},
+			Cod: types.Out{Ch: tv("replyTo"), Payload: types.Str{}, Cont: types.Thunk(types.Nil{})}}}
+}
+
+// TestEx411ResponsivePonger reproduces Ex. 4.11: ponger z is responsive
+// on z — whenever a reply channel is received from z, it is eventually
+// used to send a response. This is the *open-process* workflow: the
+// environment (with the witness w of Thm. 4.10's footnote) interacts on
+// z.
+func TestEx411ResponsivePonger(t *testing.T) {
+	env := types.EnvOf(
+		"z", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}},
+		"w", types.ChanO{Elem: types.Str{}}, // witness for the input domain
+	)
+	o, err := Verify(Request{Env: env, Type: pongerType(),
+		Property: Property{Kind: Responsive, From: "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds {
+		t.Errorf("ponger must be responsive on z (Ex. 4.11); counterexample: %+v", o.Counterexample)
+	}
+}
+
+// TestUnresponsiveAuditorStub reproduces the §1 discussion: an auditor
+// typed In[aud, Π(a)End] receives one audit and terminates — composing it
+// with a service that audits forever would lose audits. Its mailbox is
+// not reactive (it does not run forever).
+func TestUnresponsiveAuditorStub(t *testing.T) {
+	env := types.EnvOf("aud", types.ChanIO{Elem: types.Str{}})
+	oneShot := types.In{Ch: tv("aud"), Cont: types.Pi{Var: "a", Dom: types.Str{}, Cod: types.Nil{}}}
+	o, err := Verify(Request{Env: env, Type: oneShot,
+		Property: Property{Kind: Reactive, From: "aud"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Holds {
+		t.Error("a single-shot auditor must not be reactive on aud")
+	}
+	// The looping auditor is reactive.
+	looping := types.Rec{Var: "t", Body: types.In{Ch: tv("aud"),
+		Cont: types.Pi{Var: "a", Dom: types.Str{}, Cod: types.RecVar{Name: "t"}}}}
+	o, err = Verify(Request{Env: env, Type: looping,
+		Property: Property{Kind: Reactive, From: "aud"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds {
+		t.Errorf("the looping auditor must be reactive on aud: %+v", o.Counterexample)
+	}
+}
+
+func TestNonUsageHoldsWhenUnused(t *testing.T) {
+	env := types.EnvOf(
+		"x", types.ChanIO{Elem: types.Int{}},
+		"y", types.ChanIO{Elem: types.Int{}},
+	)
+	// A process that only ever uses x.
+	p := types.Rec{Var: "t", Body: types.Out{Ch: tv("x"), Payload: types.Int{},
+		Cont: types.Thunk(types.RecVar{Name: "t"})}}
+	o, err := Verify(Request{Env: env, Type: p,
+		Property: Property{Kind: NonUsage, Channels: []string{"y"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds {
+		t.Error("non-usage of y must hold for a process using only x")
+	}
+	o, err = Verify(Request{Env: env, Type: p,
+		Property: Property{Kind: NonUsage, Channels: []string{"x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Holds {
+		t.Error("non-usage of x must fail for a process using x")
+	}
+}
+
+// TestNonUsageImprecision: Ex. 3.5's T2 — after let-binding, the channel
+// type degrades to cio[int], which is a *potential* use of x, so
+// non-usage of x must fail (the supertype closure of Def. 4.8).
+func TestNonUsageImprecision(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	t2 := types.Out{Ch: types.ChanIO{Elem: types.Int{}}, Payload: types.Int{},
+		Cont: types.Thunk(types.Nil{})}
+	// The output's subject cio[int] is a supertype of x̱, so it lands in
+	// UoΓ,T(x). Under Y={x} the output subject is not a variable in Y and
+	// is hidden, so exercise the set computation directly.
+	sem := &typelts.Semantics{Env: env}
+	m, err := lts.Explore(sem, t2, lts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUses(env, m)
+	if len(u.OutputUses("x")) == 0 {
+		t.Error("Uo(x) must include the imprecise output on cio[int]")
+	}
+}
+
+func TestAdmissibleRejections(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	cases := []struct {
+		name string
+		t    types.Type
+	}{
+		{"contains proc", types.Par{L: types.Proc{}, R: types.Nil{}}},
+		{"unguarded recursion", types.Rec{Var: "t", Body: types.Par{L: types.RecVar{Name: "t"}, R: types.Nil{}}}},
+		{"par under rec", types.Rec{Var: "t", Body: types.In{Ch: tv("x"),
+			Cont: types.Pi{Var: "v", Dom: types.Int{},
+				Cod: types.Par{L: types.RecVar{Name: "t"}, R: types.Nil{}}}}}},
+		{"not a process type", types.Bool{}},
+	}
+	for _, c := range cases {
+		if err := Admissible(env, c.t); err == nil {
+			t.Errorf("%s: Admissible must reject %s", c.name, c.t)
+		}
+	}
+}
+
+func TestImpreciseTausBlockLiveness(t *testing.T) {
+	// A communication whose sender subject is a channel *type* (not a
+	// variable) is in Aτ; eventual usage must not rely on runs through it.
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	sys := types.Par{
+		L: types.Out{Ch: types.ChanIO{Elem: types.Int{}}, Payload: types.Int{}, Cont: types.Thunk(
+			types.Out{Ch: tv("x"), Payload: types.Int{}, Cont: types.Thunk(types.Nil{})})},
+		R: types.In{Ch: tv("x"), Cont: types.Pi{Var: "v", Dom: types.Int{}, Cod: types.Nil{}}},
+	}
+	o, err := Verify(Request{Env: env, Type: sys,
+		Property: Property{Kind: EventualOutput, Channels: []string{"x"}, Closed: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Holds {
+		t.Error("ev-usage must fail when the only path runs through an imprecise synchronisation")
+	}
+}
+
+func TestObservablesForResponsiveAddsWitnesses(t *testing.T) {
+	env := types.EnvOf(
+		"z", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}},
+		"w", types.ChanO{Elem: types.Str{}},
+		"unrelated", types.ChanIO{Elem: types.Int{}},
+	)
+	obs, err := ObservablesFor(env, Property{Kind: Responsive, From: "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[string]bool{}
+	for _, x := range obs {
+		has[x] = true
+	}
+	if !has["z"] || !has["w"] {
+		t.Errorf("observables must include z and the witness w, got %v", obs)
+	}
+	if has["unrelated"] {
+		t.Errorf("unrelated channels must not be observable, got %v", obs)
+	}
+}
+
+func TestClosedObservablesEmpty(t *testing.T) {
+	env := types.EnvOf("z", types.ChanIO{Elem: types.Int{}})
+	obs, err := ObservablesFor(env, Property{Kind: Reactive, From: "z", Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 0 {
+		t.Errorf("closed mode must hide everything, got %v", obs)
+	}
+}
+
+func TestUnknownProbeChannel(t *testing.T) {
+	env := types.EnvOf("z", types.ChanIO{Elem: types.Int{}})
+	_, err := Verify(Request{Env: env, Type: types.Nil{},
+		Property: Property{Kind: Reactive, From: "nope"}})
+	if err == nil {
+		t.Error("probing an unbound channel must fail")
+	}
+}
+
+func TestVerifyAllReusesLTS(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	p := types.Rec{Var: "t", Body: types.Out{Ch: tv("x"), Payload: types.Int{},
+		Cont: types.Thunk(types.RecVar{Name: "t"})}}
+	props := []Property{
+		{Kind: NonUsage, Channels: []string{"x"}, Closed: true},
+		{Kind: EventualOutput, Channels: []string{"x"}, Closed: true},
+		{Kind: DeadlockFree, Channels: []string{"x"}, Closed: true},
+	}
+	outcomes, err := VerifyAll(env, p, props, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 3 {
+		t.Fatalf("expected 3 outcomes, got %d", len(outcomes))
+	}
+	if outcomes[0].LTS != outcomes[1].LTS || outcomes[1].LTS != outcomes[2].LTS {
+		t.Error("closed properties with equal observables must share the explored LTS")
+	}
+	// Closed, output-only loop: deadlock-free (keeps firing), ev-usage...
+	// under Y=∅ the output is hidden and cannot fire, so the process is
+	// stuck: deadlock-free must FAIL and ev-usage must fail too.
+	if outcomes[1].Holds {
+		t.Error("ev-usage under closed mode must fail: the lone output has no partner")
+	}
+	if outcomes[2].Holds {
+		t.Error("deadlock-free under closed mode must fail: the lone output is stuck")
+	}
+}
+
+func TestDeadlockFreeOpenOutput(t *testing.T) {
+	// The same output-only loop verified OPEN on x keeps firing forever:
+	// deadlock-free modulo {x} holds.
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	p := types.Rec{Var: "t", Body: types.Out{Ch: tv("x"), Payload: types.Int{},
+		Cont: types.Thunk(types.RecVar{Name: "t"})}}
+	o, err := Verify(Request{Env: env, Type: p,
+		Property: Property{Kind: DeadlockFree, Channels: []string{"x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds {
+		t.Errorf("deadlock-free modulo {x} must hold for the open output loop: %+v", o.Counterexample)
+	}
+}
