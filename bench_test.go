@@ -97,6 +97,26 @@ func BenchmarkFig9PingPong6Responsive(b *testing.B) {
 func BenchmarkFig9Ring10(b *testing.B)        { benchFig9(b, systems.Ring(10, 1)) }
 func BenchmarkFig9Ring10Tokens3(b *testing.B) { benchFig9(b, systems.Ring(10, 3)) }
 
+// BenchmarkFig9VerifyAllPhilosophers5 measures the production path: all
+// six properties verified together, sharing one transition cache and the
+// explored LTS (verify.VerifyAll), as opposed to the independent
+// per-property runs of the groups above.
+func BenchmarkFig9VerifyAllPhilosophers5(b *testing.B) {
+	s := systems.DiningPhilosophers(5, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		outcomes, err := verify.VerifyAll(s.Env, s.Type, s.Props, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outcomes {
+			if want, ok := s.Expected[o.Property.Kind]; ok && o.Holds != want {
+				b.Fatalf("%s / %s: verdict %v, Fig. 9 says %v", s.Name, o.Property, o.Holds, want)
+			}
+		}
+	}
+}
+
 // --- Ablations: the design choices DESIGN.md calls out -----------------------
 
 // BenchmarkAblationSubtype measures the coinductive subtype check on the

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"effpi/internal/systems"
+	"effpi/internal/typelts"
 	"effpi/internal/verify"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per property")
 	maxStates := flag.Int("max", 1<<22, "state bound for exploration")
 	skipSlow := flag.Bool("skip-slow", false, "skip the largest (slowest) rows")
+	shared := flag.Bool("shared", false, "share one transition cache across a row's properties (the VerifyAll production path) instead of timing each property cold")
 	flag.Parse()
 
 	rows := selectRows(*suite)
@@ -39,7 +41,7 @@ func main() {
 		if *skipSlow && isSlow(s.Name) {
 			continue
 		}
-		mismatches += runRow(s, *reps, *maxStates)
+		mismatches += runRow(s, *reps, *maxStates, *shared)
 	}
 	if mismatches > 0 {
 		fmt.Fprintf(os.Stderr, "mcbench: %d verdicts differ from Fig. 9\n", mismatches)
@@ -92,17 +94,22 @@ func propHeaders() []string {
 
 // runRow verifies all six properties of one system, reps times each, and
 // prints one Fig. 9-style row. It returns the number of verdicts that
-// deviate from the paper.
-func runRow(s *systems.System, reps, maxStates int) int {
+// deviate from the paper. With shared, one transition cache serves the
+// whole row, so later properties reuse earlier per-component work.
+func runRow(s *systems.System, reps, maxStates int, shared bool) int {
 	cells := make([]string, 0, len(s.Props))
 	mismatches := 0
 	var states int
+	var cache *typelts.Cache
+	if shared {
+		cache = typelts.NewCache(s.Env, true)
+	}
 	for _, prop := range s.Props {
 		var times []float64
 		var holds bool
 		failed := false
 		for r := 0; r < reps; r++ {
-			o, err := verify.Verify(verify.Request{Env: s.Env, Type: s.Type, Property: prop, MaxStates: maxStates})
+			o, err := verify.Verify(verify.Request{Env: s.Env, Type: s.Type, Property: prop, MaxStates: maxStates, Cache: cache})
 			if err != nil {
 				cells = append(cells, fmt.Sprintf("error: %v", err))
 				failed = true

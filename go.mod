@@ -1,0 +1,3 @@
+module effpi
+
+go 1.24

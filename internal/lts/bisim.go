@@ -26,16 +26,16 @@ func Bisimilar(m1, m2 *LTS) bool {
 	for i := 0; i < n; i++ {
 		succ[i] = map[string][]int{}
 	}
-	for s, es := range m1.Edges {
-		for _, e := range es {
-			k := e.Label.Key()
-			succ[s][k] = append(succ[s][k], e.Dst)
+	for s := 0; s < m1.Len(); s++ {
+		for _, e := range m1.Out(s) {
+			k := m1.LabelOf(e).Key()
+			succ[s][k] = append(succ[s][k], int(e.Dst))
 		}
 	}
-	for s, es := range m2.Edges {
-		for _, e := range es {
-			k := e.Label.Key()
-			succ[n1+s][k] = append(succ[n1+s][k], n1+e.Dst)
+	for s := 0; s < m2.Len(); s++ {
+		for _, e := range m2.Out(s) {
+			k := m2.LabelOf(e).Key()
+			succ[n1+s][k] = append(succ[n1+s][k], n1+int(e.Dst))
 		}
 	}
 

@@ -2,6 +2,14 @@
 // from λπ⩽ types, with bounded exploration, run completion, alphabet
 // extraction and DOT export. It is the bridge between the type semantics
 // (Def. 4.2) and the linear-time model checker (Def. 4.6).
+//
+// State identity is hash-consed: exploration interns every state in a
+// types.Interner (Canon-equal states get the same integer ID), so the
+// frontier set is a map over ints, not canonical strings. Labels are
+// interned into a dense per-LTS alphabet, and edges live in one flat
+// CSR-style array indexed by per-state offsets — which is what lets the
+// model checker precompute per-Büchi-state admit bitsets and walk the
+// product with plain array indexing (see DESIGN.md).
 package lts
 
 import (
@@ -13,10 +21,11 @@ import (
 	"effpi/internal/types"
 )
 
-// Edge is a transition to state Dst firing Label.
+// Edge is a transition to state Dst firing the label with index Label in
+// the owning LTS's dense alphabet (LTS.Labels).
 type Edge struct {
-	Label typelts.Label
-	Dst   int
+	Label int32
+	Dst   int32
 }
 
 // LTS is a finite labelled transition system over type states.
@@ -25,8 +34,14 @@ type Edge struct {
 // self-loop so that all maximal runs are infinite (Def. 4.6 quantifies
 // over complete runs; see DESIGN.md §4.4).
 type LTS struct {
-	States  []types.Type
-	Edges   [][]Edge
+	States []types.Type
+	// Labels is the dense alphabet: one representative per distinct label
+	// (by Key), in first-seen order. Edge.Label indexes into it.
+	Labels []typelts.Label
+	// edges is the flat CSR edge array; state s owns edges[start[s]:start[s+1]].
+	edges []Edge
+	start []int32
+	// Initial is the initial state index.
 	Initial int
 	// Truncated reports that exploration hit the state bound; verification
 	// results on a truncated LTS are not trustworthy and the verifier
@@ -44,99 +59,204 @@ type Options struct {
 const DefaultMaxStates = 1 << 20
 
 // Explore builds the reachable LTS of init under the given semantics.
+//
+// States are represented as sorted multisets of hash-consed component
+// IDs (the FlattenPar leaves), so a successor is multiset surgery —
+// remove the acting components, splice in their cached replacements —
+// followed by one interner lookup; no successor type tree is ever built
+// or walked. Per-component steps and per-pair synchronisations come from
+// the semantics' typelts.Cache. When sem carries a cache, it is reused
+// (and extended), so repeated explorations of overlapping systems — the
+// six Fig. 9 properties of one system, say — share their per-component
+// work.
 func Explore(sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
-	l := &LTS{Initial: 0}
-	index := map[string]int{}
 
-	intern := func(t types.Type) int {
-		key := types.Canon(t)
-		if id, ok := index[key]; ok {
-			return id
+	// Attach a private cache when the semantics has none: even a single
+	// exploration profits from hash-consed state identity and memoised
+	// per-component steps, and the clone keeps the caller's value intact.
+	if !sem.HasCompatibleCache() {
+		clone := *sem
+		clone.Cache = typelts.NewCache(sem.Env, sem.WitnessOnly)
+		sem = &clone
+	}
+	in := sem.Cache.Interner()
+
+	l := &LTS{Initial: 0, start: make([]int32, 1, 64)}
+	index := make(map[types.ID]int32, 256)
+	labelIdx := make(map[typelts.LabelKey]int32, 16)
+	var stateComps [][]types.ID
+
+	// internState registers the state with the given sorted component
+	// multiset, materialising a representative type for new states.
+	internState := func(comps []types.ID, rep types.Type) int32 {
+		sid := in.InternPar(comps)
+		if s, ok := index[sid]; ok {
+			return s
 		}
-		id := len(l.States)
-		index[key] = id
-		l.States = append(l.States, t)
-		l.Edges = append(l.Edges, nil)
-		return id
+		s := int32(len(l.States))
+		index[sid] = s
+		if rep == nil {
+			rep = in.TypeOf(sid)
+		}
+		l.States = append(l.States, rep)
+		stateComps = append(stateComps, comps)
+		return s
+	}
+	internLabel := func(key typelts.LabelKey, lab typelts.Label) int32 {
+		if i, ok := labelIdx[key]; ok {
+			return i
+		}
+		i := int32(len(l.Labels))
+		labelIdx[key] = i
+		l.Labels = append(l.Labels, lab)
+		return i
 	}
 
-	intern(init)
+	internState(sem.InternLeaves(init), init)
 	for next := 0; next < len(l.States); next++ {
 		if len(l.States) > maxStates {
 			l.Truncated = true
+			l.sealTruncated()
 			return l, fmt.Errorf("lts: state bound %d exceeded (type may be infinite-state; see Lemma 4.7 and §5.1 limitation 2)", maxStates)
 		}
-		st := l.States[next]
-		steps := sem.Transitions(st)
-		if len(steps) == 0 {
-			// Complete the run: ✔^ω for proper termination, ⊠^ω for
-			// deadlock.
+		comps := stateComps[next]
+		from := l.start[next]
+
+		// addEdge splices a successor multiset together (dropping the
+		// acting positions i and j), registers it, and appends the edge,
+		// deduplicating parallel (label, dst) pairs with a linear scan —
+		// out-degrees are small, so this beats a per-state map.
+		addEdge := func(st typelts.CompStep, i, j int) {
+			succ := make([]types.ID, 0, len(comps)+len(st.Next))
+			for k, c := range comps {
+				if k == i || k == j {
+					continue
+				}
+				succ = append(succ, c)
+			}
+			succ = append(succ, st.Next...)
+			dst := internState(succ, nil)
+			lid := internLabel(st.Key, st.Label)
+			for _, e := range l.edges[from:] {
+				if e.Label == lid && e.Dst == dst {
+					return
+				}
+			}
+			l.edges = append(l.edges, Edge{Label: lid, Dst: dst})
+		}
+
+		// Interleaving: each component may act on its own (Y-limited).
+		for i := range comps {
+			for _, st := range sem.ComponentSteps(comps[i]) {
+				if !sem.KeepLabel(st.Label) {
+					continue
+				}
+				addEdge(st, i, -1)
+			}
+		}
+		// Synchronisation: an output of component i meets an input of
+		// component j (i ≠ j); τ labels always survive the Y-limitation.
+		for i := range comps {
+			for j := range comps {
+				if i == j {
+					continue
+				}
+				for _, st := range sem.SyncSteps(comps[i], comps[j]) {
+					addEdge(st, i, j)
+				}
+			}
+		}
+
+		if len(l.edges) == int(from) {
+			// Complete the run: ✔^ω for proper termination (all components
+			// terminated), ⊠^ω for deadlock.
 			var lab typelts.Label = typelts.Stuck{}
-			if types.IsNilPar(st) {
+			if len(comps) == 0 {
 				lab = typelts.Done{}
 			}
-			l.Edges[next] = []Edge{{Label: lab, Dst: next}}
-			continue
+			l.edges = append(l.edges, Edge{Label: internLabel(sem.Cache.LabelKeyOf(lab), lab), Dst: int32(next)})
 		}
-		seen := map[string]bool{}
-		for _, s := range steps {
-			dst := intern(s.Next)
-			k := s.Label.Key() + "→" + fmt.Sprint(dst)
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			l.Edges[next] = append(l.Edges[next], Edge{Label: s.Label, Dst: dst})
-		}
+		l.start = append(l.start, int32(len(l.edges)))
 	}
 	return l, nil
+}
+
+// sealTruncated pads the offset array so Out stays in bounds for the
+// states that were discovered but never processed.
+func (l *LTS) sealTruncated() {
+	for len(l.start) < len(l.States)+1 {
+		l.start = append(l.start, int32(len(l.edges)))
+	}
+}
+
+// FromAdjacency builds an LTS from an explicit adjacency list — states[i]
+// has the outgoing edges adj[i]. It is meant for tests and hand-built
+// models; Explore is the production constructor.
+func FromAdjacency(states []types.Type, adj [][]AdjEdge, initial int) *LTS {
+	l := &LTS{Initial: initial, start: make([]int32, 1, len(states)+1)}
+	labelIdx := map[string]int32{}
+	l.States = append(l.States, states...)
+	for i := range states {
+		for _, e := range adj[i] {
+			key := e.Label.Key()
+			lid, ok := labelIdx[key]
+			if !ok {
+				lid = int32(len(l.Labels))
+				labelIdx[key] = lid
+				l.Labels = append(l.Labels, e.Label)
+			}
+			l.edges = append(l.edges, Edge{Label: lid, Dst: int32(e.Dst)})
+		}
+		l.start = append(l.start, int32(len(l.edges)))
+	}
+	return l
+}
+
+// AdjEdge is one labelled edge of a FromAdjacency adjacency list.
+type AdjEdge struct {
+	Label typelts.Label
+	Dst   int
 }
 
 // Len returns the number of states.
 func (l *LTS) Len() int { return len(l.States) }
 
+// Out returns the outgoing edges of state s (a view into the flat edge
+// array; callers must not mutate it).
+func (l *LTS) Out(s int) []Edge {
+	if s+1 >= len(l.start) {
+		return nil
+	}
+	return l.edges[l.start[s]:l.start[s+1]]
+}
+
+// LabelOf resolves an edge's label index to the label itself.
+func (l *LTS) LabelOf(e Edge) typelts.Label { return l.Labels[e.Label] }
+
 // Alphabet returns one representative of every distinct label (by Key),
 // sorted by key for determinism. This is the finite action set AΓ(T) of
 // the paper (used by Def. 4.8 and Thm. 4.10).
 func (l *LTS) Alphabet() []typelts.Label {
-	byKey := map[string]typelts.Label{}
-	for _, edges := range l.Edges {
-		for _, e := range edges {
-			byKey[e.Label.Key()] = e.Label
-		}
-	}
-	keys := make([]string, 0, len(byKey))
-	for k := range byKey {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]typelts.Label, len(keys))
-	for i, k := range keys {
-		out[i] = byKey[k]
-	}
+	out := make([]typelts.Label, len(l.Labels))
+	copy(out, l.Labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
 }
 
 // NumEdges returns the total number of transitions.
-func (l *LTS) NumEdges() int {
-	n := 0
-	for _, es := range l.Edges {
-		n += len(es)
-	}
-	return n
-}
+func (l *LTS) NumEdges() int { return len(l.edges) }
 
 // Deadlocked reports whether any reachable state is completed with ⊠.
+// Labels enter the dense alphabet only when an edge fires them, so a ⊠
+// in the alphabet is equivalent to a ⊠ edge.
 func (l *LTS) Deadlocked() bool {
-	for _, es := range l.Edges {
-		for _, e := range es {
-			if _, ok := e.Label.(typelts.Stuck); ok {
-				return true
-			}
+	for _, lab := range l.Labels {
+		if _, ok := lab.(typelts.Stuck); ok {
+			return true
 		}
 	}
 	return false
@@ -150,9 +270,9 @@ func (l *LTS) DOT() string {
 	for i := range l.States {
 		fmt.Fprintf(&b, "  s%d [label=%q];\n", i, truncate(l.States[i].String(), 60))
 	}
-	for src, es := range l.Edges {
-		for _, e := range es {
-			fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", src, e.Dst, truncate(e.Label.String(), 40))
+	for src := range l.States {
+		for _, e := range l.Out(src) {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", src, e.Dst, truncate(l.LabelOf(e).String(), 40))
 		}
 	}
 	b.WriteString("}\n")

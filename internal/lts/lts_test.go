@@ -40,9 +40,9 @@ func TestExploreClosedPingPong(t *testing.T) {
 	}
 	// Final state self-loops on ✔.
 	sawDone := false
-	for _, es := range m.Edges {
-		for _, e := range es {
-			if _, ok := e.Label.(typelts.Done); ok {
+	for s := 0; s < m.Len(); s++ {
+		for _, e := range m.Out(s) {
+			if _, ok := m.LabelOf(e).(typelts.Done); ok {
 				sawDone = true
 			}
 		}
@@ -58,8 +58,8 @@ func TestEveryStateHasSuccessor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, es := range m.Edges {
-		if len(es) == 0 {
+	for i := 0; i < m.Len(); i++ {
+		if len(m.Out(i)) == 0 {
 			t.Errorf("state %d (%s) has no outgoing edge: runs must be completed", i, m.States[i])
 		}
 	}

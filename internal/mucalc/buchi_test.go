@@ -39,7 +39,7 @@ func TestTranslateSmokes(t *testing.T) {
 // sets. The run must satisfy both; each single one is insufficient.
 func TestMultipleUntils(t *testing.T) {
 	// 0 --a--> 1 --b--> 2 --c--> 0 : the run cycles a b c a b c ...
-	m := mkLTS(3, map[int][]lts.Edge{
+	m := mkLTS(3, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 1)},
 		1: {edge(lab("b"), 2)},
 		2: {edge(lab("c"), 0)},
@@ -67,7 +67,7 @@ func TestMultipleUntils(t *testing.T) {
 
 func TestNestedUntil(t *testing.T) {
 	// (a U (b U c)): a's until b's until c.
-	m := mkLTS(3, map[int][]lts.Edge{
+	m := mkLTS(3, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 1)},
 		1: {edge(lab("b"), 2)},
 		2: {edge(lab("c"), 2)},
@@ -103,7 +103,7 @@ func TestActionSetHelpers(t *testing.T) {
 }
 
 func TestCheckReportsEffort(t *testing.T) {
-	m := mkLTS(2, map[int][]lts.Edge{
+	m := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 1)},
 		1: {edge(lab("b"), 1)},
 	})
@@ -118,7 +118,7 @@ func TestCheckReportsEffort(t *testing.T) {
 
 func TestVacuousBoxOnDeadEndFreeLTS(t *testing.T) {
 	// □⊥ fails on any LTS with a run; ♢⊤ holds.
-	m := mkLTS(1, map[int][]lts.Edge{0: {edge(lab("a"), 0)}})
+	m := mkLTS(1, map[int][]lts.AdjEdge{0: {edge(lab("a"), 0)}})
 	if r := Check(m, Box(False{})); r.Holds {
 		t.Error("□⊥ cannot hold")
 	}
@@ -164,7 +164,7 @@ func TestSimplify(t *testing.T) {
 // TestSimplifyPreservesVerdicts: simplified and raw formulas agree on a
 // battery of formulas and a small LTS.
 func TestSimplifyPreservesVerdicts(t *testing.T) {
-	m := mkLTS(2, map[int][]lts.Edge{
+	m := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 1), edge(lab("b"), 0)},
 		1: {edge(lab("c"), 0)},
 	})
@@ -180,7 +180,7 @@ func TestSimplifyPreservesVerdicts(t *testing.T) {
 		// Check already simplifies; compare against translating the raw
 		// formula directly.
 		ba := Translate(Not{F: f})
-		p := &product{m: m, ba: ba}
+		p := newProduct(m, ba)
 		trace, _ := p.findAcceptingLasso()
 		if raw != (trace == nil) {
 			t.Errorf("Simplify changed the verdict of %s", f)

@@ -28,13 +28,20 @@ type Trace struct {
 // searches the product for an accepting cycle with nested DFS. The LTS
 // must be run-completed (every state has a successor), which lts.Explore
 // guarantees.
+//
+// The search is dense: each automaton state's guard is precomputed into
+// an admit bitset over the LTS's label alphabet (one membership test per
+// distinct label instead of a guard walk per product edge), product
+// colours live in a flat slice indexed by state*(|BA|+1)+q, and both DFS
+// passes enumerate successors lazily with per-frame cursors instead of
+// materialising successor slices.
 func Check(m *lts.LTS, phi Formula) Result {
 	phi = Simplify(phi)
 	if isTrue(phi) {
 		return Result{Holds: true}
 	}
 	ba := Translate(Not{F: phi})
-	p := &product{m: m, ba: ba}
+	p := newProduct(m, ba)
 	trace, visited := p.findAcceptingLasso()
 	return Result{
 		Holds:           trace == nil,
@@ -45,65 +52,151 @@ func Check(m *lts.LTS, phi Formula) Result {
 }
 
 // product is the synchronous product of an LTS and a Büchi automaton.
-// Product states are encoded as uint64: lts-state * (|BA|+1) + (ba+1),
+// Product states are encoded as int: lts-state * (|BA|+1) + (ba+1),
 // with ba = -1 encoding the automaton's virtual initial state.
 type product struct {
-	m  *lts.LTS
-	ba *Buchi
+	m      *lts.LTS
+	ba     *Buchi
+	stride int // |BA| + 1
+
+	// admit[q*words : (q+1)*words] is the bitset of label indices whose
+	// labels satisfy the guard of automaton state q.
+	admit []uint64
+	words int
+
+	marks markStore
 }
 
-func (p *product) encode(s, q int) uint64 {
-	return uint64(s)*uint64(p.ba.Len()+1) + uint64(q+1)
-}
-
-func (p *product) decode(id uint64) (s, q int) {
-	n := uint64(p.ba.Len() + 1)
-	return int(id / n), int(id%n) - 1
-}
-
-// succ enumerates product successors: an LTS edge s --l--> s' pairs with
-// a BA edge q → q' whose target guard admits l.
-func (p *product) succ(id uint64, yield func(next uint64, l typelts.Label) bool) bool {
-	s, q := p.decode(id)
-	var baSucc []int
-	if q < 0 {
-		baSucc = p.ba.Init
-	} else {
-		baSucc = p.ba.Succ[q]
-	}
-	for _, e := range p.m.Edges[s] {
-		for _, qq := range baSucc {
-			if !p.ba.Admits(qq, e.Label) {
-				continue
-			}
-			if !yield(p.encode(e.Dst, qq), e.Label) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-func (p *product) accepting(id uint64) bool {
-	_, q := p.decode(id)
-	return q >= 0 && p.ba.Accepting[q]
-}
-
+// Colour/flag values packed into one byte per product state: the low two
+// bits are the blue-DFS colour, bit 2 is the red-DFS visited flag.
 const (
 	colorWhite = 0
 	colorCyan  = 1 // on the blue DFS stack
 	colorBlue  = 2 // blue DFS finished
+	colorMask  = 3
+	redFlag    = 4
 )
 
-type blueFrame struct {
-	id    uint64
-	edges []succEdge
-	next  int
+// markStore keeps the per-product-state byte. Product spaces up to
+// maxDenseMarks states use a flat slice (the common case: even the
+// million-state Fig. 9 rows stay within it for the schema automata);
+// anything larger falls back to a sparse map so memory stays bounded by
+// the visited set.
+type markStore struct {
+	dense  []uint8
+	sparse map[int]uint8
 }
 
-type succEdge struct {
-	dst   uint64
-	label typelts.Label
+const maxDenseMarks = 1 << 27
+
+func newMarkStore(size int) markStore {
+	if size >= 0 && size <= maxDenseMarks {
+		return markStore{dense: make([]uint8, size)}
+	}
+	return markStore{sparse: make(map[int]uint8, 1024)}
+}
+
+func (s *markStore) get(id int) uint8 {
+	if s.dense != nil {
+		return s.dense[id]
+	}
+	return s.sparse[id]
+}
+
+func (s *markStore) or(id int, bits uint8) {
+	if s.dense != nil {
+		s.dense[id] |= bits
+	} else {
+		s.sparse[id] |= bits
+	}
+}
+
+func (s *markStore) setColor(id int, c uint8) {
+	if s.dense != nil {
+		s.dense[id] = s.dense[id]&^colorMask | c
+	} else {
+		s.sparse[id] = s.sparse[id]&^colorMask | c
+	}
+}
+
+func newProduct(m *lts.LTS, ba *Buchi) *product {
+	p := &product{
+		m:      m,
+		ba:     ba,
+		stride: ba.Len() + 1,
+		words:  (len(m.Labels) + 63) / 64,
+	}
+	p.admit = make([]uint64, ba.Len()*p.words)
+	for q := 0; q < ba.Len(); q++ {
+		row := p.admit[q*p.words : (q+1)*p.words]
+		for i, lab := range m.Labels {
+			if ba.Admits(q, lab) {
+				row[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	p.marks = newMarkStore(m.Len() * p.stride)
+	return p
+}
+
+func (p *product) encode(s, q int) int { return s*p.stride + q + 1 }
+
+func (p *product) admits(q int, label int32) bool {
+	return p.admit[q*p.words+int(label)>>6]&(1<<(uint(label)&63)) != 0
+}
+
+func (p *product) baSucc(q int) []int {
+	if q < 0 {
+		return p.ba.Init
+	}
+	return p.ba.Succ[q]
+}
+
+func (p *product) accepting(id int) bool {
+	q := id%p.stride - 1
+	return q >= 0 && p.ba.Accepting[q]
+}
+
+// frame is one DFS frame: a product state plus the cursor (ei, bi) into
+// its successor enumeration (LTS edge index × automaton successor index).
+// via is the label of the successor edge most recently yielded — a moving
+// cursor register, which for every frame below the top of the blue stack
+// is exactly the edge leading to its child frame. in, by contrast, is
+// immutable: the label of the edge that *reached* this frame when it was
+// pushed, which is what red-DFS cycle reconstruction needs (via would be
+// clobbered by the frame's own outgoing iteration).
+type frame struct {
+	id     int
+	s, q   int
+	ei, bi int
+	via    int32
+	hasVia bool
+	in     int32
+}
+
+func (p *product) newFrame(id int) frame {
+	return frame{id: id, s: id / p.stride, q: id%p.stride - 1}
+}
+
+// advance yields the next product successor of f, moving its cursor.
+func (p *product) advance(f *frame) (int, bool) {
+	edges := p.m.Out(f.s)
+	bs := p.baSucc(f.q)
+	for f.ei < len(edges) {
+		e := edges[f.ei]
+		for f.bi < len(bs) {
+			qq := bs[f.bi]
+			f.bi++
+			if p.admits(qq, e.Label) {
+				f.via = e.Label
+				f.hasVia = true
+				return p.encode(int(e.Dst), qq), true
+			}
+		}
+		f.ei++
+		f.bi = 0
+	}
+	return 0, false
 }
 
 // findAcceptingLasso runs the CVWY nested depth-first search (with the
@@ -112,92 +205,66 @@ type succEdge struct {
 // an inner (red) DFS looks for a cycle back to it or to any state still
 // on the blue stack.
 func (p *product) findAcceptingLasso() (*Trace, int) {
-	color := map[uint64]uint8{}
-	red := map[uint64]bool{}
 	start := p.encode(p.m.Initial, -1)
+	visited := 0
 
-	expand := func(id uint64) []succEdge {
-		var out []succEdge
-		p.succ(id, func(next uint64, l typelts.Label) bool {
-			out = append(out, succEdge{dst: next, label: l})
-			return true
-		})
-		return out
-	}
-
-	var stack []*blueFrame
-	push := func(id uint64) {
-		color[id] = colorCyan
-		stack = append(stack, &blueFrame{id: id, edges: expand(id)})
+	stack := make([]frame, 0, 64)
+	push := func(id int) {
+		p.marks.setColor(id, colorCyan)
+		visited++
+		stack = append(stack, p.newFrame(id))
 	}
 	push(start)
 
 	for len(stack) > 0 {
-		top := stack[len(stack)-1]
-		if top.next < len(top.edges) {
-			e := top.edges[top.next]
-			top.next++
-			if color[e.dst] == colorWhite {
-				push(e.dst)
+		top := &stack[len(stack)-1]
+		if next, ok := p.advance(top); ok {
+			if p.marks.get(next)&colorMask == colorWhite {
+				push(next)
 			}
 			continue
 		}
 		// Post-order retirement.
+		retired := *top
 		stack = stack[:len(stack)-1]
-		if p.accepting(top.id) {
-			if cyc := p.redDFS(top.id, color, red); cyc != nil {
-				prefix, cycle := p.assemble(stack, top.id, cyc)
-				return &Trace{Prefix: prefix, Cycle: cycle}, len(color)
+		if p.accepting(retired.id) {
+			if cyc := p.redDFS(retired.id); cyc != nil {
+				prefix, cycle := p.assemble(stack, retired.id, cyc)
+				return &Trace{Prefix: prefix, Cycle: cycle}, visited
 			}
 		}
-		color[top.id] = colorBlue
+		p.marks.setColor(retired.id, colorBlue)
 	}
-	return nil, len(color)
-}
-
-// redStep is a frame of the inner DFS, remembering the label taken to
-// reach it for counterexample reconstruction.
-type redStep struct {
-	id    uint64
-	via   typelts.Label
-	edges []succEdge
-	next  int
+	return nil, visited
 }
 
 // redDFS searches from seed for a path back to seed or to a cyan state.
-// It returns the labels of that path (the cycle body), or nil.
-func (p *product) redDFS(seed uint64, color map[uint64]uint8, red map[uint64]bool) []redStep {
-	expand := func(id uint64) []succEdge {
-		var out []succEdge
-		p.succ(id, func(next uint64, l typelts.Label) bool {
-			out = append(out, succEdge{dst: next, label: l})
-			return true
-		})
-		return out
-	}
-	stack := []*redStep{{id: seed, edges: expand(seed)}}
-	red[seed] = true
+// It returns the frames of that path (the cycle body), or nil.
+func (p *product) redDFS(seed int) []frame {
+	stack := make([]frame, 0, 32)
+	stack = append(stack, p.newFrame(seed))
+	p.marks.or(seed, redFlag)
 	for len(stack) > 0 {
-		top := stack[len(stack)-1]
-		if top.next >= len(top.edges) {
+		top := &stack[len(stack)-1]
+		next, ok := p.advance(top)
+		if !ok {
 			stack = stack[:len(stack)-1]
 			continue
 		}
-		e := top.edges[top.next]
-		top.next++
-		if e.dst == seed || color[e.dst] == colorCyan {
-			// Cycle found: path seed → ... → top → e.dst (where e.dst is
+		if next == seed || p.marks.get(next)&colorMask == colorCyan {
+			// Cycle found: path seed → ... → top → next (where next is
 			// the seed itself or an ancestor of it on the blue stack).
-			path := make([]redStep, len(stack))
-			for i, f := range stack {
-				path[i] = *f
-			}
-			path = append(path, redStep{id: e.dst, via: e.label})
-			return path
+			closing := p.newFrame(next)
+			closing.in = top.via // label that reached `next`
+			path := make([]frame, len(stack), len(stack)+1)
+			copy(path, stack)
+			return append(path, closing)
 		}
-		if !red[e.dst] {
-			red[e.dst] = true
-			stack = append(stack, &redStep{id: e.dst, via: e.label, edges: expand(e.dst)})
+		if p.marks.get(next)&redFlag == 0 {
+			p.marks.or(next, redFlag)
+			nf := p.newFrame(next)
+			nf.in = top.via
+			stack = append(stack, nf)
 		}
 	}
 	return nil
@@ -206,17 +273,18 @@ func (p *product) redDFS(seed uint64, color map[uint64]uint8, red map[uint64]boo
 // assemble reconstructs the violating lasso: the blue stack gives the
 // prefix from the initial state down to the seed's parent; the red path
 // gives the cycle, possibly closed through a cyan blue-stack segment.
-func (p *product) assemble(blue []*blueFrame, seed uint64, redPath []redStep) (prefix, cycle []typelts.Label) {
-	// Labels along the blue stack: each frame's (next-1)-th edge led to
-	// the following frame (or to the seed for the last frame).
-	for _, f := range blue {
-		if f.next-1 >= 0 && f.next-1 < len(f.edges) {
-			prefix = append(prefix, f.edges[f.next-1].label)
+func (p *product) assemble(blue []frame, seed int, redPath []frame) (prefix, cycle []typelts.Label) {
+	// Labels along the blue stack: each frame's most recently yielded
+	// edge led to the following frame (or to the seed for the last one).
+	for i := range blue {
+		if blue[i].hasVia {
+			prefix = append(prefix, p.m.Labels[blue[i].via])
 		}
 	}
-	// Red path labels: redPath[0] is the seed (no incoming label).
+	// Red path labels: redPath[0] is the seed (no incoming label); every
+	// later frame records the label that reached it.
 	for _, st := range redPath[1:] {
-		cycle = append(cycle, st.via)
+		cycle = append(cycle, p.m.Labels[st.in])
 	}
 	closing := redPath[len(redPath)-1].id
 	if closing != seed {
@@ -224,17 +292,16 @@ func (p *product) assemble(blue []*blueFrame, seed uint64, redPath []redStep) (p
 		// lasso by following the blue stack from that state back down to
 		// the seed.
 		idx := -1
-		for i, f := range blue {
-			if f.id == closing {
+		for i := range blue {
+			if blue[i].id == closing {
 				idx = i
 				break
 			}
 		}
 		if idx >= 0 {
 			for i := idx; i < len(blue); i++ {
-				f := blue[i]
-				if f.next-1 >= 0 && f.next-1 < len(f.edges) {
-					cycle = append(cycle, f.edges[f.next-1].label)
+				if blue[i].hasVia {
+					cycle = append(cycle, p.m.Labels[blue[i].via])
 				}
 			}
 		}

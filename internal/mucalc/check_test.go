@@ -35,20 +35,21 @@ func join(ns []string) string {
 
 // mkLTS builds a test LTS; every state must have ≥1 outgoing edge
 // (run-completed), matching what lts.Explore produces.
-func mkLTS(n int, edges map[int][]lts.Edge) *lts.LTS {
-	m := &lts.LTS{Initial: 0}
+func mkLTS(n int, edges map[int][]lts.AdjEdge) *lts.LTS {
+	states := make([]types.Type, n)
+	adj := make([][]lts.AdjEdge, n)
 	for i := 0; i < n; i++ {
-		m.States = append(m.States, types.Nil{})
-		m.Edges = append(m.Edges, edges[i])
+		states[i] = types.Nil{}
+		adj[i] = edges[i]
 	}
-	return m
+	return lts.FromAdjacency(states, adj, 0)
 }
 
-func edge(l typelts.Label, dst int) lts.Edge { return lts.Edge{Label: l, Dst: dst} }
+func edge(l typelts.Label, dst int) lts.AdjEdge { return lts.AdjEdge{Label: l, Dst: dst} }
 
 func TestBoxOnSelfLoop(t *testing.T) {
 	// One state looping on "a".
-	m := mkLTS(1, map[int][]lts.Edge{0: {edge(lab("a"), 0)}})
+	m := mkLTS(1, map[int][]lts.AdjEdge{0: {edge(lab("a"), 0)}})
 	if r := Check(m, Box(Prop{Set: set("a")})); !r.Holds {
 		t.Errorf("□⟨a⟩ must hold on a^ω (counterexample: %+v)", r.Counterexample)
 	}
@@ -61,7 +62,7 @@ func TestBoxOnSelfLoop(t *testing.T) {
 
 func TestDiamond(t *testing.T) {
 	// 0 --a--> 1 --b--> 1.
-	m := mkLTS(2, map[int][]lts.Edge{
+	m := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 1)},
 		1: {edge(lab("b"), 1)},
 	})
@@ -81,7 +82,7 @@ func TestDiamond(t *testing.T) {
 
 func TestUntil(t *testing.T) {
 	// 0 --a--> 0, 0 --b--> 1, 1 --c--> 1: runs a^n b c^ω and a^ω.
-	m := mkLTS(2, map[int][]lts.Edge{
+	m := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 0), edge(lab("b"), 1)},
 		1: {edge(lab("c"), 1)},
 	})
@@ -91,7 +92,7 @@ func TestUntil(t *testing.T) {
 		t.Error("aUb must fail on a^ω")
 	}
 	// On the sub-LTS without the a-loop it holds.
-	m2 := mkLTS(2, map[int][]lts.Edge{
+	m2 := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("b"), 1)},
 		1: {edge(lab("c"), 1)},
 	})
@@ -102,7 +103,7 @@ func TestUntil(t *testing.T) {
 
 func TestPrefix(t *testing.T) {
 	// 0 --a--> 1 --b--> 1.
-	m := mkLTS(2, map[int][]lts.Edge{
+	m := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 1)},
 		1: {edge(lab("b"), 1)},
 	})
@@ -124,7 +125,7 @@ func TestPrefix(t *testing.T) {
 
 func TestBranchingAllRuns(t *testing.T) {
 	// 0 branches to a-loop and b-loop: T |= ϕ quantifies over ALL runs.
-	m := mkLTS(3, map[int][]lts.Edge{
+	m := mkLTS(3, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 1), edge(lab("b"), 2)},
 		1: {edge(lab("a"), 1)},
 		2: {edge(lab("b"), 2)},
@@ -142,7 +143,7 @@ func TestBranchingAllRuns(t *testing.T) {
 
 func TestImplicationResponse(t *testing.T) {
 	// Request/response: 0 --req--> 1 --resp--> 0, and an idle loop 0 --idle--> 0.
-	m := mkLTS(2, map[int][]lts.Edge{
+	m := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("idle"), 0), edge(lab("req"), 1)},
 		1: {edge(lab("resp"), 0)},
 	})
@@ -152,7 +153,7 @@ func TestImplicationResponse(t *testing.T) {
 		t.Errorf("request⇒response must hold: %+v", r.Counterexample)
 	}
 	// Broken system: 1 loops on "stall" instead of responding.
-	m2 := mkLTS(2, map[int][]lts.Edge{
+	m2 := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("idle"), 0), edge(lab("req"), 1)},
 		1: {edge(lab("stall"), 1)},
 	})
@@ -163,7 +164,7 @@ func TestImplicationResponse(t *testing.T) {
 
 func TestDoneCompletion(t *testing.T) {
 	// 0 --a--> 1(✔): proper termination.
-	m := mkLTS(2, map[int][]lts.Edge{
+	m := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 1)},
 		1: {edge(typelts.Done{}, 1)},
 	})
@@ -178,7 +179,7 @@ func TestDoneCompletion(t *testing.T) {
 
 func TestCounterexampleShape(t *testing.T) {
 	// 0 --a--> 1 --b--> 1; □⟨a⟩ fails with prefix [a] and cycle [b...].
-	m := mkLTS(2, map[int][]lts.Edge{
+	m := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("a"), 1)},
 		1: {edge(lab("b"), 1)},
 	})
@@ -198,6 +199,110 @@ func TestCounterexampleShape(t *testing.T) {
 	}
 	if !sawB {
 		t.Errorf("counterexample must exhibit the violating action b: %v", all)
+	}
+}
+
+// TestRedDFSCycleLabels regression-tests the inner-DFS counterexample
+// reconstruction: the cycle labels must be the *incoming* labels of the
+// red path (frame.in, fixed at push time), not the frames' outgoing-edge
+// cursor (frame.via), which each frame overwrites while iterating. With
+// the cursor wrongly reused, a 3-edge cycle x y z came back as y z z —
+// a label sequence that is not a run of the LTS.
+func TestRedDFSCycleLabels(t *testing.T) {
+	// 0 --i--> 1 --x--> 2 --y--> 3 --z--> 1.
+	m := mkLTS(4, map[int][]lts.AdjEdge{
+		0: {edge(lab("i"), 1)},
+		1: {edge(lab("x"), 2)},
+		2: {edge(lab("y"), 3)},
+		3: {edge(lab("z"), 1)},
+	})
+	// A one-state Büchi automaton admitting everything: the product is
+	// the LTS itself, so redDFS from (1,q) must walk the full 3-edge
+	// cycle back to its seed.
+	ba := &Buchi{
+		Pos:       make([][]ActionSet, 1),
+		Neg:       make([][]ActionSet, 1),
+		Succ:      [][]int{{0}},
+		Init:      []int{0},
+		Accepting: []bool{true},
+	}
+	p := newProduct(m, ba)
+	path := p.redDFS(p.encode(1, 0))
+	if path == nil {
+		t.Fatal("expected redDFS to find the cycle")
+	}
+	var got []string
+	for _, f := range path[1:] {
+		got = append(got, p.m.Labels[f.in].Key())
+	}
+	want := []string{lab("x").Key(), lab("y").Key(), lab("z").Key()}
+	if len(got) != len(want) {
+		t.Fatalf("cycle labels %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle labels %v, want %v", got, want)
+		}
+	}
+}
+
+// lassoFeasible reports whether the trace is an actual run of m: the
+// prefix must be traversable from the initial state, and the cycle must
+// remain traversable when repeated (checked twice, which exposes any
+// label sequence that only accidentally matches once).
+func lassoFeasible(m *lts.LTS, tr *Trace) bool {
+	step := func(cur map[int]bool, l typelts.Label) map[int]bool {
+		next := map[int]bool{}
+		for s := range cur {
+			for _, e := range m.Out(s) {
+				if m.LabelOf(e).Key() == l.Key() {
+					next[int(e.Dst)] = true
+				}
+			}
+		}
+		return next
+	}
+	cur := map[int]bool{m.Initial: true}
+	for _, l := range tr.Prefix {
+		if cur = step(cur, l); len(cur) == 0 {
+			return false
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for _, l := range tr.Cycle {
+			if cur = step(cur, l); len(cur) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCounterexamplesAreRuns: every counterexample lasso the checker
+// reports on a multi-state cycle must be a feasible run of the LTS.
+func TestCounterexamplesAreRuns(t *testing.T) {
+	m := mkLTS(4, map[int][]lts.AdjEdge{
+		0: {edge(lab("i"), 1)},
+		1: {edge(lab("x"), 2)},
+		2: {edge(lab("y"), 3)},
+		3: {edge(lab("z"), 1)},
+	})
+	for _, phi := range []Formula{
+		Box(Prop{Set: set("i", "x", "y")}),                              // z occurs
+		Box(Diamond(Prop{Set: set("i")})),                               // i fires only once
+		Box(Implies(Prop{Set: set("x")}, Next{F: Prop{Set: set("z")}})), // x is followed by y
+	} {
+		r := Check(m, phi)
+		if r.Holds {
+			t.Fatalf("%s must fail on i (x y z)^ω", phi)
+		}
+		if r.Counterexample == nil || len(r.Counterexample.Cycle) == 0 {
+			t.Fatalf("%s: expected a lasso counterexample, got %+v", phi, r.Counterexample)
+		}
+		if !lassoFeasible(m, r.Counterexample) {
+			t.Errorf("%s: counterexample is not a run of the LTS: prefix=%v cycle=%v",
+				phi, r.Counterexample.Prefix, r.Counterexample.Cycle)
+		}
 	}
 }
 
@@ -235,12 +340,12 @@ func hasNot(f Formula) bool {
 func TestReleaseSemantics(t *testing.T) {
 	// a R b: b holds until (and including when) a holds; if a never
 	// holds, b must hold forever.
-	m := mkLTS(1, map[int][]lts.Edge{0: {edge(lab("b"), 0)}})
+	m := mkLTS(1, map[int][]lts.AdjEdge{0: {edge(lab("b"), 0)}})
 	phi := Release{L: Prop{Set: set("a")}, R: Prop{Set: set("b")}}
 	if r := Check(m, phi); !r.Holds {
 		t.Error("aRb must hold on b^ω")
 	}
-	m2 := mkLTS(2, map[int][]lts.Edge{
+	m2 := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("b"), 1)},
 		1: {edge(lab("c"), 1)},
 	})
@@ -250,7 +355,7 @@ func TestReleaseSemantics(t *testing.T) {
 	// b, then a&b simultaneously impossible with single labels; release
 	// with overlapping sets: (a∪b R b) on b^ω then... keep simple: the
 	// release fires when a position satisfies both L and R.
-	m3 := mkLTS(2, map[int][]lts.Edge{
+	m3 := mkLTS(2, map[int][]lts.AdjEdge{
 		0: {edge(lab("b"), 1)},
 		1: {edge(lab("c"), 1)},
 	})

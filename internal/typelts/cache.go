@@ -1,0 +1,228 @@
+package typelts
+
+import (
+	"fmt"
+
+	"effpi/internal/types"
+)
+
+// Cache memoises the expensive ingredients of the transition semantics
+// across states and across whole explorations: raw (un-Y-limited)
+// transition step lists per hash-consed type, synchronisation matches per
+// label identity, and the type interner itself (which also memoises
+// µ-unfolding and substitution). A single Cache shared by the six Fig. 9
+// property checks of one system makes their explorations reuse each
+// other's per-component work, because the cache key — the interned type —
+// is independent of the Y-limitation (Observable), which is applied as a
+// filter on top of the cached raw steps.
+//
+// A Cache is bound to one environment Γ and one WitnessOnly mode: raw
+// steps depend on both (early-input candidates are drawn from Γ). A
+// Semantics with a mismatching cache ignores it rather than serving
+// wrong entries. Cache is not safe for concurrent use (the Interner
+// inside it is).
+type Cache struct {
+	env         *types.Env
+	witnessOnly bool
+	in          *types.Interner
+	steps       map[types.ID][]Step
+	match       map[matchKey]bool
+	comp        map[types.ID][]CompStep
+	sync        map[[2]types.ID][]CompStep
+}
+
+type matchKey struct {
+	outSub, outPay, inSub, inPay types.ID
+}
+
+// NewCache returns an empty cache for semantics over env with the given
+// WitnessOnly mode.
+func NewCache(env *types.Env, witnessOnly bool) *Cache {
+	return &Cache{
+		env:         env,
+		witnessOnly: witnessOnly,
+		in:          types.NewInterner(),
+		steps:       make(map[types.ID][]Step, 1024),
+		match:       make(map[matchKey]bool, 256),
+		comp:        make(map[types.ID][]CompStep, 256),
+		sync:        make(map[[2]types.ID][]CompStep, 256),
+	}
+}
+
+// Interner exposes the cache's type interner, which callers (lts.Explore)
+// use for state identity.
+func (c *Cache) Interner() *types.Interner { return c.in }
+
+// compatible reports whether the cache may serve entries for s: same
+// environment and early-input mode.
+func (c *Cache) compatible(s *Semantics) bool {
+	return c != nil && c.env == s.Env && c.witnessOnly == s.WitnessOnly
+}
+
+// HasCompatibleCache reports whether s carries a cache built for its own
+// environment and early-input mode (and may therefore serve its entries).
+func (s *Semantics) HasCompatibleCache() bool { return s.Cache.compatible(s) }
+
+// LabelKey is a compact identity for a transition label: two labels have
+// equal LabelKeys (from the same Cache) iff their Key() strings are
+// equal. Building one costs a few small type interns instead of
+// rendering canonical strings.
+type LabelKey struct {
+	Kind    uint8
+	A, B, C types.ID
+}
+
+const (
+	labelTau   = 1
+	labelOut   = 2
+	labelIn    = 3
+	labelComm  = 4
+	labelDone  = 5
+	labelStuck = 6
+)
+
+// CompStep is one transition viewed at the component level: the label,
+// its compact identity, and the hash-consed FlattenPar leaves of the
+// successor of the participating component(s). State successors are
+// multiset surgery — remove the acting components' IDs, add Next — so
+// lts.Explore never builds or walks a successor type tree on the hot
+// path. For a synchronisation step Next holds the replacements of both
+// participants concatenated (the state is a multiset, so positions are
+// irrelevant).
+type CompStep struct {
+	Label Label
+	Key   LabelKey
+	Next  []types.ID
+}
+
+// ComponentSteps returns the raw (un-Y-limited) transitions of the
+// single component with interned id cid, memoised in the semantics'
+// cache. The component is one FlattenPar leaf of a state; its steps are
+// the interleaving moves the state inherits from it (Fig. 6 lifted
+// through the parallel context).
+//
+// Unlike Transitions, the component API cannot fall back to uncached
+// computation — cid is only meaningful relative to the cache's interner
+// — so a missing or mismatched cache is a caller bug and panics
+// (lts.Explore always attaches a compatible one).
+func (s *Semantics) ComponentSteps(cid types.ID) []CompStep {
+	c := s.mustCache()
+	if cs, ok := c.comp[cid]; ok {
+		return cs
+	}
+	saved := s.depthHit
+	s.depthHit = false
+	// Depth 1: the component sits inside the state's parallel context,
+	// mirroring parSteps' raw(c, depth+1).
+	steps := s.rawOf(c.in.TypeOf(cid), 1)
+	cs := make([]CompStep, len(steps))
+	for i, st := range steps {
+		cs[i] = CompStep{Label: st.Label, Key: c.LabelKeyOf(st.Label), Next: c.internLeaves(st.Next)}
+	}
+	if !s.depthHit {
+		c.comp[cid] = cs
+	}
+	s.depthHit = s.depthHit || saved
+	return cs
+}
+
+// SyncSteps returns the synchronisations [T→iox]/[T→io] between an
+// output of component ci and an input of component cj, memoised per
+// ordered component pair. Next holds the flattened successors of both
+// components. Like ComponentSteps, it requires a compatible cache.
+func (s *Semantics) SyncSteps(ci, cj types.ID) []CompStep {
+	c := s.mustCache()
+	key := [2]types.ID{ci, cj}
+	if ss, ok := c.sync[key]; ok {
+		return ss
+	}
+	saved := s.depthHit
+	s.depthHit = false
+	outs := s.ComponentSteps(ci)
+	ins := s.ComponentSteps(cj)
+	ss := []CompStep{}
+	for _, so := range outs {
+		out, ok := so.Label.(Output)
+		if !ok {
+			continue
+		}
+		for _, si := range ins {
+			in, ok := si.Label.(Input)
+			if !ok {
+				continue
+			}
+			if !s.match(out, in) {
+				continue
+			}
+			next := make([]types.ID, 0, len(so.Next)+len(si.Next))
+			next = append(next, so.Next...)
+			next = append(next, si.Next...)
+			lab := Comm{Sender: out.Subject, Receiver: in.Subject, Payload: out.Payload}
+			ss = append(ss, CompStep{Label: lab, Key: c.LabelKeyOf(lab), Next: next})
+		}
+	}
+	if !s.depthHit {
+		c.sync[key] = ss
+	}
+	s.depthHit = s.depthHit || saved
+	return ss
+}
+
+// internLeaves interns the FlattenPar leaves of t.
+func (c *Cache) internLeaves(t types.Type) []types.ID {
+	leaves := types.FlattenPar(t)
+	ids := make([]types.ID, len(leaves))
+	for i, l := range leaves {
+		ids[i] = c.in.Intern(l)
+	}
+	return ids
+}
+
+// InternLeaves interns the FlattenPar leaves of t: the component
+// representation lts.Explore seeds its root state with. It requires a
+// compatible cache (see ComponentSteps).
+func (s *Semantics) InternLeaves(t types.Type) []types.ID {
+	return s.mustCache().internLeaves(t)
+}
+
+// mustCache returns the semantics' cache, panicking with a diagnostic if
+// it is absent or was built for a different Env/WitnessOnly pair —
+// serving such entries would silently compute transitions under the
+// wrong environment.
+func (s *Semantics) mustCache() *Cache {
+	if !s.Cache.compatible(s) {
+		panic("typelts: component-step API requires a Cache built with NewCache(sem.Env, sem.WitnessOnly)")
+	}
+	return s.Cache
+}
+
+// KeepLabel applies the Y-limitation filter of Def. 4.9 to a single
+// label (true when no limitation is configured).
+func (s *Semantics) KeepLabel(l Label) bool {
+	if s.Observable == nil {
+		return true
+	}
+	return s.keep(l)
+}
+
+// LabelKeyOf computes the compact identity of l.
+func (c *Cache) LabelKeyOf(l Label) LabelKey {
+	switch l := l.(type) {
+	case TauChoice:
+		return LabelKey{Kind: labelTau}
+	case Done:
+		return LabelKey{Kind: labelDone}
+	case Stuck:
+		return LabelKey{Kind: labelStuck}
+	case Output:
+		return LabelKey{Kind: labelOut, A: c.in.Intern(l.Subject), B: c.in.Intern(l.Payload)}
+	case Input:
+		return LabelKey{Kind: labelIn, A: c.in.Intern(l.Subject), B: c.in.Intern(l.Payload)}
+	case Comm:
+		return LabelKey{Kind: labelComm, A: c.in.Intern(l.Sender), B: c.in.Intern(l.Receiver), C: c.in.Intern(l.Payload)}
+	default:
+		// A silent zero key would collapse all unknown label kinds into
+		// one alphabet entry and corrupt verdicts; fail loudly instead.
+		panic(fmt.Sprintf("typelts: LabelKeyOf: unknown label implementation %T", l))
+	}
+}

@@ -12,6 +12,11 @@ type Step struct {
 
 // Semantics computes transitions of types in a fixed environment Γ,
 // optionally limited to a set of observable channels (Def. 4.9).
+//
+// A Semantics is for a single goroutine: it carries mutable bookkeeping
+// (depthHit) and an optional Cache, neither of which is synchronised.
+// Only the types.Interner inside a Cache is safe for concurrent use;
+// concurrent explorations must each use their own Semantics and Cache.
 type Semantics struct {
 	Env *types.Env
 	// Observable, when non-nil, enables the Y-limitation ↑Γ Y: input and
@@ -28,22 +33,56 @@ type Semantics struct {
 	// the Y-limitation). The verifier enables this; plain exploration
 	// keeps the paper's full [T→i] rule.
 	WitnessOnly bool
+	// Cache, when non-nil and built for the same Env/WitnessOnly pair,
+	// memoises raw step lists per hash-consed type and synchronisation
+	// matches per label identity. Sharing one Cache across explorations
+	// (verify.VerifyAll does) shares their per-component work; the
+	// Y-limitation is applied on top of cached entries, so a Cache may
+	// serve semantics with different Observable sets.
+	Cache *Cache
+	// depthHit records that the unfold-depth guard fired somewhere below
+	// the current raw computation; such (truncated) results are not
+	// admitted into the cache.
+	depthHit bool
 }
 
 // Transitions returns all labelled transitions of t (Fig. 6), after
-// applying the Y-limitation if configured.
+// applying the Y-limitation if configured. The returned slice may be
+// shared with the semantics' cache and must not be mutated.
 func (s *Semantics) Transitions(t types.Type) []Step {
-	steps := s.raw(t, 0)
+	steps := s.rawOf(t, 0)
 	if s.Observable == nil {
 		return steps
 	}
-	kept := steps[:0]
+	kept := make([]Step, 0, len(steps))
 	for _, st := range steps {
 		if s.keep(st.Label) {
 			kept = append(kept, st)
 		}
 	}
 	return kept
+}
+
+// rawOf computes (or recalls) the raw transitions of t. Results are
+// cached per interned type unless the computation was truncated by the
+// unfold-depth guard.
+func (s *Semantics) rawOf(t types.Type, depth int) []Step {
+	c := s.Cache
+	if !c.compatible(s) {
+		return s.raw(t, depth)
+	}
+	id := c.in.Intern(t)
+	if steps, ok := c.steps[id]; ok {
+		return steps
+	}
+	saved := s.depthHit
+	s.depthHit = false
+	steps := s.raw(t, depth)
+	if !s.depthHit {
+		c.steps[id] = steps
+	}
+	s.depthHit = s.depthHit || saved
+	return steps
 }
 
 // keep implements Def. 4.9: i/o labels require a variable subject in Y.
@@ -68,12 +107,13 @@ const maxUnfoldDepth = 64
 // raw computes the un-limited transitions.
 func (s *Semantics) raw(t types.Type, depth int) []Step {
 	if depth > maxUnfoldDepth {
+		s.depthHit = true
 		return nil
 	}
 	switch t := t.(type) {
 	case types.Rec:
 		// ≡: µt.T ≡ T{µt.T/t}; contractivity bounds the unfolding.
-		return s.raw(types.Unfold(t), depth+1)
+		return s.rawOf(s.unfold(t), depth+1)
 
 	case types.Union:
 		// τ[∨]: T ∨ U reduces to either branch.
@@ -154,11 +194,27 @@ func (s *Semantics) inSteps(t types.In, depth int) []Step {
 	for _, payload := range candidates {
 		next := pi.Cod
 		if pi.Var != "" {
-			next = types.Subst(pi.Cod, pi.Var, payload)
+			next = s.subst(pi.Cod, pi.Var, payload)
 		}
 		steps = append(steps, Step{Label: Input{Subject: t.Ch, Payload: payload}, Next: next})
 	}
 	return steps
+}
+
+// unfold and subst route the two tree rewrites of the semantics through
+// the cache's interner memo when one is attached.
+func (s *Semantics) unfold(t types.Type) types.Type {
+	if s.Cache.compatible(s) {
+		return s.Cache.in.Unfold(t)
+	}
+	return types.Unfold(t)
+}
+
+func (s *Semantics) subst(t types.Type, x string, payload types.Type) types.Type {
+	if s.Cache.compatible(s) {
+		return s.Cache.in.Subst(t, x, payload)
+	}
+	return types.Subst(t, x, payload)
 }
 
 // parSteps lifts component transitions through the parallel context and
@@ -170,7 +226,7 @@ func (s *Semantics) parSteps(t types.Par, depth int) []Step {
 	}
 	perComp := make([][]Step, len(comps))
 	for i, c := range comps {
-		perComp[i] = s.raw(c, depth+1)
+		perComp[i] = s.rawOf(c, depth+1)
 	}
 
 	var steps []Step
@@ -215,8 +271,30 @@ func (s *Semantics) parSteps(t types.Par, depth int) []Step {
 // match decides whether an output S⟨T⟩ and an input S′(T′) synchronise:
 // Γ ⊢ S ▷◁ S′, and either the payload is a variable x transmitted as
 // itself ([T→iox]: the input instance with payload exactly x), or a
-// non-variable payload with Γ ⊢ T ⩽ T′ ([T→io]).
+// non-variable payload with Γ ⊢ T ⩽ T′ ([T→io]). The verdict depends
+// only on the four label types (and Γ), so it is memoised per label
+// identity when a cache is attached: the subtype checks behind ▷◁ and ⩽
+// are the second-largest allocation source of bare exploration.
 func (s *Semantics) match(out Output, in Input) bool {
+	c := s.Cache
+	if !c.compatible(s) {
+		return s.matchUncached(out, in)
+	}
+	key := matchKey{
+		outSub: c.in.Intern(out.Subject),
+		outPay: c.in.Intern(out.Payload),
+		inSub:  c.in.Intern(in.Subject),
+		inPay:  c.in.Intern(in.Payload),
+	}
+	if v, ok := c.match[key]; ok {
+		return v
+	}
+	v := s.matchUncached(out, in)
+	c.match[key] = v
+	return v
+}
+
+func (s *Semantics) matchUncached(out Output, in Input) bool {
 	if !types.MightInteract(s.Env, out.Subject, in.Subject) {
 		return false
 	}

@@ -83,22 +83,31 @@ func EvUsageHolds(u *Uses, m *lts.LTS, channels []string) bool {
 	}
 	target := mucalc.LabelSet("out("+joinNames(channels)+")", outs...)
 
+	// Evaluate both set predicates once per distinct label of the dense
+	// alphabet, then walk the flat edge array with plain bool lookups.
+	isTarget := make([]bool, len(m.Labels))
+	isAtau := make([]bool, len(m.Labels))
+	for i, l := range m.Labels {
+		isTarget[i] = target.Contains(l)
+		isAtau[i] = atau.Contains(l)
+	}
+
 	visited := make([]bool, m.Len())
 	queue := []int{m.Initial}
 	visited[m.Initial] = true
 	for len(queue) > 0 {
 		s := queue[0]
 		queue = queue[1:]
-		for _, e := range m.Edges[s] {
-			if target.Contains(e.Label) {
+		for _, e := range m.Out(s) {
+			if isTarget[e.Label] {
 				return true
 			}
-			if atau.Contains(e.Label) {
+			if isAtau[e.Label] {
 				continue // runs through imprecise synchronisations don't count
 			}
 			if !visited[e.Dst] {
 				visited[e.Dst] = true
-				queue = append(queue, e.Dst)
+				queue = append(queue, int(e.Dst))
 			}
 		}
 	}

@@ -13,6 +13,7 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -118,6 +119,12 @@ type Request struct {
 	// Reuse, when non-nil, skips exploration and verifies on a previously
 	// explored LTS (which must have been built with the same observables).
 	Reuse *lts.LTS
+	// Cache, when non-nil, supplies the shared transition cache (interner
+	// + memoised raw steps) the exploration runs on. VerifyAll threads one
+	// cache through all properties of a system so their explorations
+	// share per-state work; it must have been built with
+	// typelts.NewCache(Env, true).
+	Cache *typelts.Cache
 }
 
 // Outcome is a verification result.
@@ -158,7 +165,7 @@ func Verify(req Request) (*Outcome, error) {
 	for _, x := range obsList {
 		obs[x] = true
 	}
-	sem := &typelts.Semantics{Env: req.Env, Observable: obs, WitnessOnly: true}
+	sem := &typelts.Semantics{Env: req.Env, Observable: obs, WitnessOnly: true, Cache: req.Cache}
 
 	m := req.Reuse
 	if m == nil {
@@ -198,22 +205,29 @@ func Verify(req Request) (*Outcome, error) {
 }
 
 // VerifyAll verifies all six Fig. 9 properties of a system, reusing the
-// explored LTS across properties that share the same observables.
+// explored LTS across properties that share the same observable *set*
+// (the key is order-insensitive: observables are sorted before joining),
+// and sharing one transition cache — interner, memoised per-state steps,
+// synchronisation matches — across every exploration, so properties with
+// different Y-limitations still reuse each other's per-state work.
 func VerifyAll(env *types.Env, t types.Type, props []Property, maxStates int) ([]*Outcome, error) {
 	outcomes := make([]*Outcome, 0, len(props))
-	cache := map[string]*lts.LTS{}
+	ltsCache := map[string]*lts.LTS{}
+	shared := typelts.NewCache(env, true)
 	for _, p := range props {
 		obs, err := ObservablesFor(env, p)
 		if err != nil {
 			return outcomes, fmt.Errorf("%s: %w", p, err)
 		}
-		key := strings.Join(obs, ",")
-		req := Request{Env: env, Type: t, Property: p, MaxStates: maxStates, Reuse: cache[key]}
+		sorted := append([]string{}, obs...)
+		sort.Strings(sorted)
+		key := strings.Join(sorted, ",")
+		req := Request{Env: env, Type: t, Property: p, MaxStates: maxStates, Reuse: ltsCache[key], Cache: shared}
 		o, err := Verify(req)
 		if err != nil {
 			return outcomes, fmt.Errorf("%s: %w", p, err)
 		}
-		cache[key] = o.LTS
+		ltsCache[key] = o.LTS
 		outcomes = append(outcomes, o)
 	}
 	return outcomes, nil

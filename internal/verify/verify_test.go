@@ -224,6 +224,31 @@ func TestVerifyAllReusesLTS(t *testing.T) {
 	}
 }
 
+// TestVerifyAllReuseIsOrderInsensitive: two properties whose observable
+// *sets* coincide but are enumerated in different orders (forwarding
+// x→y vs y→x) must share one explored LTS — the reuse key sorts the
+// observables before joining.
+func TestVerifyAllReuseIsOrderInsensitive(t *testing.T) {
+	env := types.EnvOf(
+		"x", types.ChanIO{Elem: types.Int{}},
+		"y", types.ChanIO{Elem: types.Int{}},
+	)
+	p := types.Rec{Var: "t", Body: types.In{Ch: tv("x"),
+		Cont: types.Pi{Var: "v", Dom: types.Int{},
+			Cod: types.Out{Ch: tv("y"), Payload: types.Int{}, Cont: types.Thunk(types.RecVar{Name: "t"})}}}}
+	props := []Property{
+		{Kind: Forwarding, From: "x", To: "y"}, // observables [x y]
+		{Kind: Forwarding, From: "y", To: "x"}, // observables [y x] — same set
+	}
+	outcomes, err := VerifyAll(env, p, props, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].LTS != outcomes[1].LTS {
+		t.Error("equal observable sets in different orders must share the explored LTS")
+	}
+}
+
 func TestDeadlockFreeOpenOutput(t *testing.T) {
 	// The same output-only loop verified OPEN on x keeps firing forever:
 	// deadlock-free modulo {x} holds.
