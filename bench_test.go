@@ -97,23 +97,88 @@ func BenchmarkFig9PingPong6Responsive(b *testing.B) {
 func BenchmarkFig9Ring10(b *testing.B)        { benchFig9(b, systems.Ring(10, 1)) }
 func BenchmarkFig9Ring10Tokens3(b *testing.B) { benchFig9(b, systems.Ring(10, 3)) }
 
-// BenchmarkFig9VerifyAllPhilosophers5 measures the production path: all
-// six properties verified together, sharing one transition cache and the
-// explored LTS (verify.VerifyAll), as opposed to the independent
-// per-property runs of the groups above.
-func BenchmarkFig9VerifyAllPhilosophers5(b *testing.B) {
-	s := systems.DiningPhilosophers(5, false)
+// benchVerifyAll measures the production path: all six properties
+// verified together, sharing one transition cache and the explored LTS
+// (verify.VerifyAllWith), at the given pipeline parallelism (0 =
+// GOMAXPROCS, 1 = the serial reference engine).
+func benchVerifyAll(b *testing.B, s *systems.System, parallelism int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		outcomes, err := verify.VerifyAll(s.Env, s.Type, s.Props, 0)
+		outcomes, err := verify.VerifyAllWith(s.Env, s.Type, s.Props, verify.AllOptions{Parallelism: parallelism})
 		if err != nil {
 			b.Fatal(err)
 		}
 		for _, o := range outcomes {
 			if want, ok := s.Expected[o.Property.Kind]; ok && o.Holds != want {
-				b.Fatalf("%s / %s: verdict %v, Fig. 9 says %v", s.Name, o.Property, o.Holds, want)
+				b.Fatalf("%s / %s: verdict %v, expected %v", s.Name, o.Property, o.Holds, want)
 			}
 		}
+	}
+}
+
+// BenchmarkFig9VerifyAllPhilosophers5 runs at the default parallelism
+// (GOMAXPROCS); the Serial variant pins the reference engine, so the
+// pair isolates the speedup of the concurrent pipeline.
+func BenchmarkFig9VerifyAllPhilosophers5(b *testing.B) {
+	benchVerifyAll(b, systems.DiningPhilosophers(5, false), 0)
+}
+
+func BenchmarkFig9VerifyAllPhilosophers5Serial(b *testing.B) {
+	benchVerifyAll(b, systems.DiningPhilosophers(5, false), 1)
+}
+
+// --- Beyond Fig. 9: the larger instances the parallel engine unlocks ---------
+//
+// These rows are benchmark-sized (the responsive 10-pair system explores
+// ~59k states per observable group); they are skipped in -short mode so
+// `go test -short -bench=.` stays quick, and surfaced in cmd/mcbench
+// behind -skip-slow.
+
+func benchLarge(b *testing.B, s *systems.System, parallelism int) {
+	if testing.Short() {
+		b.Skip("large instance skipped in -short mode")
+	}
+	benchVerifyAll(b, s, parallelism)
+}
+
+func BenchmarkLargeVerifyAllPhilosophers7Serial(b *testing.B) {
+	benchLarge(b, systems.DiningPhilosophers(7, false), 1)
+}
+
+func BenchmarkLargeVerifyAllPhilosophers7Parallel(b *testing.B) {
+	benchLarge(b, systems.DiningPhilosophers(7, false), 0)
+}
+
+func BenchmarkLargeVerifyAllPhilosophers8Serial(b *testing.B) {
+	benchLarge(b, systems.DiningPhilosophers(8, false), 1)
+}
+
+func BenchmarkLargeVerifyAllPhilosophers8Parallel(b *testing.B) {
+	benchLarge(b, systems.DiningPhilosophers(8, false), 0)
+}
+
+func BenchmarkLargeVerifyAllRing16Tokens4Parallel(b *testing.B) {
+	benchLarge(b, systems.Ring(16, 4), 0)
+}
+
+// BenchmarkParallelExplorePhilosophers6 isolates bare LTS exploration
+// (no model checking) at worker counts 1 and GOMAXPROCS — the
+// level-synchronised BFS against the serial worklist engine.
+func BenchmarkParallelExplorePhilosophers6(b *testing.B) {
+	s := systems.DiningPhilosophers(6, false)
+	for _, par := range []struct {
+		name string
+		n    int
+	}{{"serial", 1}, {"gomaxprocs", 0}} {
+		b.Run(par.name, func(b *testing.B) {
+			sem := &typelts.Semantics{Env: s.Env, Observable: map[string]bool{}, WitnessOnly: true}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lts.Explore(sem, s.Type, lts.Options{Parallelism: par.n}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -127,8 +192,6 @@ func BenchmarkAblationSubtype(b *testing.B) {
 		Cont: types.Pi{Var: "y", Dom: types.Int{},
 			Cod: types.Out{Ch: types.Var{Name: "x"}, Payload: types.Var{Name: "y"},
 				Cont: types.Thunk(types.RecVar{Name: "t"})}}}}
-	unfolded := types.Unfold(types.Unfold(rec).(types.In).Cont.(types.Pi).Cod.(types.Out).Cont.(types.Pi).Cod)
-	_ = unfolded
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !types.Subtype(env, rec, types.Unfold(rec)) {

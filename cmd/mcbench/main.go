@@ -1,19 +1,27 @@
 // Command mcbench regenerates Fig. 9 of the paper: for each benchmark
 // system it verifies the six behavioural properties, reporting the
 // verdict, the explored state count, and the mean verification time with
-// standard deviation — the same row format as the paper's table.
+// standard deviation — the same row format as the paper's table. Beyond
+// the paper's rows it also sweeps the larger instances the parallel
+// engine unlocks (systems.LargeSystems).
 //
 // Usage:
 //
-//	mcbench [-suite all|payment|philos|pingpong|ring] [-reps N] [-max N]
-//	        [-skip-slow]
+//	mcbench [-suite all|payment|philos|pingpong|ring|large] [-reps N]
+//	        [-max N] [-skip-slow] [-shared] [-par N] [-json PATH]
+//
+// With -json PATH the results are also written as machine-readable JSON
+// (one object per row with per-property verdicts and timing stats), the
+// format of the committed BENCH_fig9.json perf-trajectory snapshot.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
 
 	"effpi/internal/systems"
@@ -22,11 +30,13 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "all", "payment | philos | pingpong | ring | all")
+	suite := flag.String("suite", "all", "payment | philos | pingpong | ring | large | all")
 	reps := flag.Int("reps", 3, "repetitions per property")
 	maxStates := flag.Int("max", 1<<22, "state bound for exploration")
 	skipSlow := flag.Bool("skip-slow", false, "skip the largest (slowest) rows")
 	shared := flag.Bool("shared", false, "share one transition cache across a row's properties (the VerifyAll production path) instead of timing each property cold")
+	par := flag.Int("par", 0, "BFS workers per exploration: 0 = GOMAXPROCS, 1 = the serial engine (cap total CPU with GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write machine-readable results to PATH")
 	flag.Parse()
 
 	rows := selectRows(*suite)
@@ -35,13 +45,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	report := &jsonReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: *par,
+		Reps:        *reps,
+		SharedCache: *shared,
+	}
+
 	fmt.Printf("%-34s %9s  %s\n", "system", "states", strings.Join(propHeaders(), "  "))
 	mismatches := 0
 	for _, s := range rows {
 		if *skipSlow && isSlow(s.Name) {
 			continue
 		}
-		mismatches += runRow(s, *reps, *maxStates, *shared)
+		row, bad := runRow(s, *reps, *maxStates, *shared, *par)
+		report.Rows = append(report.Rows, row)
+		mismatches += bad
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, report); err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if mismatches > 0 {
 		fmt.Fprintf(os.Stderr, "mcbench: %d verdicts differ from Fig. 9\n", mismatches)
@@ -50,9 +76,12 @@ func main() {
 }
 
 func selectRows(suite string) []*systems.System {
-	all := systems.Fig9Systems()
+	all := append(systems.Fig9Systems(), systems.LargeSystems()...)
 	if suite == "all" {
 		return all
+	}
+	if suite == "large" {
+		return systems.LargeSystems()
 	}
 	var out []*systems.System
 	for _, s := range all {
@@ -79,8 +108,23 @@ func selectRows(suite string) []*systems.System {
 	return out
 }
 
+// isSlow marks the rows whose full sweep takes seconds rather than
+// milliseconds: the paper's 10-pair ping-pong rows and the beyond-Fig. 9
+// instances of systems.LargeSystems. -skip-slow keeps a default run
+// fast; the full sweep is one flag away.
 func isSlow(name string) bool {
-	return strings.Contains(name, "10 pairs")
+	for _, marker := range []string{
+		"10 pairs",   // Fig. 9 rows 14-15
+		"12 pairs",   // LargeSystems: the 531k-state ping-pong sweep
+		"philos. (7", // LargeSystems: 7 philosophers
+		"philos. (8", // LargeSystems: 8 philosophers
+		"Ring (16",   // LargeSystems: 16-member rings
+	} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
 }
 
 func propHeaders() []string {
@@ -92,47 +136,94 @@ func propHeaders() []string {
 	return out
 }
 
+// jsonReport is the -json output: enough context to compare runs across
+// machines and parallelism settings, plus one entry per row.
+type jsonReport struct {
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	Parallelism int       `json:"parallelism"`
+	Reps        int       `json:"reps"`
+	SharedCache bool      `json:"shared_cache"`
+	Rows        []jsonRow `json:"rows"`
+}
+
+type jsonRow struct {
+	System     string     `json:"system"`
+	States     int        `json:"states"`
+	Properties []jsonProp `json:"properties"`
+}
+
+type jsonProp struct {
+	Kind          string  `json:"kind"`
+	Holds         bool    `json:"holds"`
+	Expected      *bool   `json:"expected,omitempty"`
+	Matches       bool    `json:"matches_expected"`
+	MeanSeconds   float64 `json:"mean_seconds"`
+	StddevSeconds float64 `json:"stddev_seconds"`
+	Error         string  `json:"error,omitempty"`
+}
+
 // runRow verifies all six properties of one system, reps times each, and
-// prints one Fig. 9-style row. It returns the number of verdicts that
-// deviate from the paper. With shared, one transition cache serves the
-// whole row, so later properties reuse earlier per-component work.
-func runRow(s *systems.System, reps, maxStates int, shared bool) int {
+// prints one Fig. 9-style row. It returns the row's JSON record and the
+// number of verdicts that deviate from the expectations. With shared,
+// one transition cache serves the whole row, so later properties reuse
+// earlier per-component work.
+func runRow(s *systems.System, reps, maxStates int, shared bool, par int) (jsonRow, int) {
+	row := jsonRow{System: s.Name}
 	cells := make([]string, 0, len(s.Props))
 	mismatches := 0
-	var states int
 	var cache *typelts.Cache
 	if shared {
 		cache = typelts.NewCache(s.Env, true)
 	}
 	for _, prop := range s.Props {
+		jp := jsonProp{Kind: prop.Kind.String(), Matches: true}
 		var times []float64
-		var holds bool
 		failed := false
 		for r := 0; r < reps; r++ {
-			o, err := verify.Verify(verify.Request{Env: s.Env, Type: s.Type, Property: prop, MaxStates: maxStates, Cache: cache})
+			o, err := verify.Verify(verify.Request{
+				Env: s.Env, Type: s.Type, Property: prop,
+				MaxStates: maxStates, Cache: cache, Parallelism: par,
+			})
 			if err != nil {
 				cells = append(cells, fmt.Sprintf("error: %v", err))
+				jp.Error = err.Error()
+				jp.Matches = false
 				failed = true
 				break
 			}
-			holds = o.Holds
-			states = o.States
+			jp.Holds = o.Holds
+			row.States = o.States
 			times = append(times, o.Duration.Seconds())
 		}
 		if failed {
 			mismatches++
+			row.Properties = append(row.Properties, jp)
 			continue
 		}
-		mean, dev := meanStddev(times)
+		jp.MeanSeconds, jp.StddevSeconds = meanStddev(times)
 		mark := ""
-		if want, ok := s.Expected[prop.Kind]; ok && want != holds {
-			mark = " [≠Fig.9]"
-			mismatches++
+		if want, ok := s.Expected[prop.Kind]; ok {
+			w := want
+			jp.Expected = &w
+			if want != jp.Holds {
+				jp.Matches = false
+				mark = " [≠Fig.9]"
+				mismatches++
+			}
 		}
-		cells = append(cells, fmt.Sprintf("%-5v (%6.2f±%5.1f%%)%s", holds, mean, relDev(mean, dev), mark))
+		cells = append(cells, fmt.Sprintf("%-5v (%6.2f±%5.1f%%)%s", jp.Holds, jp.MeanSeconds, relDev(jp.MeanSeconds, jp.StddevSeconds), mark))
+		row.Properties = append(row.Properties, jp)
 	}
-	fmt.Printf("%-34s %9d  %s\n", s.Name, states, strings.Join(cells, "  "))
-	return mismatches
+	fmt.Printf("%-34s %9d  %s\n", s.Name, row.States, strings.Join(cells, "  "))
+	return row, mismatches
+}
+
+func writeJSON(path string, report *jsonReport) error {
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func meanStddev(xs []float64) (mean, dev float64) {

@@ -14,6 +14,7 @@ package lts
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -53,6 +54,11 @@ type LTS struct {
 type Options struct {
 	// MaxStates bounds the exploration (default 1 << 20).
 	MaxStates int
+	// Parallelism is the number of worker goroutines expanding the BFS
+	// frontier (0 = GOMAXPROCS, 1 = the serial engine). Any value yields
+	// the same LTS: state order, dense alphabet and the CSR edge arrays
+	// are identical to the serial engine's (see DESIGN.md §parallel).
+	Parallelism int
 }
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
@@ -69,10 +75,21 @@ const DefaultMaxStates = 1 << 20
 // (and extended), so repeated explorations of overlapping systems — the
 // six Fig. 9 properties of one system, say — share their per-component
 // work.
+//
+// With Options.Parallelism ≠ 1 the reachable set is computed by a
+// level-synchronised parallel BFS: workers expand a frontier's states
+// concurrently against the shared (concurrency-safe) cache, and a
+// single-threaded merge then assigns state IDs and splices the CSR edge
+// array in (parent-index, edge-order) order — so the resulting LTS is
+// identical to the serial engine's at any worker count (see DESIGN.md).
 func Explore(sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
 
 	// Attach a private cache when the semantics has none: even a single
@@ -83,71 +100,222 @@ func Explore(sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error
 		clone.Cache = typelts.NewCache(sem.Env, sem.WitnessOnly)
 		sem = &clone
 	}
-	in := sem.Cache.Interner()
 
-	l := &LTS{Initial: 0, start: make([]int32, 1, 64)}
-	index := make(map[types.ID]int32, 256)
-	labelIdx := make(map[typelts.LabelKey]int32, 16)
-	var stateComps [][]types.ID
+	b := newBuilder(sem, maxStates)
+	root := sem.InternLeaves(init)
+	b.orderComps(root)
+	b.internState(root, init)
+	if par == 1 {
+		return b.l, b.exploreSerial()
+	}
+	return b.l, b.exploreParallel(par)
+}
 
-	// internState registers the state with the given sorted component
-	// multiset, materialising a representative type for new states.
-	internState := func(comps []types.ID, rep types.Type) int32 {
-		sid := in.InternPar(comps)
-		if s, ok := index[sid]; ok {
-			return s
+// builder holds the mutable state of one exploration: the LTS under
+// construction, the state index (interned multiset ID → state number),
+// and the dense label index. It is single-threaded: the serial engine
+// uses it directly, the parallel engine only from the merge goroutine.
+type builder struct {
+	sem      *typelts.Semantics
+	in       *types.Interner
+	l        *LTS
+	index    map[types.ID]int32
+	labelIdx map[typelts.LabelKey]int32
+	// stateComps[s] is the component multiset of state s, sorted by
+	// builder-local rank (see rankOf) — NOT by interner ID value, whose
+	// assignment order is scheduler-dependent when workers intern fresh
+	// successor types concurrently.
+	stateComps [][]types.ID
+	maxStates  int
+	// rank maps a component ID to its dense per-exploration rank,
+	// assigned in first-encounter order by the (single-threaded) builder.
+	// Ordering multisets by rank makes iteration order — and therefore
+	// proposal order, state numbering and the CSR arrays — independent
+	// of the interner's ID assignment order, which is the keystone of
+	// the parallel engine's determinism guarantee (see DESIGN.md).
+	rank map[types.ID]int32
+	// scratch is a reusable buffer for InternPar keys (InternPar sorts
+	// its argument in place by ID value, which must not disturb the
+	// rank-sorted stateComps entries); rankScratch buffers the ranks
+	// during orderComps.
+	scratch     []types.ID
+	rankScratch []int32
+
+	// Per-state edge dedup: linear scan while the out-degree is small,
+	// switching to a map once it crosses dedupThreshold (high-out-degree
+	// states would otherwise pay O(d²) rescans of l.edges[from:]).
+	dedup       map[Edge]struct{}
+	dedupActive bool
+}
+
+// dedupThreshold is the out-degree at which per-state edge dedup turns
+// from a linear rescan into a map. Most states have a handful of edges
+// (scan wins on constants); the high-fan-out states of the large rows
+// have hundreds.
+const dedupThreshold = 32
+
+func newBuilder(sem *typelts.Semantics, maxStates int) *builder {
+	return &builder{
+		sem:       sem,
+		in:        sem.Cache.Interner(),
+		l:         &LTS{Initial: 0, start: make([]int32, 1, 64)},
+		index:     make(map[types.ID]int32, 256),
+		labelIdx:  make(map[typelts.LabelKey]int32, 16),
+		maxStates: maxStates,
+		rank:      make(map[types.ID]int32, 64),
+	}
+}
+
+// rankOf returns the builder-local rank of a component ID, assigning
+// the next dense rank on first encounter.
+func (b *builder) rankOf(id types.ID) int32 {
+	if r, ok := b.rank[id]; ok {
+		return r
+	}
+	r := int32(len(b.rank))
+	b.rank[id] = r
+	return r
+}
+
+// orderComps assigns ranks to every ID (in slice order, so new
+// components are ranked in deterministic encounter order) and sorts the
+// slice by rank. Each rank is looked up once into a scratch slice and
+// the two are co-sorted — multisets arrive mostly sorted (the kept
+// parent components already are), so the insertion sort is near-linear
+// and compares plain ints.
+func (b *builder) orderComps(ids []types.ID) {
+	rs := b.rankScratch[:0]
+	for _, id := range ids {
+		rs = append(rs, b.rankOf(id))
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
-		s := int32(len(l.States))
-		index[sid] = s
-		if rep == nil {
-			rep = in.TypeOf(sid)
-		}
-		l.States = append(l.States, rep)
-		stateComps = append(stateComps, comps)
+	}
+	b.rankScratch = rs
+}
+
+// internState registers the state with the given rank-sorted component
+// multiset, materialising a representative type for new states.
+func (b *builder) internState(comps []types.ID, rep types.Type) int32 {
+	// InternPar sorts by ID value in place; give it a scratch copy so
+	// the rank order of comps survives.
+	b.scratch = append(b.scratch[:0], comps...)
+	sid := b.in.InternPar(b.scratch)
+	if s, ok := b.index[sid]; ok {
 		return s
 	}
-	internLabel := func(key typelts.LabelKey, lab typelts.Label) int32 {
-		if i, ok := labelIdx[key]; ok {
-			return i
-		}
-		i := int32(len(l.Labels))
-		labelIdx[key] = i
-		l.Labels = append(l.Labels, lab)
+	s := int32(len(b.l.States))
+	b.index[sid] = s
+	if rep == nil {
+		rep = b.in.TypeOf(sid)
+	}
+	b.l.States = append(b.l.States, rep)
+	b.stateComps = append(b.stateComps, comps)
+	return s
+}
+
+func (b *builder) internLabel(key typelts.LabelKey, lab typelts.Label) int32 {
+	if i, ok := b.labelIdx[key]; ok {
 		return i
 	}
+	i := int32(len(b.l.Labels))
+	b.labelIdx[key] = i
+	b.l.Labels = append(b.l.Labels, lab)
+	return i
+}
 
-	internState(sem.InternLeaves(init), init)
-	for next := 0; next < len(l.States); next++ {
-		if len(l.States) > maxStates {
-			l.Truncated = true
-			l.sealTruncated()
-			return l, fmt.Errorf("lts: state bound %d exceeded (type may be infinite-state; see Lemma 4.7 and §5.1 limitation 2)", maxStates)
-		}
-		comps := stateComps[next]
-		from := l.start[next]
+// beginState resets the per-state edge dedup.
+func (b *builder) beginState() { b.dedupActive = false }
 
-		// addEdge splices a successor multiset together (dropping the
-		// acting positions i and j), registers it, and appends the edge,
-		// deduplicating parallel (label, dst) pairs with a linear scan —
-		// out-degrees are small, so this beats a per-state map.
-		addEdge := func(st typelts.CompStep, i, j int) {
-			succ := make([]types.ID, 0, len(comps)+len(st.Next))
-			for k, c := range comps {
-				if k == i || k == j {
-					continue
-				}
-				succ = append(succ, c)
+// addEdge appends (lid → dst) unless the current state already has it.
+func (b *builder) addEdge(from int32, lid, dst int32) {
+	e := Edge{Label: lid, Dst: dst}
+	if !b.dedupActive {
+		seg := b.l.edges[from:]
+		for _, x := range seg {
+			if x == e {
+				return
 			}
-			succ = append(succ, st.Next...)
-			dst := internState(succ, nil)
-			lid := internLabel(st.Key, st.Label)
-			for _, e := range l.edges[from:] {
-				if e.Label == lid && e.Dst == dst {
-					return
-				}
-			}
-			l.edges = append(l.edges, Edge{Label: lid, Dst: dst})
 		}
+		b.l.edges = append(b.l.edges, e)
+		if len(seg)+1 >= dedupThreshold {
+			b.dedupActive = true
+			if b.dedup == nil {
+				b.dedup = make(map[Edge]struct{}, 2*dedupThreshold)
+			} else {
+				clear(b.dedup)
+			}
+			for _, x := range b.l.edges[from:] {
+				b.dedup[x] = struct{}{}
+			}
+		}
+		return
+	}
+	if _, ok := b.dedup[e]; ok {
+		return
+	}
+	b.dedup[e] = struct{}{}
+	b.l.edges = append(b.l.edges, e)
+}
+
+// applyStep splices a successor multiset together (dropping the acting
+// positions i and j), orders it by builder rank, registers it, and
+// appends the edge.
+func (b *builder) applyStep(from int32, comps []types.ID, i, j int, st typelts.CompStep) {
+	succ := spliceSucc(comps, i, j, st.Next)
+	b.orderComps(succ)
+	dst := b.internState(succ, nil)
+	lid := b.internLabel(st.Key, st.Label)
+	b.addEdge(from, lid, dst)
+}
+
+// spliceSucc builds the successor multiset: comps without positions i
+// and j, plus the acting components' replacements next.
+func spliceSucc(comps []types.ID, i, j int, next []types.ID) []types.ID {
+	succ := make([]types.ID, 0, len(comps)+len(next))
+	for k, c := range comps {
+		if k == i || k == j {
+			continue
+		}
+		succ = append(succ, c)
+	}
+	return append(succ, next...)
+}
+
+// finishState completes the run for edge-less states (✔^ω for proper
+// termination, ⊠^ω for deadlock) and seals the state's CSR extent.
+func (b *builder) finishState(next int, from int32) {
+	if len(b.l.edges) == int(from) {
+		var lab typelts.Label = typelts.Stuck{}
+		if len(b.stateComps[next]) == 0 {
+			lab = typelts.Done{}
+		}
+		b.l.edges = append(b.l.edges, Edge{Label: b.internLabel(b.sem.Cache.LabelKeyOf(lab), lab), Dst: int32(next)})
+	}
+	b.l.start = append(b.l.start, int32(len(b.l.edges)))
+}
+
+// boundExceeded truncates the LTS and reports the state-bound error.
+func (b *builder) boundExceeded() error {
+	b.l.Truncated = true
+	b.l.sealTruncated()
+	return fmt.Errorf("lts: state bound %d exceeded (type may be infinite-state; see Lemma 4.7 and §5.1 limitation 2)", b.maxStates)
+}
+
+// exploreSerial is the single-threaded worklist engine (Parallelism 1):
+// one pass over the growing state list, expanding and splicing in place.
+func (b *builder) exploreSerial() error {
+	sem := b.sem
+	for next := 0; next < len(b.l.States); next++ {
+		if len(b.l.States) > b.maxStates {
+			return b.boundExceeded()
+		}
+		comps := b.stateComps[next]
+		from := b.l.start[next]
+		b.beginState()
 
 		// Interleaving: each component may act on its own (Y-limited).
 		for i := range comps {
@@ -155,7 +323,7 @@ func Explore(sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error
 				if !sem.KeepLabel(st.Label) {
 					continue
 				}
-				addEdge(st, i, -1)
+				b.applyStep(from, comps, i, -1, st)
 			}
 		}
 		// Synchronisation: an output of component i meets an input of
@@ -166,23 +334,14 @@ func Explore(sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error
 					continue
 				}
 				for _, st := range sem.SyncSteps(comps[i], comps[j]) {
-					addEdge(st, i, j)
+					b.applyStep(from, comps, i, j, st)
 				}
 			}
 		}
 
-		if len(l.edges) == int(from) {
-			// Complete the run: ✔^ω for proper termination (all components
-			// terminated), ⊠^ω for deadlock.
-			var lab typelts.Label = typelts.Stuck{}
-			if len(comps) == 0 {
-				lab = typelts.Done{}
-			}
-			l.edges = append(l.edges, Edge{Label: internLabel(sem.Cache.LabelKeyOf(lab), lab), Dst: int32(next)})
-		}
-		l.start = append(l.start, int32(len(l.edges)))
+		b.finishState(next, from)
 	}
-	return l, nil
+	return nil
 }
 
 // sealTruncated pads the offset array so Out stays in bounds for the

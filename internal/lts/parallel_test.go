@@ -1,0 +1,355 @@
+package lts
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// exploreFixtures builds a few structurally different systems: channel
+// passing (ping-pong), unions (payment-like choice), deadlock
+// completion, and a token ring — small enough for -race, varied enough
+// to exercise every proposal kind.
+func exploreFixtures() []struct {
+	name string
+	sem  func() *typelts.Semantics
+	init types.Type
+} {
+	pp := func() (*typelts.Semantics, types.Type) { return pingPong() }
+
+	choiceEnv := types.EnvOf(
+		"m", types.ChanIO{Elem: types.Str{}},
+		"a", types.ChanIO{Elem: types.Str{}},
+	)
+	choice := types.Par{
+		L: types.Rec{Var: "t", Body: types.In{Ch: tv("m"), Cont: types.Pi{Var: "p", Dom: types.Str{},
+			Cod: types.Union{
+				L: types.Out{Ch: tv("a"), Payload: types.Str{}, Cont: types.Thunk(types.RecVar{Name: "t"})},
+				R: types.RecVar{Name: "t"},
+			}}}},
+		R: types.Par{
+			L: types.Rec{Var: "t", Body: types.Out{Ch: tv("m"), Payload: types.Str{},
+				Cont: types.Thunk(types.RecVar{Name: "t"})}},
+			R: types.Rec{Var: "t", Body: types.In{Ch: tv("a"), Cont: types.Pi{Var: "x", Dom: types.Str{},
+				Cod: types.RecVar{Name: "t"}}}},
+		},
+	}
+
+	stuckEnv := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	stuck := types.Out{Ch: tv("x"), Payload: types.Int{}, Cont: types.Thunk(types.Nil{})}
+
+	ringEnv := types.EnvOf(
+		"c0", types.ChanIO{Elem: types.ChanIO{Elem: types.Unit{}}},
+		"c1", types.ChanIO{Elem: types.ChanIO{Elem: types.Unit{}}},
+		"c2", types.ChanIO{Elem: types.ChanIO{Elem: types.Unit{}}},
+		"tok", types.ChanIO{Elem: types.Unit{}},
+	)
+	member := func(in, out string) types.Type {
+		return types.Rec{Var: "t", Body: types.In{Ch: tv(in),
+			Cont: types.Pi{Var: "z", Dom: types.ChanIO{Elem: types.Unit{}},
+				Cod: types.Out{Ch: tv(out), Payload: tv("z"), Cont: types.Thunk(types.RecVar{Name: "t"})}}}}
+	}
+	ring := types.ParOf(
+		types.Out{Ch: tv("c1"), Payload: tv("tok"), Cont: types.Thunk(member("c0", "c1"))},
+		member("c1", "c2"),
+		member("c2", "c0"),
+	)
+
+	return []struct {
+		name string
+		sem  func() *typelts.Semantics
+		init types.Type
+	}{
+		{"pingpong", func() *typelts.Semantics { s, _ := pp(); return s }, func() types.Type { _, t := pp(); return t }()},
+		{"choice", func() *typelts.Semantics {
+			return &typelts.Semantics{Env: choiceEnv, Observable: map[string]bool{}, WitnessOnly: true}
+		}, choice},
+		{"stuck", func() *typelts.Semantics {
+			return &typelts.Semantics{Env: stuckEnv, Observable: map[string]bool{}}
+		}, stuck},
+		{"ring", func() *typelts.Semantics {
+			return &typelts.Semantics{Env: ringEnv, Observable: map[string]bool{}, WitnessOnly: true}
+		}, ring},
+	}
+}
+
+// ltsFingerprint renders the determinism-relevant content of an LTS:
+// state order (by canonical form), dense alphabet order (by label key),
+// and the raw CSR arrays. Two LTSes with equal fingerprints are the same
+// transition system with the same numbering.
+func ltsFingerprint(m *LTS) string {
+	out := fmt.Sprintf("initial=%d truncated=%v\n", m.Initial, m.Truncated)
+	for i, s := range m.States {
+		out += fmt.Sprintf("S%d %s\n", i, types.Canon(s))
+	}
+	for i, l := range m.Labels {
+		out += fmt.Sprintf("L%d %s\n", i, l.Key())
+	}
+	out += fmt.Sprintf("start=%v\n", m.start)
+	for _, e := range m.edges {
+		out += fmt.Sprintf("e %d %d\n", e.Label, e.Dst)
+	}
+	return out
+}
+
+// TestParallelExploreDeterministic asserts the headline guarantee of the
+// parallel engine: Explore at Parallelism 1 vs N yields identical state
+// order, label alphabet and CSR edge arrays, at every worker count and
+// across repeated parallel runs.
+func TestParallelExploreDeterministic(t *testing.T) {
+	for _, fx := range exploreFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			serial, serialErr := Explore(fx.sem(), fx.init, Options{Parallelism: 1})
+			want := ltsFingerprint(serial)
+			for _, par := range []int{2, 4, 8} {
+				for rep := 0; rep < 3; rep++ {
+					m, err := Explore(fx.sem(), fx.init, Options{Parallelism: par})
+					if (err == nil) != (serialErr == nil) {
+						t.Fatalf("par=%d rep=%d: err=%v, serial err=%v", par, rep, err, serialErr)
+					}
+					if got := ltsFingerprint(m); got != want {
+						t.Errorf("par=%d rep=%d: LTS differs from serial engine\n--- serial ---\n%s--- parallel ---\n%s", par, rep, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelExploreSharedCache runs concurrent explorations (different
+// Y-limitations) against one shared cache — the VerifyAll usage pattern —
+// and checks each result against its serial counterpart. Run under -race
+// this exercises the lock-striped cache end to end.
+func TestParallelExploreSharedCache(t *testing.T) {
+	env := types.EnvOf(
+		"m", types.ChanIO{Elem: types.Str{}},
+		"a", types.ChanIO{Elem: types.Str{}},
+	)
+	init := types.Par{
+		L: types.Rec{Var: "t", Body: types.In{Ch: tv("m"), Cont: types.Pi{Var: "p", Dom: types.Str{},
+			Cod: types.Out{Ch: tv("a"), Payload: types.Str{}, Cont: types.Thunk(types.RecVar{Name: "t"})}}}},
+		R: types.Par{
+			L: types.Rec{Var: "t", Body: types.Out{Ch: tv("m"), Payload: types.Str{}, Cont: types.Thunk(types.RecVar{Name: "t"})}},
+			R: types.Rec{Var: "t", Body: types.In{Ch: tv("a"), Cont: types.Pi{Var: "x", Dom: types.Str{}, Cod: types.RecVar{Name: "t"}}}},
+		},
+	}
+	limitations := []map[string]bool{
+		{},
+		{"m": true},
+		{"a": true},
+		{"m": true, "a": true},
+	}
+
+	// Serial baselines, one fresh cache each.
+	want := make([]string, len(limitations))
+	for i, obs := range limitations {
+		sem := &typelts.Semantics{Env: env, Observable: obs, WitnessOnly: true}
+		m, err := Explore(sem, init, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ltsFingerprint(m)
+	}
+
+	// All four explorations concurrently, sharing one cache, each itself
+	// running the parallel engine.
+	shared := typelts.NewCache(env, true)
+	var wg sync.WaitGroup
+	got := make([]string, len(limitations))
+	errs := make([]error, len(limitations))
+	for i, obs := range limitations {
+		wg.Add(1)
+		go func(i int, obs map[string]bool) {
+			defer wg.Done()
+			sem := &typelts.Semantics{Env: env, Observable: obs, WitnessOnly: true, Cache: shared}
+			m, err := Explore(sem, init, Options{Parallelism: 4})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = ltsFingerprint(m)
+		}(i, obs)
+	}
+	wg.Wait()
+	for i := range limitations {
+		if errs[i] != nil {
+			t.Fatalf("limitation %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("limitation %d: shared-cache parallel LTS differs from serial\n--- serial ---\n%s--- parallel ---\n%s", i, want[i], got[i])
+		}
+	}
+}
+
+// philosophersFixture builds an n-philosopher / n-fork system inline
+// (the systems package sits above lts in the import graph). Its BFS
+// frontiers grow to dozens of states — well past minParallelFrontier —
+// so parallel runs genuinely expand concurrently, with workers interning
+// fresh successor types in scheduler-dependent order. This is the
+// fixture that exercises rank-based (ID-order-independent) multiset
+// ordering.
+func philosophersFixture(n int) (*typelts.Semantics, types.Type) {
+	unit := types.Unit{}
+	env := types.NewEnv()
+	forks := make([]string, n)
+	for i := range forks {
+		forks[i] = fmt.Sprintf("f%d", i)
+		env = env.MustExtend(forks[i], types.ChanIO{Elem: unit})
+	}
+	out := func(ch string, cont types.Type) types.Type {
+		return types.Out{Ch: tv(ch), Payload: unit, Cont: types.Thunk(cont)}
+	}
+	in := func(ch, v string, cont types.Type) types.Type {
+		return types.In{Ch: tv(ch), Cont: types.Pi{Var: v, Dom: unit, Cod: cont}}
+	}
+	var comps []types.Type
+	for i := 0; i < n; i++ {
+		comps = append(comps, types.Rec{Var: "t", Body: out(forks[i], in(forks[i], "u", types.RecVar{Name: "t"}))})
+	}
+	for i := 0; i < n; i++ {
+		first, second := forks[i], forks[(i+1)%n]
+		comps = append(comps, types.Rec{Var: "t", Body: in(first, "u", in(second, "u2",
+			out(first, out(second, types.RecVar{Name: "t"}))))})
+	}
+	sem := &typelts.Semantics{Env: env, Observable: map[string]bool{}, WitnessOnly: true}
+	return sem, types.ParOf(comps...)
+}
+
+// TestParallelExploreDeterministicWideFrontier is the determinism
+// assertion on a state space with wide frontiers (4 philosophers, ~80
+// states): workers race on real expansion work, and the resulting state
+// order, alphabet and CSR arrays must still match the serial engine
+// byte for byte, repeatedly.
+func TestParallelExploreDeterministicWideFrontier(t *testing.T) {
+	sem, init := philosophersFixture(4)
+	serial, err := Explore(sem, init, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ltsFingerprint(serial)
+	for _, par := range []int{2, 8} {
+		for rep := 0; rep < 5; rep++ {
+			sem, init := philosophersFixture(4)
+			m, err := Explore(sem, init, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("par=%d rep=%d: %v", par, rep, err)
+			}
+			if got := ltsFingerprint(m); got != want {
+				t.Fatalf("par=%d rep=%d: LTS differs from serial engine", par, rep)
+			}
+		}
+	}
+}
+
+// TestExploreIndependentOfInternOrder attacks the determinism guarantee
+// directly: it pre-interns the system's component types into the shared
+// cache in several adversarial orders (reversed, rotated) before
+// exploring, so the interner's ID values — and hence any ID-value-based
+// ordering — differ wildly between runs. The explored LTS must be
+// identical regardless: multiset iteration order is builder-local
+// encounter rank, not interner ID.
+func TestExploreIndependentOfInternOrder(t *testing.T) {
+	baselineSem, init := philosophersFixture(3)
+	baseline, err := Explore(baselineSem, init, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ltsFingerprint(baseline)
+
+	// Collect every distinct state component the baseline saw, as trees.
+	var comps []types.Type
+	seen := map[string]bool{}
+	for _, s := range baseline.States {
+		for _, c := range types.FlattenPar(s) {
+			key := types.Canon(c)
+			if !seen[key] {
+				seen[key] = true
+				comps = append(comps, c)
+			}
+		}
+	}
+	if len(comps) < 4 {
+		t.Fatalf("fixture too small: %d distinct components", len(comps))
+	}
+
+	for trial := 0; trial < 4; trial++ {
+		sem, init := philosophersFixture(3)
+		sem.Cache = typelts.NewCache(sem.Env, sem.WitnessOnly)
+		in := sem.Cache.Interner()
+		switch trial {
+		case 0: // reversed
+			for i := len(comps) - 1; i >= 0; i-- {
+				in.Intern(comps[i])
+			}
+		case 1: // rotated
+			for i := range comps {
+				in.Intern(comps[(i+len(comps)/2)%len(comps)])
+			}
+		case 2: // interleaved from both ends
+			for i, j := 0, len(comps)-1; i <= j; i, j = i+1, j-1 {
+				in.Intern(comps[j])
+				in.Intern(comps[i])
+			}
+		case 3: // forward (control)
+			for i := range comps {
+				in.Intern(comps[i])
+			}
+		}
+		for _, par := range []int{1, 4} {
+			m, err := Explore(sem, init, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("trial %d par %d: %v", trial, par, err)
+			}
+			if got := ltsFingerprint(m); got != want {
+				t.Errorf("trial %d par %d: LTS depends on interner ID assignment order\n--- baseline ---\n%s--- got ---\n%s", trial, par, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelStateBound checks that truncation behaves identically in
+// both engines: same error, same truncation flag.
+func TestParallelStateBound(t *testing.T) {
+	sem, t0 := pingPong()
+	for _, par := range []int{1, 4} {
+		m, err := Explore(sem, t0, Options{MaxStates: 1, Parallelism: par})
+		if err == nil {
+			t.Fatalf("par=%d: exploration must fail when the bound is exceeded", par)
+		}
+		if !m.Truncated {
+			t.Errorf("par=%d: truncated LTS must be flagged", par)
+		}
+	}
+}
+
+// TestAddEdgeDedupHighDegree drives one state's out-degree far past
+// dedupThreshold (forcing the map path) with duplicate proposals mixed
+// in, and checks the dedup semantics match the linear path: first
+// occurrence kept, order preserved.
+func TestAddEdgeDedupHighDegree(t *testing.T) {
+	sem, t0 := pingPong()
+	sem.Cache = typelts.NewCache(sem.Env, sem.WitnessOnly)
+	b := newBuilder(sem, DefaultMaxStates)
+	// Seed two real states so dst indices are valid.
+	b.internState(sem.InternLeaves(t0), t0)
+	b.beginState()
+	from := int32(0)
+	total := 3 * dedupThreshold
+	for round := 0; round < 2; round++ { // second round: all duplicates
+		for k := 0; k < total; k++ {
+			lab := typelts.Output{Subject: types.Var{Name: fmt.Sprintf("v%d", k)}, Payload: types.Str{}}
+			b.addEdge(from, b.internLabel(sem.Cache.LabelKeyOf(lab), lab), 0)
+		}
+	}
+	if got := len(b.l.edges); got != total {
+		t.Fatalf("edges = %d, want %d (duplicates must be dropped above the dedup threshold)", got, total)
+	}
+	for k, e := range b.l.edges {
+		if int(e.Label) != k {
+			t.Fatalf("edge %d has label %d: insertion order must be preserved", k, e.Label)
+		}
+	}
+}

@@ -331,6 +331,26 @@ func Fig9Systems() []*System {
 	}
 }
 
+// LargeSystems returns benchmark rows beyond the sizes published in
+// Fig. 9, sized for the parallel verification engine: the paper's table
+// stops where the serial mCRL2 pipeline got slow, but the multi-worker
+// explorer has headroom for another philosopher, another ping-pong pair
+// and a wider ring. Verdict expectations follow the same schemas as the
+// paper's rows (they are size-independent); PaperStates is 0 because the
+// paper does not report these instances. The rows are slow by unit-test
+// standards — gate them behind testing.Short() and cmd/mcbench's
+// -skip-slow.
+func LargeSystems() []*System {
+	return []*System{
+		DiningPhilosophers(7, true),
+		DiningPhilosophers(7, false),
+		DiningPhilosophers(8, false),
+		PingPongPairs(12, false),
+		Ring(16, 1),
+		Ring(16, 4),
+	}
+}
+
 // closedProps marks every property for closed-composition verification:
 // the Fig. 9 systems are self-contained, so all interactions are internal
 // synchronisations (see verify.Property.Closed).

@@ -1,6 +1,7 @@
 package systems
 
 import (
+	"fmt"
 	"testing"
 
 	"effpi/internal/types"
@@ -8,13 +9,18 @@ import (
 )
 
 // checkSystem verifies all six properties of a system against the
-// expected verdicts.
+// expected verdicts at the default parallelism.
 func checkSystem(t *testing.T, s *System, maxStates int) {
+	t.Helper()
+	checkSystemWith(t, s, verify.AllOptions{MaxStates: maxStates})
+}
+
+func checkSystemWith(t *testing.T, s *System, opts verify.AllOptions) {
 	t.Helper()
 	if err := verify.Admissible(s.Env, s.Type); err != nil {
 		t.Fatalf("%s: not admissible: %v", s.Name, err)
 	}
-	outcomes, err := verify.VerifyAll(s.Env, s.Type, s.Props, maxStates)
+	outcomes, err := verify.VerifyAllWith(s.Env, s.Type, s.Props, opts)
 	if err != nil {
 		t.Fatalf("%s: %v", s.Name, err)
 	}
@@ -82,6 +88,40 @@ func TestFig9Matrix(t *testing.T) {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			checkSystem(t, s, 1<<22)
+		})
+	}
+}
+
+// TestFig9MatrixParallelismInvariant re-runs the complete 19×6 matrix
+// with the verification pipeline pinned to 2 and then 8 workers: every
+// verdict must match Fig. 9 regardless of parallelism (the determinism
+// guarantee of the parallel engine, observed at the top of the stack).
+func TestFig9MatrixParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallelism sweep of the full matrix skipped in -short mode")
+	}
+	for _, par := range []int{2, 8} {
+		for _, s := range Fig9Systems() {
+			s, par := s, par
+			t.Run(fmt.Sprintf("par=%d/%s", par, s.Name), func(t *testing.T) {
+				checkSystemWith(t, s, verify.AllOptions{MaxStates: 1 << 22, Parallelism: par})
+			})
+		}
+	}
+}
+
+// TestLargeSystemsMatrix checks the beyond-Fig. 9 rows the parallel
+// engine unlocks: all six properties must complete under the DEFAULT
+// state bound (MaxStates 0) with verdicts consistent with the paper's
+// property schemas. Skipped in -short mode — these are benchmark-sized.
+func TestLargeSystemsMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instances skipped in -short mode")
+	}
+	for _, s := range LargeSystems() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			checkSystem(t, s, 0)
 		})
 	}
 }

@@ -2,6 +2,7 @@ package typelts
 
 import (
 	"fmt"
+	"sync"
 
 	"effpi/internal/types"
 )
@@ -19,16 +20,38 @@ import (
 // A Cache is bound to one environment Γ and one WitnessOnly mode: raw
 // steps depend on both (early-input candidates are drawn from Γ). A
 // Semantics with a mismatching cache ignores it rather than serving
-// wrong entries. Cache is not safe for concurrent use (the Interner
-// inside it is).
+// wrong entries.
+//
+// Cache is safe for concurrent use: the four memo maps are lock-striped
+// across shards keyed by a hash of the entry key, so one cache can serve
+// many exploration workers and many simultaneous explorations (the
+// Interner inside is independently concurrency-safe). Entries are
+// immutable once published and first-write-wins: when two goroutines
+// race to compute the same entry, both compute an ≡-equivalent result
+// and the earlier store sticks, so readers never observe an entry
+// changing. Memo values are always computed from the interner's
+// representative of the key (not from whichever syntactic variant a
+// caller happened to pass), which keeps entry content independent of
+// goroutine scheduling — the determinism argument of the parallel
+// exploration engine leans on this (see DESIGN.md).
 type Cache struct {
 	env         *types.Env
 	witnessOnly bool
 	in          *types.Interner
-	steps       map[types.ID][]Step
-	match       map[matchKey]bool
-	comp        map[types.ID][]CompStep
-	sync        map[[2]types.ID][]CompStep
+	shards      [cacheShards]cacheShard
+}
+
+// cacheShards is the number of lock stripes. 64 keeps the per-shard
+// mutexes essentially uncontended at any realistic worker count while
+// costing only a few kilobytes per Cache.
+const cacheShards = 64
+
+type cacheShard struct {
+	mu    sync.Mutex
+	steps map[types.ID][]Step
+	match map[matchKey]bool
+	comp  map[types.ID][]CompStep
+	sync  map[[2]types.ID][]CompStep
 }
 
 type matchKey struct {
@@ -42,11 +65,125 @@ func NewCache(env *types.Env, witnessOnly bool) *Cache {
 		env:         env,
 		witnessOnly: witnessOnly,
 		in:          types.NewInterner(),
-		steps:       make(map[types.ID][]Step, 1024),
-		match:       make(map[matchKey]bool, 256),
-		comp:        make(map[types.ID][]CompStep, 256),
-		sync:        make(map[[2]types.ID][]CompStep, 256),
 	}
+}
+
+// shardOf mixes a 32-bit key hash down to a shard index
+// (Fibonacci hashing: the high bits of h*φ⁻¹ are well distributed even
+// for sequential IDs).
+func (c *Cache) shardOf(h uint32) *cacheShard {
+	return &c.shards[(h*0x9E3779B1)>>(32-6)] // 2^6 = cacheShards
+}
+
+func (c *Cache) stepsShard(id types.ID) *cacheShard {
+	return c.shardOf(uint32(id))
+}
+
+func (c *Cache) compShard(id types.ID) *cacheShard {
+	return c.shardOf(uint32(id) ^ 0x517cc1b7)
+}
+
+func (c *Cache) syncShard(key [2]types.ID) *cacheShard {
+	return c.shardOf(uint32(key[0])*31 + uint32(key[1]))
+}
+
+func (c *Cache) matchShard(key matchKey) *cacheShard {
+	h := uint32(key.outSub)
+	h = h*31 + uint32(key.outPay)
+	h = h*31 + uint32(key.inSub)
+	h = h*31 + uint32(key.inPay)
+	return c.shardOf(h)
+}
+
+// lookupSteps / storeSteps guard the per-type raw-step memo. Stores are
+// first-write-wins so published entries are stable.
+func (c *Cache) lookupSteps(id types.ID) ([]Step, bool) {
+	sh := c.stepsShard(id)
+	sh.mu.Lock()
+	steps, ok := sh.steps[id]
+	sh.mu.Unlock()
+	return steps, ok
+}
+
+func (c *Cache) storeSteps(id types.ID, steps []Step) []Step {
+	sh := c.stepsShard(id)
+	sh.mu.Lock()
+	if sh.steps == nil {
+		sh.steps = make(map[types.ID][]Step, 32)
+	}
+	if prev, ok := sh.steps[id]; ok {
+		steps = prev
+	} else {
+		sh.steps[id] = steps
+	}
+	sh.mu.Unlock()
+	return steps
+}
+
+func (c *Cache) lookupMatch(key matchKey) (verdict bool, ok bool) {
+	sh := c.matchShard(key)
+	sh.mu.Lock()
+	verdict, ok = sh.match[key]
+	sh.mu.Unlock()
+	return verdict, ok
+}
+
+func (c *Cache) storeMatch(key matchKey, v bool) {
+	sh := c.matchShard(key)
+	sh.mu.Lock()
+	if sh.match == nil {
+		sh.match = make(map[matchKey]bool, 16)
+	}
+	if _, ok := sh.match[key]; !ok {
+		sh.match[key] = v
+	}
+	sh.mu.Unlock()
+}
+
+func (c *Cache) lookupComp(id types.ID) ([]CompStep, bool) {
+	sh := c.compShard(id)
+	sh.mu.Lock()
+	cs, ok := sh.comp[id]
+	sh.mu.Unlock()
+	return cs, ok
+}
+
+func (c *Cache) storeComp(id types.ID, cs []CompStep) []CompStep {
+	sh := c.compShard(id)
+	sh.mu.Lock()
+	if sh.comp == nil {
+		sh.comp = make(map[types.ID][]CompStep, 16)
+	}
+	if prev, ok := sh.comp[id]; ok {
+		cs = prev
+	} else {
+		sh.comp[id] = cs
+	}
+	sh.mu.Unlock()
+	return cs
+}
+
+func (c *Cache) lookupSync(key [2]types.ID) ([]CompStep, bool) {
+	sh := c.syncShard(key)
+	sh.mu.Lock()
+	ss, ok := sh.sync[key]
+	sh.mu.Unlock()
+	return ss, ok
+}
+
+func (c *Cache) storeSync(key [2]types.ID, ss []CompStep) []CompStep {
+	sh := c.syncShard(key)
+	sh.mu.Lock()
+	if sh.sync == nil {
+		sh.sync = make(map[[2]types.ID][]CompStep, 16)
+	}
+	if prev, ok := sh.sync[key]; ok {
+		ss = prev
+	} else {
+		sh.sync[key] = ss
+	}
+	sh.mu.Unlock()
+	return ss
 }
 
 // Interner exposes the cache's type interner, which callers (lts.Explore)
@@ -106,8 +243,12 @@ type CompStep struct {
 // — so a missing or mismatched cache is a caller bug and panics
 // (lts.Explore always attaches a compatible one).
 func (s *Semantics) ComponentSteps(cid types.ID) []CompStep {
+	if cs, ok := s.l1comp[cid]; ok {
+		return cs
+	}
 	c := s.mustCache()
-	if cs, ok := c.comp[cid]; ok {
+	if cs, ok := c.lookupComp(cid); ok {
+		s.l1compStore(cid, cs)
 		return cs
 	}
 	saved := s.depthHit
@@ -120,10 +261,25 @@ func (s *Semantics) ComponentSteps(cid types.ID) []CompStep {
 		cs[i] = CompStep{Label: st.Label, Key: c.LabelKeyOf(st.Label), Next: c.internLeaves(st.Next)}
 	}
 	if !s.depthHit {
-		c.comp[cid] = cs
+		cs = c.storeComp(cid, cs) // first-write-wins: adopt the winner
+		s.l1compStore(cid, cs)
 	}
 	s.depthHit = s.depthHit || saved
 	return cs
+}
+
+func (s *Semantics) l1compStore(cid types.ID, cs []CompStep) {
+	if s.l1comp == nil {
+		s.l1comp = make(map[types.ID][]CompStep, 64)
+	}
+	s.l1comp[cid] = cs
+}
+
+func (s *Semantics) l1syncStore(key [2]types.ID, ss []CompStep) {
+	if s.l1sync == nil {
+		s.l1sync = make(map[[2]types.ID][]CompStep, 64)
+	}
+	s.l1sync[key] = ss
 }
 
 // SyncSteps returns the synchronisations [T→iox]/[T→io] between an
@@ -131,9 +287,13 @@ func (s *Semantics) ComponentSteps(cid types.ID) []CompStep {
 // ordered component pair. Next holds the flattened successors of both
 // components. Like ComponentSteps, it requires a compatible cache.
 func (s *Semantics) SyncSteps(ci, cj types.ID) []CompStep {
-	c := s.mustCache()
 	key := [2]types.ID{ci, cj}
-	if ss, ok := c.sync[key]; ok {
+	if ss, ok := s.l1sync[key]; ok {
+		return ss
+	}
+	c := s.mustCache()
+	if ss, ok := c.lookupSync(key); ok {
+		s.l1syncStore(key, ss)
 		return ss
 	}
 	saved := s.depthHit
@@ -162,7 +322,8 @@ func (s *Semantics) SyncSteps(ci, cj types.ID) []CompStep {
 		}
 	}
 	if !s.depthHit {
-		c.sync[key] = ss
+		ss = c.storeSync(key, ss) // first-write-wins: adopt the winner
+		s.l1syncStore(key, ss)
 	}
 	s.depthHit = s.depthHit || saved
 	return ss

@@ -13,10 +13,11 @@ type Step struct {
 // Semantics computes transitions of types in a fixed environment Γ,
 // optionally limited to a set of observable channels (Def. 4.9).
 //
-// A Semantics is for a single goroutine: it carries mutable bookkeeping
-// (depthHit) and an optional Cache, neither of which is synchronised.
-// Only the types.Interner inside a Cache is safe for concurrent use;
-// concurrent explorations must each use their own Semantics and Cache.
+// A Semantics value is for a single goroutine: it carries mutable
+// bookkeeping (depthHit), which is not synchronised. The Cache it points
+// to, however, IS safe for concurrent use — parallel exploration workers
+// each take a Fork() of one Semantics and share its cache, so their
+// per-component work is computed once and served to all.
 type Semantics struct {
 	Env *types.Env
 	// Observable, when non-nil, enables the Y-limitation ↑Γ Y: input and
@@ -44,6 +45,28 @@ type Semantics struct {
 	// the current raw computation; such (truncated) results are not
 	// admitted into the cache.
 	depthHit bool
+	// l1comp/l1sync are the goroutine-local L1 in front of the shared
+	// cache's lock-striped maps: exploration looks the same few hundred
+	// distinct components and pairs up tens of thousands of times, so
+	// serving repeats from an unsynchronised local map keeps the hot
+	// loop lock-free (and keeps the serial engine as fast as it was
+	// before the cache grew locks). Entries are immutable slices shared
+	// with the L2 cache, so caching them locally is safe.
+	l1comp map[types.ID][]CompStep
+	l1sync map[[2]types.ID][]CompStep
+}
+
+// Fork returns a copy of s for use by another goroutine: it shares the
+// environment, Y-limitation and (concurrency-safe) cache, but has its
+// own depthHit bookkeeping and L1 memo. The Observable map is shared
+// and must not be mutated while forks are live (exploration only reads
+// it).
+func (s *Semantics) Fork() *Semantics {
+	clone := *s
+	clone.depthHit = false
+	clone.l1comp = nil
+	clone.l1sync = nil
+	return &clone
 }
 
 // Transitions returns all labelled transitions of t (Fig. 6), after
@@ -65,21 +88,27 @@ func (s *Semantics) Transitions(t types.Type) []Step {
 
 // rawOf computes (or recalls) the raw transitions of t. Results are
 // cached per interned type unless the computation was truncated by the
-// unfold-depth guard.
+// unfold-depth guard. On a miss the steps are computed from the
+// interner's *representative* of t (not t itself): the two are
+// ≡-equivalent — which is all the semantics observes — and computing
+// from the representative makes the stored entry a pure function of the
+// interned identity, independent of which syntactic variant reached the
+// cache first and of goroutine scheduling (see DESIGN.md on parallel
+// exploration determinism).
 func (s *Semantics) rawOf(t types.Type, depth int) []Step {
 	c := s.Cache
 	if !c.compatible(s) {
 		return s.raw(t, depth)
 	}
 	id := c.in.Intern(t)
-	if steps, ok := c.steps[id]; ok {
+	if steps, ok := c.lookupSteps(id); ok {
 		return steps
 	}
 	saved := s.depthHit
 	s.depthHit = false
-	steps := s.raw(t, depth)
+	steps := s.raw(c.in.TypeOf(id), depth)
 	if !s.depthHit {
-		c.steps[id] = steps
+		steps = c.storeSteps(id, steps) // first-write-wins: adopt the winner
 	}
 	s.depthHit = s.depthHit || saved
 	return steps
@@ -286,11 +315,11 @@ func (s *Semantics) match(out Output, in Input) bool {
 		inSub:  c.in.Intern(in.Subject),
 		inPay:  c.in.Intern(in.Payload),
 	}
-	if v, ok := c.match[key]; ok {
+	if v, ok := c.lookupMatch(key); ok {
 		return v
 	}
 	v := s.matchUncached(out, in)
-	c.match[key] = v
+	c.storeMatch(key, v)
 	return v
 }
 

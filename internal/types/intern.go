@@ -130,7 +130,11 @@ func (in *Interner) Len() int {
 
 // Unfold is a memoised types.Unfold: one step of µt.T ≡ T{µt.T/t}. The
 // result is ≡-equivalent to (but not necessarily syntactically identical
-// with) Unfold(t).
+// with) Unfold(t): it is computed from the interner's representative of
+// t, which makes the memo entry a pure function of t's interned identity
+// — independent of which syntactic variant was passed first and of
+// goroutine scheduling. Concurrent racing computations are resolved
+// first-write-wins, so a published entry never changes.
 func (in *Interner) Unfold(t Type) Type {
 	r, ok := t.(Rec)
 	if !ok {
@@ -142,28 +146,43 @@ func (in *Interner) Unfold(t Type) Type {
 		in.mu.Unlock()
 		return u
 	}
+	if rep, ok := in.reps[id].(Rec); ok {
+		r = rep
+	}
 	in.mu.Unlock()
 	u := SubstRec(r.Body, r.Var, r)
 	in.mu.Lock()
-	in.unfold[id] = u
+	if prev, ok := in.unfold[id]; ok {
+		u = prev
+	} else {
+		in.unfold[id] = u
+	}
 	in.mu.Unlock()
 	return u
 }
 
 // Subst is a memoised types.Subst: t with every free occurrence of the
-// term variable x replaced by s. The result is ≡-equivalent to (but not
-// necessarily syntactically identical with) Subst(t, x, s).
+// term variable x replaced by s. Like Unfold, the result is computed
+// from the representatives of t and s (≡-equivalent to Subst(t, x, s),
+// schedule-independent) and races are resolved first-write-wins.
 func (in *Interner) Subst(t Type, x string, s Type) Type {
 	in.mu.Lock()
-	key := substKey{t: in.intern(t, nil, 0), x: x, s: in.intern(s, nil, 0)}
+	tid := in.intern(t, nil, 0)
+	sid := in.intern(s, nil, 0)
+	key := substKey{t: tid, x: x, s: sid}
 	if r, ok := in.subst[key]; ok {
 		in.mu.Unlock()
 		return r
 	}
+	tRep, sRep := in.reps[tid], in.reps[sid]
 	in.mu.Unlock()
-	r := Subst(t, x, s)
+	r := Subst(tRep, x, sRep)
 	in.mu.Lock()
-	in.subst[key] = r
+	if prev, ok := in.subst[key]; ok {
+		r = prev
+	} else {
+		in.subst[key] = r
+	}
 	in.mu.Unlock()
 	return r
 }

@@ -13,6 +13,7 @@ package verify
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -125,6 +126,10 @@ type Request struct {
 	// share per-state work; it must have been built with
 	// typelts.NewCache(Env, true).
 	Cache *typelts.Cache
+	// Parallelism is the worker count for LTS exploration
+	// (lts.Options.Parallelism): 0 = GOMAXPROCS, 1 = serial. The verdict
+	// and the explored LTS are identical at any value.
+	Parallelism int
 }
 
 // Outcome is a verification result.
@@ -170,7 +175,7 @@ func Verify(req Request) (*Outcome, error) {
 	m := req.Reuse
 	if m == nil {
 		var err error
-		m, err = lts.Explore(sem, req.Type, lts.Options{MaxStates: req.MaxStates})
+		m, err = lts.Explore(sem, req.Type, lts.Options{MaxStates: req.MaxStates, Parallelism: req.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +215,156 @@ func Verify(req Request) (*Outcome, error) {
 // and sharing one transition cache — interner, memoised per-state steps,
 // synchronisation matches — across every exploration, so properties with
 // different Y-limitations still reuse each other's per-state work.
+//
+// VerifyAll runs at the default parallelism (GOMAXPROCS); see
+// VerifyAllWith for the knob and the concurrency structure.
 func VerifyAll(env *types.Env, t types.Type, props []Property, maxStates int) ([]*Outcome, error) {
+	return VerifyAllWith(env, t, props, AllOptions{MaxStates: maxStates})
+}
+
+// AllOptions configures VerifyAllWith.
+type AllOptions struct {
+	// MaxStates bounds each LTS exploration (0 = lts.DefaultMaxStates).
+	MaxStates int
+	// Parallelism selects the engine and sizes each exploration's worker
+	// pool: 0 = GOMAXPROCS, 1 = the fully serial engine (explorations
+	// and property checks run one after another — the reference
+	// behaviour). Values ≥ 2 enable the concurrent pipeline, in which
+	// every observable-set group explores on its own goroutine (with
+	// Parallelism BFS workers each) and every property checks on its
+	// own goroutine — so the *goroutine* count scales with the group
+	// and property counts too; actual CPU use stays bounded by
+	// GOMAXPROCS, which is the knob for capping machine load. At any
+	// value the verdicts, state counts and explored LTSes are
+	// identical; only wall-clock changes.
+	Parallelism int
+}
+
+// VerifyAllWith is VerifyAll with explicit parallelism. With Parallelism
+// ≠ 1 the pipeline is concurrent on three levels: property groups
+// (distinct observable sets) explore their LTSes on parallel goroutines
+// over one shared transition cache; each exploration is itself a
+// parallel BFS (lts.Options.Parallelism); and the model-checking stages
+// (mucalc.Check / EvUsageHolds) of independent properties run on their
+// own goroutines over the shared read-only LTSes. Outcomes are collected
+// in input order, and the error contract matches the serial engine:
+// outcomes up to the first failing property, plus that property's error.
+func VerifyAllWith(env *types.Env, t types.Type, props []Property, opts AllOptions) ([]*Outcome, error) {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par == 1 {
+		return verifyAllSerial(env, t, props, opts.MaxStates)
+	}
+
+	outcomes := make([]*Outcome, 0, len(props))
+	if len(props) == 0 {
+		return outcomes, nil
+	}
+	// Fail fast (and once) on inadmissible types instead of racing every
+	// exploration into the same error; the serial engine reports this
+	// against the first property.
+	if err := Admissible(env, t); err != nil {
+		return outcomes, fmt.Errorf("%s: %w", props[0], err)
+	}
+
+	// Group properties by observable set. ObservablesFor errors are
+	// deferred per property so the input-order error contract holds.
+	keys := make([]string, len(props))
+	obsSets := make([]map[string]bool, len(props))
+	propErrs := make([]error, len(props))
+	for i, p := range props {
+		obs, err := ObservablesFor(env, p)
+		if err != nil {
+			propErrs[i] = err
+			continue
+		}
+		sorted := append([]string{}, obs...)
+		sort.Strings(sorted)
+		keys[i] = strings.Join(sorted, ",")
+		set := make(map[string]bool, len(obs))
+		for _, x := range obs {
+			set[x] = true
+		}
+		obsSets[i] = set
+	}
+
+	// One exploration per distinct observable set, all concurrent, all
+	// sharing the transition cache (so groups still reuse each other's
+	// per-component work even though their Y-limitations differ).
+	shared := typelts.NewCache(env, true)
+	type exploration struct {
+		done chan struct{}
+		lts  *lts.LTS
+		err  error
+	}
+	groups := map[string]*exploration{}
+	for i := range props {
+		if propErrs[i] != nil {
+			continue
+		}
+		if _, ok := groups[keys[i]]; ok {
+			continue
+		}
+		g := &exploration{done: make(chan struct{})}
+		groups[keys[i]] = g
+		go func(obs map[string]bool, g *exploration) {
+			defer close(g.done)
+			sem := &typelts.Semantics{Env: env, Observable: obs, WitnessOnly: true, Cache: shared}
+			g.lts, g.err = lts.Explore(sem, t, lts.Options{MaxStates: opts.MaxStates, Parallelism: par})
+		}(obsSets[i], g)
+	}
+
+	// Property checks: one goroutine each, blocking on its group's LTS.
+	// Each outcome's Duration is the property's wall-clock time including
+	// the (shared, overlapping) exploration wait.
+	results := make([]*Outcome, len(props))
+	done := make(chan struct{})
+	var pending int
+	for i := range props {
+		if propErrs[i] != nil {
+			continue
+		}
+		pending++
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			start := time.Now()
+			g := groups[keys[i]]
+			<-g.done
+			if g.err != nil {
+				propErrs[i] = g.err
+				return
+			}
+			o, err := Verify(Request{
+				Env: env, Type: t, Property: props[i],
+				MaxStates: opts.MaxStates, Reuse: g.lts, Cache: shared, Parallelism: par,
+			})
+			if err != nil {
+				propErrs[i] = err
+				return
+			}
+			o.Duration = time.Since(start)
+			results[i] = o
+		}(i)
+	}
+	for ; pending > 0; pending-- {
+		<-done
+	}
+
+	for i, p := range props {
+		if propErrs[i] != nil {
+			return outcomes, fmt.Errorf("%s: %w", p, propErrs[i])
+		}
+		outcomes = append(outcomes, results[i])
+	}
+	return outcomes, nil
+}
+
+// verifyAllSerial is the reference single-threaded pipeline (and the
+// baseline the parallel engine is measured against): one property after
+// another, LTS reuse by observable-set key, one shared cache.
+func verifyAllSerial(env *types.Env, t types.Type, props []Property, maxStates int) ([]*Outcome, error) {
 	outcomes := make([]*Outcome, 0, len(props))
 	ltsCache := map[string]*lts.LTS{}
 	shared := typelts.NewCache(env, true)
@@ -222,7 +376,7 @@ func VerifyAll(env *types.Env, t types.Type, props []Property, maxStates int) ([
 		sorted := append([]string{}, obs...)
 		sort.Strings(sorted)
 		key := strings.Join(sorted, ",")
-		req := Request{Env: env, Type: t, Property: p, MaxStates: maxStates, Reuse: ltsCache[key], Cache: shared}
+		req := Request{Env: env, Type: t, Property: p, MaxStates: maxStates, Reuse: ltsCache[key], Cache: shared, Parallelism: 1}
 		o, err := Verify(req)
 		if err != nil {
 			return outcomes, fmt.Errorf("%s: %w", p, err)

@@ -249,6 +249,107 @@ func TestVerifyAllReuseIsOrderInsensitive(t *testing.T) {
 	}
 }
 
+// miniPhilosophers builds a 2-philosopher / 2-fork system inline (the
+// systems package depends on verify, so fixtures are restated here).
+func miniPhilosophers() (*types.Env, types.Type, []Property) {
+	unit := types.Unit{}
+	env := types.EnvOf(
+		"f0", types.ChanIO{Elem: unit},
+		"f1", types.ChanIO{Elem: unit},
+	)
+	out := func(ch string, cont types.Type) types.Type {
+		return types.Out{Ch: tv(ch), Payload: unit, Cont: types.Thunk(cont)}
+	}
+	in := func(ch, v string, cont types.Type) types.Type {
+		return types.In{Ch: tv(ch), Cont: types.Pi{Var: v, Dom: unit, Cod: cont}}
+	}
+	fork := func(ch string) types.Type {
+		return types.Rec{Var: "t", Body: out(ch, in(ch, "u", types.RecVar{Name: "t"}))}
+	}
+	phil := func(first, second string) types.Type {
+		return types.Rec{Var: "t", Body: in(first, "u", in(second, "u2",
+			out(first, out(second, types.RecVar{Name: "t"}))))}
+	}
+	sys := types.ParOf(fork("f0"), fork("f1"), phil("f0", "f1"), phil("f1", "f0"))
+	props := []Property{
+		{Kind: DeadlockFree, Closed: true},
+		{Kind: EventualOutput, Channels: []string{"f0"}, Closed: true},
+		{Kind: Forwarding, From: "f0", To: "f1", Closed: true},
+		{Kind: NonUsage, Channels: []string{"f0"}, Closed: true},
+		{Kind: Reactive, From: "f0", Closed: true},
+		{Kind: Responsive, From: "f0", Closed: true},
+	}
+	return env, sys, props
+}
+
+// TestVerifyAllParallelismEquivalence runs the full six-property pipeline
+// at Parallelism 1, 2 and 8 and asserts the observable results coincide
+// exactly: verdicts, state counts, label alphabets and every CSR
+// adjacency. This is the verify-layer face of the exploration
+// determinism guarantee.
+func TestVerifyAllParallelismEquivalence(t *testing.T) {
+	env, sys, props := miniPhilosophers()
+	base, err := VerifyAllWith(env, sys, props, AllOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		got, err := VerifyAllWith(env, sys, props, AllOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("parallelism %d: %d outcomes, want %d", par, len(got), len(base))
+		}
+		for i := range base {
+			b, g := base[i], got[i]
+			if g.Holds != b.Holds {
+				t.Errorf("parallelism %d / %s: verdict %v, serial says %v", par, g.Property, g.Holds, b.Holds)
+			}
+			if g.States != b.States {
+				t.Errorf("parallelism %d / %s: %d states, serial has %d", par, g.Property, g.States, b.States)
+			}
+			if g.LTS.Len() != b.LTS.Len() {
+				t.Errorf("parallelism %d / %s: LTS sizes differ", par, g.Property)
+				continue
+			}
+			for s := 0; s < b.LTS.Len(); s++ {
+				be, ge := b.LTS.Out(s), g.LTS.Out(s)
+				if len(be) != len(ge) {
+					t.Errorf("parallelism %d / %s: state %d out-degree differs", par, g.Property, s)
+					continue
+				}
+				for k := range be {
+					if be[k] != ge[k] || b.LTS.LabelOf(be[k]).Key() != g.LTS.LabelOf(ge[k]).Key() {
+						t.Errorf("parallelism %d / %s: state %d edge %d differs", par, g.Property, s, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyAllErrorContract checks the concurrent pipeline preserves the
+// serial error semantics: outcomes up to the first failing property, and
+// that property's wrapped error.
+func TestVerifyAllErrorContract(t *testing.T) {
+	env, sys, _ := miniPhilosophers()
+	props := []Property{
+		{Kind: DeadlockFree, Closed: true},
+		{Kind: Reactive, From: "nope", Closed: true}, // unbound probe
+		{Kind: NonUsage, Channels: []string{"f0"}, Closed: true},
+	}
+	for _, par := range []int{1, 4} {
+		outcomes, err := VerifyAllWith(env, sys, props, AllOptions{Parallelism: par})
+		if err == nil {
+			t.Fatalf("parallelism %d: unbound probe channel must fail", par)
+		}
+		if len(outcomes) != 1 {
+			t.Errorf("parallelism %d: %d outcomes before the failure, want 1", par, len(outcomes))
+		}
+	}
+}
+
 func TestDeadlockFreeOpenOutput(t *testing.T) {
 	// The same output-only loop verified OPEN on x keeps firing forever:
 	// deadlock-free modulo {x} holds.
