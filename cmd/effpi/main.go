@@ -79,6 +79,14 @@ verify flags:
   -from x -to y  forwarding source/target; reactive/responsive use -from
   -open          treat the program as open (environment may interact on
                  the probe channels); default is closed-composition mode
+  -early         stop exploring as soon as a violation is found
+  -width N       truncate printed witness states to N runes (default
+                 100, 0 = full)
+
+a failing property exits with status 1 and prints the counterexample: a
+lasso-shaped run (stem, then a cycle repeating forever) with the parallel
+component multiset at every visited state, re-validated by replaying it
+against the transition system and the property automaton.
 `)
 }
 
@@ -161,6 +169,8 @@ func cmdVerify(args []string) error {
 	to := fs.String("to", "", "target channel")
 	open := fs.Bool("open", false, "open-process mode (default: closed composition)")
 	maxStates := fs.Int("max", 0, "state bound (0 = default)")
+	early := fs.Bool("early", false, "early-exit mode: stop exploring as soon as a violation is found (on-the-fly checking; non-usage, deadlock-free and reactive)")
+	width := fs.Int("width", 100, "truncate printed witness states to this width (0 = full)")
 	p, err := loadProgram(fs, binds, args)
 	if err != nil {
 		return err
@@ -174,13 +184,15 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	outcome, err := verify.Verify(verify.Request{Env: p.Env, Type: t, Property: prop, MaxStates: *maxStates})
+	outcome, err := verify.Verify(verify.Request{Env: p.Env, Type: t, Property: prop, MaxStates: *maxStates, EarlyExit: *early})
 	if err != nil {
 		return err
 	}
-	printOutcome(outcome)
+	printOutcome(outcome, *width)
 	if !outcome.Holds {
-		os.Exit(1)
+		// A FAIL exits non-zero (via main's error path) so scripts and CI
+		// can gate on the verdict; the witness above is the evidence.
+		return fmt.Errorf("property %s does not hold (counterexample above)", outcome.Property)
 	}
 	return nil
 }
@@ -221,17 +233,30 @@ func propertyFromFlags(name, channels, from, to string, closed bool) (verify.Pro
 	return p, nil
 }
 
-func printOutcome(o *verify.Outcome) {
+func printOutcome(o *verify.Outcome, width int) {
 	fmt.Printf("property:  %s\n", o.Property)
 	fmt.Printf("verdict:   %v\n", o.Holds)
-	fmt.Printf("states:    %d (product %d, automaton %d)\n", o.States, o.ProductStates, o.AutomatonStates)
+	if o.EarlyExit {
+		fmt.Printf("states:    %d discovered, %d expanded (early exit; product %d, automaton %d)\n",
+			o.States, o.Expanded, o.ProductStates, o.AutomatonStates)
+	} else {
+		fmt.Printf("states:    %d (product %d, automaton %d)\n", o.States, o.ProductStates, o.AutomatonStates)
+	}
 	fmt.Printf("time:      %s\n", o.Duration)
 	if o.Formula != nil {
 		fmt.Printf("formula:   %s\n", o.Formula)
 	}
-	if o.Counterexample != nil {
+	if o.Witness != nil {
+		replayed := "replay-validated"
+		if err := verify.Replay(o); err != nil {
+			replayed = fmt.Sprintf("REPLAY FAILED: %v", err)
+		}
+		fmt.Printf("violating run (lasso, %s):\n%s", replayed, o.Witness.Render(width))
+	} else if o.Counterexample != nil {
 		fmt.Printf("violating run (lasso):\n  prefix: %v\n  cycle:  %v\n",
 			o.Counterexample.Prefix, o.Counterexample.Cycle)
+	} else if !o.Holds && o.Property.Kind == verify.EventualOutput {
+		fmt.Printf("no single-run witness: ev-usage is existential (no run reaches the output)\n")
 	}
 }
 
@@ -303,12 +328,9 @@ func cmdTrace(args []string) error {
 	return nil
 }
 
-func clip(s string, n int) string {
-	if n > 0 && len(s) > n {
-		return s[:n] + "…"
-	}
-	return s
-}
+// clip truncates s to at most n runes (0 = no truncation), cutting on a
+// rune boundary so multi-byte glyphs in printed terms survive intact.
+func clip(s string, n int) string { return verify.ClipRunes(s, n) }
 
 // cmdBisim decides whether two programs have strongly bisimilar types:
 // an executable notion of behavioural equivalence, useful to check that

@@ -78,6 +78,36 @@ let c = chan[Int]() in
 	}
 }
 
+// TestCmdVerifyFailExitsNonZero: a failing property must come back as an
+// error (main turns any error into exit status 1) after printing the
+// witness; a passing property must not. Both early-exit and full modes.
+func TestCmdVerifyFailExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	stuckFile := filepath.Join(dir, "stuck.epi")
+	// One send with no receiver: the closed composition deadlocks. The
+	// channel comes from Γ via -bind — a let-bound channel would make the
+	// synchronisations imprecise (Aτ) and fail for the wrong reason.
+	if err := os.WriteFile(stuckFile, []byte(`send(c, 1, fun (_: Unit) => end)`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	okFile := filepath.Join(dir, "ok.epi")
+	if err := os.WriteFile(okFile, []byte(`
+(send(c, 1, fun (_: Unit) => end) || recv(c, fun (x: Int) => end))
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range [][]string{nil, {"-early"}} {
+		args := append(append([]string{"-bind", "c=Chan[Int]", "-prop", "deadlock-free"}, mode...), stuckFile)
+		if err := cmdVerify(args); err == nil {
+			t.Errorf("deadlocking program must fail verification (mode %v)", mode)
+		}
+		args = append(append([]string{"-bind", "c=Chan[Int]", "-prop", "deadlock-free"}, mode...), okFile)
+		if err := cmdVerify(args); err != nil {
+			t.Errorf("communicating program must verify (mode %v): %v", mode, err)
+		}
+	}
+}
+
 func TestCmdCheckRejectsIllTyped(t *testing.T) {
 	dir := t.TempDir()
 	file := filepath.Join(dir, "bad.epi")

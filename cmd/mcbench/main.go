@@ -12,7 +12,11 @@
 //
 // With -json PATH the results are also written as machine-readable JSON
 // (one object per row with per-property verdicts and timing stats), the
-// format of the committed BENCH_fig9.json perf-trajectory snapshot.
+// format of the committed BENCH_fig9.json perf-trajectory snapshot. Every
+// failing property additionally carries its counterexample witness — the
+// lasso-shaped violating run, replay-validated with verify.Replay before
+// it is written — so a FAIL in the snapshot is a checkable artifact, not
+// just a bit.
 package main
 
 import (
@@ -160,6 +164,51 @@ type jsonProp struct {
 	MeanSeconds   float64 `json:"mean_seconds"`
 	StddevSeconds float64 `json:"stddev_seconds"`
 	Error         string  `json:"error,omitempty"`
+	// Witness is the counterexample lasso of a failing property,
+	// replay-validated (verify.Replay) before it is written. ev-usage
+	// failures have none: the schema is existential.
+	Witness *jsonWitness `json:"witness,omitempty"`
+}
+
+// jsonWitness is the machine-readable counterexample lasso: the run
+// follows Stem from the initial state, then repeats Cycle forever. Every
+// step names its source and destination state ids (into the row's
+// explored LTS) and the fired transition label.
+type jsonWitness struct {
+	Stem  []jsonStep `json:"stem"`
+	Cycle []jsonStep `json:"cycle"`
+	// Replayed records that verify.Replay re-validated the lasso against
+	// the LTS and the property's Büchi automaton.
+	Replayed bool `json:"replayed"`
+}
+
+type jsonStep struct {
+	From  int    `json:"from"`
+	Label string `json:"label"`
+	To    int    `json:"to"`
+}
+
+// witnessJSON converts a failing outcome's witness, re-validating it via
+// verify.Replay; a replay failure is reported as a verdict mismatch by
+// the caller (a witness that doesn't replay means the checker lied).
+func witnessJSON(o *verify.Outcome) (*jsonWitness, error) {
+	// No nil-witness guard: the caller only passes FAILs of LTL-checked
+	// properties, which must carry a witness — Replay turns a missing one
+	// into an error, and the caller counts it against the row.
+	if err := verify.Replay(o); err != nil {
+		return nil, err
+	}
+	jw := &jsonWitness{Replayed: true}
+	conv := func(steps []verify.WitnessStep) []jsonStep {
+		out := make([]jsonStep, len(steps))
+		for i, st := range steps {
+			out[i] = jsonStep{From: st.From, Label: st.Label.String(), To: st.To}
+		}
+		return out
+	}
+	jw.Stem = conv(o.Witness.Stem)
+	jw.Cycle = conv(o.Witness.Cycle)
+	return jw, nil
 }
 
 // runRow verifies all six properties of one system, reps times each, and
@@ -178,6 +227,7 @@ func runRow(s *systems.System, reps, maxStates int, shared bool, par int) (jsonR
 	for _, prop := range s.Props {
 		jp := jsonProp{Kind: prop.Kind.String(), Matches: true}
 		var times []float64
+		var last *verify.Outcome
 		failed := false
 		for r := 0; r < reps; r++ {
 			o, err := verify.Verify(verify.Request{
@@ -193,12 +243,24 @@ func runRow(s *systems.System, reps, maxStates int, shared bool, par int) (jsonR
 			}
 			jp.Holds = o.Holds
 			row.States = o.States
+			last = o
 			times = append(times, o.Duration.Seconds())
 		}
 		if failed {
 			mismatches++
 			row.Properties = append(row.Properties, jp)
 			continue
+		}
+		if last != nil && !last.Holds && prop.Kind != verify.EventualOutput {
+			w, err := witnessJSON(last)
+			if err != nil {
+				// A FAIL whose witness does not replay is as bad as a wrong
+				// verdict: count it against the row.
+				jp.Error = err.Error()
+				jp.Matches = false
+				mismatches++
+			}
+			jp.Witness = w
 		}
 		jp.MeanSeconds, jp.StddevSeconds = meanStddev(times)
 		mark := ""

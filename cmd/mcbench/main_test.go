@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"effpi/internal/systems"
+	"effpi/internal/verify"
+)
+
+// TestRunRowAttachesReplayedWitnesses: every failing LTL property of a
+// benchmark row comes out with a witness that was re-validated by
+// verify.Replay before serialisation; replay failures count as verdict
+// mismatches.
+func TestRunRowAttachesReplayedWitnesses(t *testing.T) {
+	s := systems.DiningPhilosophers(3, true)
+	row, mismatches := runRow(s, 1, 1<<18, true, 1)
+	if mismatches != 0 {
+		t.Fatalf("unexpected verdict mismatches: %d", mismatches)
+	}
+	sawWitness := false
+	for _, p := range row.Properties {
+		want := s.Expected[kindByName(t, p.Kind)]
+		if p.Holds != want {
+			t.Errorf("%s: verdict %v, Fig. 9 expects %v", p.Kind, p.Holds, want)
+		}
+		if p.Holds || p.Kind == verify.EventualOutput.String() {
+			if p.Witness != nil {
+				t.Errorf("%s: unexpected witness", p.Kind)
+			}
+			continue
+		}
+		if p.Witness == nil {
+			t.Fatalf("%s: FAIL without witness in the JSON row", p.Kind)
+		}
+		if !p.Witness.Replayed {
+			t.Errorf("%s: witness not marked replayed", p.Kind)
+		}
+		if len(p.Witness.Cycle) == 0 {
+			t.Errorf("%s: witness cycle is empty", p.Kind)
+		}
+		for _, st := range append(append([]jsonStep{}, p.Witness.Stem...), p.Witness.Cycle...) {
+			if st.Label == "" {
+				t.Errorf("%s: witness step without label", p.Kind)
+			}
+		}
+		sawWitness = true
+	}
+	if !sawWitness {
+		t.Fatal("row produced no witnesses")
+	}
+}
+
+func kindByName(t *testing.T, name string) verify.Kind {
+	t.Helper()
+	for _, k := range verify.AllKinds() {
+		if k.String() == name {
+			return k
+		}
+	}
+	t.Fatalf("unknown kind %q", name)
+	return 0
+}
+
+// TestSnapshotSchemaCompat: the committed BENCH_fig9.json parses under
+// the current schema, keeps all 19 Fig. 9 rows (plus the LargeSystems
+// sweep), agrees with the published verdicts, and every failing
+// LTL-checked property carries a replay-validated witness — the snapshot
+// is a set of checkable claims, not just numbers.
+func TestSnapshotSchemaCompat(t *testing.T) {
+	buf, err := os.ReadFile("../../BENCH_fig9.json")
+	if err != nil {
+		t.Skipf("snapshot not present: %v", err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("committed snapshot does not parse under the current schema: %v", err)
+	}
+	if len(report.Rows) < 19 {
+		t.Fatalf("snapshot has %d rows, want the 19 Fig. 9 rows at least", len(report.Rows))
+	}
+	witnesses := 0
+	for _, row := range report.Rows {
+		if len(row.Properties) != 6 {
+			t.Errorf("%s: %d properties, want 6", row.System, len(row.Properties))
+		}
+		for _, p := range row.Properties {
+			if !p.Matches {
+				t.Errorf("%s / %s: snapshot verdict does not match Fig. 9", row.System, p.Kind)
+			}
+			if p.Holds || p.Kind == verify.EventualOutput.String() {
+				continue
+			}
+			if p.Witness == nil {
+				t.Errorf("%s / %s: failing property without witness in the snapshot", row.System, p.Kind)
+				continue
+			}
+			if !p.Witness.Replayed || len(p.Witness.Cycle) == 0 {
+				t.Errorf("%s / %s: snapshot witness not replay-validated or empty", row.System, p.Kind)
+			}
+			witnesses++
+		}
+	}
+	if witnesses == 0 {
+		t.Fatal("snapshot contains no witnesses")
+	}
+	// Round-trip: the schema serialises losslessly.
+	out, err := json.Marshal(&report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again jsonReport
+	if err := json.Unmarshal(out, &again); err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Rows) != len(report.Rows) {
+		t.Error("round-trip changed the row count")
+	}
+}

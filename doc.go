@@ -7,4 +7,16 @@
 // examples under examples/. The benchmarks in bench_test.go regenerate
 // every figure and table of the paper's evaluation (Fig. 8 and Fig. 9);
 // EXPERIMENTS.md records the measured results against the published ones.
+//
+// Reading counterexample output: a failing property is reported as a
+// lasso-shaped witness — a stem of transitions from the initial state
+// followed by a cycle that repeats forever, with the parallel component
+// multiset printed at every visited state. "effpi verify" prints the
+// witness and exits non-zero on FAIL; "mcbench -json" embeds it in each
+// row (field "witness", with state ids and labels). Every witness is
+// replay-validated before it is shown: the run is re-executed against the
+// explored transition system and the property's Büchi automaton
+// (verify.Replay), so a reported FAIL is a checkable artifact. The
+// "-early" flag of effpi verify stops exploring as soon as a violation
+// exists (on-the-fly checking; see DESIGN.md).
 package effpi

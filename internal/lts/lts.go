@@ -48,6 +48,12 @@ type LTS struct {
 	// results on a truncated LTS are not trustworthy and the verifier
 	// refuses to produce them.
 	Truncated bool
+	// Partial reports that the LTS is an on-demand fragment (an
+	// Incremental snapshot with unexpanded states): discovered states that
+	// were never expanded have no outgoing edges, so Deadlocked and
+	// whole-space analyses are meaningless on it. Runs that only visit
+	// expanded states — counterexample witnesses — replay fine.
+	Partial bool
 }
 
 // Options configures exploration.
@@ -83,32 +89,40 @@ const DefaultMaxStates = 1 << 20
 // array in (parent-index, edge-order) order — so the resulting LTS is
 // identical to the serial engine's at any worker count (see DESIGN.md).
 func Explore(sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error) {
-	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
-	}
 	par := opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	b := prepBuilder(sem, init, opts.MaxStates)
+	if par == 1 {
+		return b.l, b.exploreSerial()
+	}
+	return b.l, b.exploreParallel(par)
+}
 
-	// Attach a private cache when the semantics has none: even a single
-	// exploration profits from hash-consed state identity and memoised
-	// per-component steps, and the clone keeps the caller's value intact.
+// prepBuilder is the shared entry point of both exploration engines
+// (Explore and NewIncremental): resolve the state bound, attach a private
+// cache when the semantics has none (even a single exploration profits
+// from hash-consed state identity, and the clone keeps the caller's value
+// intact), and intern the root state. The root-intern sequence is
+// determinism-critical — encounter-rank assignment starts here — so both
+// engines must run it identically: a witness extracted from an
+// Incremental only replays against Explore-style numbering because the
+// two share this path.
+func prepBuilder(sem *typelts.Semantics, init types.Type, maxStates int) *builder {
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
 	if !sem.HasCompatibleCache() {
 		clone := *sem
 		clone.Cache = typelts.NewCache(sem.Env, sem.WitnessOnly)
 		sem = &clone
 	}
-
 	b := newBuilder(sem, maxStates)
 	root := sem.InternLeaves(init)
 	b.orderComps(root)
 	b.internState(root, init)
-	if par == 1 {
-		return b.l, b.exploreSerial()
-	}
-	return b.l, b.exploreParallel(par)
+	return b
 }
 
 // builder holds the mutable state of one exploration: the LTS under
@@ -285,9 +299,11 @@ func spliceSucc(comps []types.ID, i, j int, next []types.ID) []types.ID {
 	return append(succ, next...)
 }
 
-// finishState completes the run for edge-less states (✔^ω for proper
-// termination, ⊠^ω for deadlock) and seals the state's CSR extent.
-func (b *builder) finishState(next int, from int32) {
+// completeRun appends the run-completion self-loop of an edge-less state
+// (✔^ω for proper termination, ⊠^ω for deadlock). from is the index of
+// the state's first edge in the flat array; a state whose expansion
+// produced no edges gets exactly one completion edge.
+func (b *builder) completeRun(next int, from int32) {
 	if len(b.l.edges) == int(from) {
 		var lab typelts.Label = typelts.Stuck{}
 		if len(b.stateComps[next]) == 0 {
@@ -295,7 +311,43 @@ func (b *builder) finishState(next int, from int32) {
 		}
 		b.l.edges = append(b.l.edges, Edge{Label: b.internLabel(b.sem.Cache.LabelKeyOf(lab), lab), Dst: int32(next)})
 	}
+}
+
+// finishState completes the run for edge-less states and seals the
+// state's CSR extent.
+func (b *builder) finishState(next int, from int32) {
+	b.completeRun(next, from)
 	b.l.start = append(b.l.start, int32(len(b.l.edges)))
+}
+
+// expandInto splices all transitions of the state with component multiset
+// comps into the edge array, starting at offset from: interleaving moves
+// of each component (Y-limited) first, then pairwise synchronisations —
+// the canonical per-state edge order shared by the serial, parallel and
+// incremental engines.
+func (b *builder) expandInto(from int32, comps []types.ID) {
+	sem := b.sem
+	// Interleaving: each component may act on its own (Y-limited).
+	for i := range comps {
+		for _, st := range sem.ComponentSteps(comps[i]) {
+			if !sem.KeepLabel(st.Label) {
+				continue
+			}
+			b.applyStep(from, comps, i, -1, st)
+		}
+	}
+	// Synchronisation: an output of component i meets an input of
+	// component j (i ≠ j); τ labels always survive the Y-limitation.
+	for i := range comps {
+		for j := range comps {
+			if i == j {
+				continue
+			}
+			for _, st := range sem.SyncSteps(comps[i], comps[j]) {
+				b.applyStep(from, comps, i, j, st)
+			}
+		}
+	}
 }
 
 // boundExceeded truncates the LTS and reports the state-bound error.
@@ -308,37 +360,13 @@ func (b *builder) boundExceeded() error {
 // exploreSerial is the single-threaded worklist engine (Parallelism 1):
 // one pass over the growing state list, expanding and splicing in place.
 func (b *builder) exploreSerial() error {
-	sem := b.sem
 	for next := 0; next < len(b.l.States); next++ {
 		if len(b.l.States) > b.maxStates {
 			return b.boundExceeded()
 		}
-		comps := b.stateComps[next]
 		from := b.l.start[next]
 		b.beginState()
-
-		// Interleaving: each component may act on its own (Y-limited).
-		for i := range comps {
-			for _, st := range sem.ComponentSteps(comps[i]) {
-				if !sem.KeepLabel(st.Label) {
-					continue
-				}
-				b.applyStep(from, comps, i, -1, st)
-			}
-		}
-		// Synchronisation: an output of component i meets an input of
-		// component j (i ≠ j); τ labels always survive the Y-limitation.
-		for i := range comps {
-			for j := range comps {
-				if i == j {
-					continue
-				}
-				for _, st := range sem.SyncSteps(comps[i], comps[j]) {
-					b.applyStep(from, comps, i, j, st)
-				}
-			}
-		}
-
+		b.expandInto(from, b.stateComps[next])
 		b.finishState(next, from)
 	}
 	return nil

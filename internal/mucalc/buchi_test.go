@@ -180,7 +180,7 @@ func TestSimplifyPreservesVerdicts(t *testing.T) {
 		// Check already simplifies; compare against translating the raw
 		// formula directly.
 		ba := Translate(Not{F: f})
-		p := newProduct(m, ba)
+		p := newProduct(LTSModel(m), ba)
 		trace, _ := p.findAcceptingLasso()
 		if raw != (trace == nil) {
 			t.Errorf("Simplify changed the verdict of %s", f)

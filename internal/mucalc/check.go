@@ -12,6 +12,10 @@ type Result struct {
 	// Counterexample, when Holds is false, is a lasso-shaped violating
 	// run: Prefix followed by Cycle repeated forever.
 	Counterexample *Trace
+	// Witness, when Holds is false, is the same violating lasso with full
+	// state identity: the LTS state visited at every position, which makes
+	// the run machine-replayable (see Witness and verify.Replay).
+	Witness *Witness
 	// ProductStates is the number of product states visited.
 	ProductStates int
 	// AutomatonStates is the size of the Büchi automaton for ¬ϕ.
@@ -23,6 +27,37 @@ type Trace struct {
 	Prefix []typelts.Label
 	Cycle  []typelts.Label
 }
+
+// Model is the checker's view of a state space. A static *lts.LTS is
+// wrapped by LTSModel; lts.Incremental implements Model directly,
+// materialising states on demand so the nested DFS drives exploration
+// (on-the-fly checking, the early-exit mode of verify.Request).
+//
+// Label indices are stable: Labels() only ever grows, and Succ may grow
+// both the state count and the alphabet.
+type Model interface {
+	// Initial is the initial state index.
+	Initial() int
+	// Succ returns the outgoing edges of state s. On-demand
+	// implementations expand s here; the error (e.g. a state bound hit
+	// mid-search) aborts the check.
+	Succ(s int) ([]lts.Edge, error)
+	// Labels is the dense label alphabet discovered so far.
+	Labels() []typelts.Label
+	// Len is the number of states discovered so far.
+	Len() int
+}
+
+// ltsModel adapts a fully explored, immutable LTS to the Model interface.
+type ltsModel struct{ m *lts.LTS }
+
+func (x ltsModel) Initial() int                   { return x.m.Initial }
+func (x ltsModel) Succ(s int) ([]lts.Edge, error) { return x.m.Out(s), nil }
+func (x ltsModel) Labels() []typelts.Label        { return x.m.Labels }
+func (x ltsModel) Len() int                       { return x.m.Len() }
+
+// LTSModel wraps a fully explored LTS as a checker Model.
+func LTSModel(m *lts.LTS) Model { return ltsModel{m: m} }
 
 // Check decides m |= ϕ: it translates ¬ϕ to a Büchi automaton and
 // searches the product for an accepting cycle with nested DFS. The LTS
@@ -36,35 +71,58 @@ type Trace struct {
 // passes enumerate successors lazily with per-frame cursors instead of
 // materialising successor slices.
 func Check(m *lts.LTS, phi Formula) Result {
+	r, _ := CheckModel(LTSModel(m), phi) // a static model never errors
+	return r
+}
+
+// CheckModel is Check over an arbitrary Model. With an on-demand model
+// (lts.Incremental) the search is on-the-fly: LTS states are materialised
+// only when the blue DFS first needs their successors, so a violation
+// found early leaves the rest of the state space unexplored. The nested
+// DFS itself already stops at the first accepting cycle, so FAIL verdicts
+// return as soon as a witness exists; PASS verdicts still visit the full
+// (automaton-reachable) product. The returned error is the model's — a
+// state bound hit mid-search — and invalidates the Result.
+func CheckModel(m Model, phi Formula) (Result, error) {
 	phi = Simplify(phi)
 	if isTrue(phi) {
-		return Result{Holds: true}
+		return Result{Holds: true}, nil
 	}
 	ba := Translate(Not{F: phi})
 	p := newProduct(m, ba)
-	trace, visited := p.findAcceptingLasso()
-	return Result{
-		Holds:           trace == nil,
-		Counterexample:  trace,
+	w, visited := p.findAcceptingLasso()
+	res := Result{
+		Holds:           w == nil,
+		Witness:         w,
 		ProductStates:   visited,
 		AutomatonStates: ba.Len(),
 	}
+	if w != nil {
+		res.Counterexample = w.Trace(m.Labels())
+	}
+	return res, p.err
 }
 
 // product is the synchronous product of an LTS and a Büchi automaton.
 // Product states are encoded as int: lts-state * (|BA|+1) + (ba+1),
 // with ba = -1 encoding the automaton's virtual initial state.
 type product struct {
-	m      *lts.LTS
+	m      Model
 	ba     *Buchi
 	stride int // |BA| + 1
 
-	// admit[q*words : (q+1)*words] is the bitset of label indices whose
-	// labels satisfy the guard of automaton state q.
-	admit []uint64
-	words int
+	// admit[q] is the bitset of label indices whose labels satisfy the
+	// guard of automaton state q, covering the first `baked` labels of the
+	// model's alphabet. On-demand models grow their alphabet during the
+	// search; bakeLabels extends every row when a new index appears.
+	admit [][]uint64
+	baked int
 
 	marks markStore
+
+	// err records a model error (state bound hit mid-expansion); the
+	// search aborts as soon as it is set.
+	err error
 }
 
 // Colour/flag values packed into one byte per product state: the low two
@@ -79,9 +137,11 @@ const (
 
 // markStore keeps the per-product-state byte. Product spaces up to
 // maxDenseMarks states use a flat slice (the common case: even the
-// million-state Fig. 9 rows stay within it for the schema automata);
-// anything larger falls back to a sparse map so memory stays bounded by
-// the visited set.
+// million-state Fig. 9 rows stay within it for the schema automata),
+// growing geometrically when an on-demand model discovers new states;
+// anything beyond the dense cap falls back to a sparse map so memory
+// stays bounded by the visited set. The two regimes coexist: ids below
+// the dense length stay dense, the overflow lives in the map.
 type markStore struct {
 	dense  []uint8
 	sparse map[int]uint8
@@ -93,56 +153,88 @@ func newMarkStore(size int) markStore {
 	if size >= 0 && size <= maxDenseMarks {
 		return markStore{dense: make([]uint8, size)}
 	}
-	return markStore{sparse: make(map[int]uint8, 1024)}
+	return markStore{sparse: map[int]uint8{}}
 }
 
 func (s *markStore) get(id int) uint8 {
-	if s.dense != nil {
+	if id < len(s.dense) {
 		return s.dense[id]
 	}
 	return s.sparse[id]
 }
 
-func (s *markStore) or(id int, bits uint8) {
-	if s.dense != nil {
-		s.dense[id] |= bits
-	} else {
-		s.sparse[id] |= bits
+func (s *markStore) put(id int, v uint8) {
+	if id < len(s.dense) {
+		s.dense[id] = v
+		return
 	}
+	if s.sparse == nil && id < maxDenseMarks {
+		n := 2 * len(s.dense)
+		if n <= id {
+			n = id + 1
+		}
+		if n > maxDenseMarks {
+			n = maxDenseMarks
+		}
+		grown := make([]uint8, n)
+		copy(grown, s.dense)
+		s.dense = grown
+		s.dense[id] = v
+		return
+	}
+	if s.sparse == nil {
+		s.sparse = make(map[int]uint8, 1024)
+	}
+	s.sparse[id] = v
 }
 
-func (s *markStore) setColor(id int, c uint8) {
-	if s.dense != nil {
-		s.dense[id] = s.dense[id]&^colorMask | c
-	} else {
-		s.sparse[id] = s.sparse[id]&^colorMask | c
-	}
-}
+func (s *markStore) or(id int, bits uint8) { s.put(id, s.get(id)|bits) }
 
-func newProduct(m *lts.LTS, ba *Buchi) *product {
+func (s *markStore) setColor(id int, c uint8) { s.put(id, s.get(id)&^colorMask|c) }
+
+func newProduct(m Model, ba *Buchi) *product {
 	p := &product{
 		m:      m,
 		ba:     ba,
 		stride: ba.Len() + 1,
-		words:  (len(m.Labels) + 63) / 64,
+		admit:  make([][]uint64, ba.Len()),
 	}
-	p.admit = make([]uint64, ba.Len()*p.words)
-	for q := 0; q < ba.Len(); q++ {
-		row := p.admit[q*p.words : (q+1)*p.words]
-		for i, lab := range m.Labels {
-			if ba.Admits(q, lab) {
+	p.bakeLabels()
+	p.marks = newMarkStore(m.Len() * p.stride)
+	return p
+}
+
+// bakeLabels extends every automaton state's admit bitset to cover the
+// labels discovered since the last bake. Indices are stable, so already
+// baked bits never change.
+func (p *product) bakeLabels() {
+	labels := p.m.Labels()
+	if len(labels) == p.baked {
+		return
+	}
+	words := (len(labels) + 63) / 64
+	for q := range p.admit {
+		row := p.admit[q]
+		for len(row) < words {
+			row = append(row, 0)
+		}
+		for i := p.baked; i < len(labels); i++ {
+			if p.ba.Admits(q, labels[i]) {
 				row[i>>6] |= 1 << (uint(i) & 63)
 			}
 		}
+		p.admit[q] = row
 	}
-	p.marks = newMarkStore(m.Len() * p.stride)
-	return p
+	p.baked = len(labels)
 }
 
 func (p *product) encode(s, q int) int { return s*p.stride + q + 1 }
 
 func (p *product) admits(q int, label int32) bool {
-	return p.admit[q*p.words+int(label)>>6]&(1<<(uint(label)&63)) != 0
+	if int(label) >= p.baked {
+		p.bakeLabels()
+	}
+	return p.admit[q][label>>6]&(1<<(uint(label)&63)) != 0
 }
 
 func (p *product) baSucc(q int) []int {
@@ -172,18 +264,35 @@ type frame struct {
 	via    int32
 	hasVia bool
 	in     int32
+	// edges caches the LTS successors of s after the first advance: a
+	// state's edge slice never changes once produced (true for static
+	// models and for expanded Incremental states), and fetching it
+	// through the Model interface on every yield would put a dynamic
+	// dispatch in the innermost loop of the search.
+	edges   []lts.Edge
+	fetched bool
 }
 
 func (p *product) newFrame(id int) frame {
 	return frame{id: id, s: id / p.stride, q: id%p.stride - 1}
 }
 
-// advance yields the next product successor of f, moving its cursor.
+// advance yields the next product successor of f, moving its cursor. On a
+// model error it records p.err and reports exhaustion; the caller must
+// check p.err before trusting an empty enumeration.
 func (p *product) advance(f *frame) (int, bool) {
-	edges := p.m.Out(f.s)
+	if !f.fetched {
+		edges, err := p.m.Succ(f.s)
+		if err != nil {
+			p.err = err
+			return 0, false
+		}
+		f.edges = edges
+		f.fetched = true
+	}
 	bs := p.baSucc(f.q)
-	for f.ei < len(edges) {
-		e := edges[f.ei]
+	for f.ei < len(f.edges) {
+		e := f.edges[f.ei]
 		for f.bi < len(bs) {
 			qq := bs[f.bi]
 			f.bi++
@@ -203,9 +312,10 @@ func (p *product) advance(f *frame) (int, bool) {
 // Holzmann-Peled-Yannakakis cyan improvement): the outer (blue) DFS
 // visits states in post-order; whenever an accepting state is retired,
 // an inner (red) DFS looks for a cycle back to it or to any state still
-// on the blue stack.
-func (p *product) findAcceptingLasso() (*Trace, int) {
-	start := p.encode(p.m.Initial, -1)
+// on the blue stack. The returned witness carries the LTS state at every
+// position of the lasso (see assemble).
+func (p *product) findAcceptingLasso() (*Witness, int) {
+	start := p.encode(p.m.Initial(), -1)
 	visited := 0
 
 	stack := make([]frame, 0, 64)
@@ -224,13 +334,18 @@ func (p *product) findAcceptingLasso() (*Trace, int) {
 			}
 			continue
 		}
+		if p.err != nil {
+			return nil, visited
+		}
 		// Post-order retirement.
 		retired := *top
 		stack = stack[:len(stack)-1]
 		if p.accepting(retired.id) {
 			if cyc := p.redDFS(retired.id); cyc != nil {
-				prefix, cycle := p.assemble(stack, retired.id, cyc)
-				return &Trace{Prefix: prefix, Cycle: cycle}, visited
+				return p.assemble(stack, retired, cyc), visited
+			}
+			if p.err != nil {
+				return nil, visited
 			}
 		}
 		p.marks.setColor(retired.id, colorBlue)
@@ -248,6 +363,9 @@ func (p *product) redDFS(seed int) []frame {
 		top := &stack[len(stack)-1]
 		next, ok := p.advance(top)
 		if !ok {
+			if p.err != nil {
+				return nil
+			}
 			stack = stack[:len(stack)-1]
 			continue
 		}
@@ -270,24 +388,38 @@ func (p *product) redDFS(seed int) []frame {
 	return nil
 }
 
-// assemble reconstructs the violating lasso: the blue stack gives the
-// prefix from the initial state down to the seed's parent; the red path
-// gives the cycle, possibly closed through a cyan blue-stack segment.
-func (p *product) assemble(blue []frame, seed int, redPath []frame) (prefix, cycle []typelts.Label) {
-	// Labels along the blue stack: each frame's most recently yielded
-	// edge led to the following frame (or to the seed for the last one).
+// assemble reconstructs the violating lasso as a state-level witness: the
+// blue stack gives the stem from the initial state down to the seed (the
+// lasso head); the red path gives the cycle, possibly closed through a
+// cyan blue-stack segment. Every blue frame's via is the edge to the
+// frame above it (the seed for the last one), and every red frame's in is
+// the edge that reached it, so states and labels pair up exactly.
+func (p *product) assemble(blue []frame, seed frame, redPath []frame) *Witness {
+	w := &Witness{}
+	// Stem: initial state, then one step per blue frame. Every blue frame
+	// has yielded its child (hasVia), but stay defensive: a frame without
+	// a via cannot contribute a step.
+	w.StemStates = append(w.StemStates, p.m.Initial())
 	for i := range blue {
-		if blue[i].hasVia {
-			prefix = append(prefix, p.m.Labels[blue[i].via])
+		if !blue[i].hasVia {
+			continue
 		}
+		dst := seed.s
+		if i+1 < len(blue) {
+			dst = blue[i+1].s
+		}
+		w.StemLabels = append(w.StemLabels, blue[i].via)
+		w.StemStates = append(w.StemStates, dst)
 	}
-	// Red path labels: redPath[0] is the seed (no incoming label); every
-	// later frame records the label that reached it.
+	// Cycle: the red path from the seed. redPath[0] is the seed itself (no
+	// incoming label); every later frame records the label that reached it.
+	w.CycleStates = append(w.CycleStates, seed.s)
 	for _, st := range redPath[1:] {
-		cycle = append(cycle, p.m.Labels[st.in])
+		w.CycleLabels = append(w.CycleLabels, st.in)
+		w.CycleStates = append(w.CycleStates, st.s)
 	}
 	closing := redPath[len(redPath)-1].id
-	if closing != seed {
+	if closing != seed.id {
 		// The red path ended on a cyan state above the seed: close the
 		// lasso by following the blue stack from that state back down to
 		// the seed.
@@ -300,11 +432,17 @@ func (p *product) assemble(blue []frame, seed int, redPath []frame) (prefix, cyc
 		}
 		if idx >= 0 {
 			for i := idx; i < len(blue); i++ {
-				if blue[i].hasVia {
-					cycle = append(cycle, p.m.Labels[blue[i].via])
+				if !blue[i].hasVia {
+					continue
 				}
+				dst := seed.s
+				if i+1 < len(blue) {
+					dst = blue[i+1].s
+				}
+				w.CycleLabels = append(w.CycleLabels, blue[i].via)
+				w.CycleStates = append(w.CycleStates, dst)
 			}
 		}
 	}
-	return prefix, cycle
+	return w
 }

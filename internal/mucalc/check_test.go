@@ -226,14 +226,14 @@ func TestRedDFSCycleLabels(t *testing.T) {
 		Init:      []int{0},
 		Accepting: []bool{true},
 	}
-	p := newProduct(m, ba)
+	p := newProduct(LTSModel(m), ba)
 	path := p.redDFS(p.encode(1, 0))
 	if path == nil {
 		t.Fatal("expected redDFS to find the cycle")
 	}
 	var got []string
 	for _, f := range path[1:] {
-		got = append(got, p.m.Labels[f.in].Key())
+		got = append(got, p.m.Labels()[f.in].Key())
 	}
 	want := []string{lab("x").Key(), lab("y").Key(), lab("z").Key()}
 	if len(got) != len(want) {

@@ -1,0 +1,231 @@
+package mucalc
+
+import (
+	"fmt"
+
+	"effpi/internal/typelts"
+)
+
+// Witness is a lasso-shaped violating run with full state identity: the
+// LTS state visited at every position, plus the label fired at every
+// step, as indices into the model that produced it. Unlike Trace (labels
+// only), a Witness is machine-replayable: Validate re-runs it against the
+// LTS edge relation, and Buchi.AcceptsLasso re-checks that its label word
+// violates the property — together the replay oracle of verify.Replay.
+//
+// Shape: StemStates[0] is the initial state and firing StemLabels[i]
+// moves StemStates[i] → StemStates[i+1], so len(StemStates) ==
+// len(StemLabels)+1; the last stem state is the lasso head. The cycle
+// starts and ends there: CycleStates[0] == CycleStates[last] == lasso
+// head, with CycleLabels[i] moving CycleStates[i] → CycleStates[i+1] and
+// len(CycleStates) == len(CycleLabels)+1. A self-loop lasso has one cycle
+// label; an empty stem (violation cycling through the initial state) has
+// len(StemStates) == 1.
+type Witness struct {
+	StemStates  []int
+	StemLabels  []int32
+	CycleStates []int
+	CycleLabels []int32
+}
+
+// Head returns the lasso head: the state the cycle loops on.
+func (w *Witness) Head() int { return w.StemStates[len(w.StemStates)-1] }
+
+// Trace projects the witness to its label word, resolving label indices
+// against the given alphabet.
+func (w *Witness) Trace(labels []typelts.Label) *Trace {
+	tr := &Trace{}
+	for _, l := range w.StemLabels {
+		tr.Prefix = append(tr.Prefix, labels[l])
+	}
+	for _, l := range w.CycleLabels {
+		tr.Cycle = append(tr.Cycle, labels[l])
+	}
+	return tr
+}
+
+// Validate checks that w is structurally a real run of m: the stem starts
+// at the initial state, every step fires an actual edge of m (label index
+// and destination both match), the cycle is non-empty, and it closes on
+// the lasso head. Edges are matched by exact (label index, destination)
+// identity, which is stronger than label-key equality.
+func (w *Witness) Validate(m Model) error {
+	if len(w.StemStates) != len(w.StemLabels)+1 {
+		return fmt.Errorf("mucalc: malformed witness: %d stem states for %d stem labels", len(w.StemStates), len(w.StemLabels))
+	}
+	if len(w.CycleStates) != len(w.CycleLabels)+1 {
+		return fmt.Errorf("mucalc: malformed witness: %d cycle states for %d cycle labels", len(w.CycleStates), len(w.CycleLabels))
+	}
+	if len(w.CycleLabels) == 0 {
+		return fmt.Errorf("mucalc: malformed witness: empty cycle")
+	}
+	if w.StemStates[0] != m.Initial() {
+		return fmt.Errorf("mucalc: witness stem starts at state %d, not the initial state %d", w.StemStates[0], m.Initial())
+	}
+	head := w.Head()
+	if w.CycleStates[0] != head || w.CycleStates[len(w.CycleStates)-1] != head {
+		return fmt.Errorf("mucalc: witness cycle does not loop on the lasso head %d (starts %d, ends %d)",
+			head, w.CycleStates[0], w.CycleStates[len(w.CycleStates)-1])
+	}
+	check := func(kind string, states []int, labels []int32) error {
+		for i, lab := range labels {
+			src, dst := states[i], states[i+1]
+			edges, err := m.Succ(src)
+			if err != nil {
+				return fmt.Errorf("mucalc: witness %s step %d: %w", kind, i, err)
+			}
+			found := false
+			for _, e := range edges {
+				if e.Label == lab && int(e.Dst) == dst {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("mucalc: witness %s step %d: state %d has no edge with label %d to state %d", kind, i, src, lab, dst)
+			}
+		}
+		return nil
+	}
+	if err := check("stem", w.StemStates, w.StemLabels); err != nil {
+		return err
+	}
+	return check("cycle", w.CycleStates, w.CycleLabels)
+}
+
+// AcceptsLasso reports whether the automaton accepts the infinite word
+// prefix·cycle^ω. Together with Witness.Validate this replays a witness:
+// the automaton built for ¬ϕ accepts the lasso's label word iff the run
+// really violates ϕ.
+//
+// The check is the standard finite one: collect the automaton states
+// reachable after reading the prefix (guards are evaluated on *entering*
+// a state, matching the product construction), then look for a reachable
+// accepting cycle in the finite graph of (automaton state, cycle
+// position) pairs — every accepting run of an ultimately periodic word is
+// ultimately periodic over that graph.
+func (b *Buchi) AcceptsLasso(prefix, cycle []typelts.Label) bool {
+	if len(cycle) == 0 {
+		return false
+	}
+	// States reachable after the prefix, starting from the virtual initial
+	// node (whose successors are Init).
+	cur := map[int]bool{}
+	for _, q := range b.Init {
+		cur[q] = true
+	}
+	first := true
+	step := func(from map[int]bool, letter typelts.Label) map[int]bool {
+		next := map[int]bool{}
+		for q := range from {
+			for _, qq := range b.Succ[q] {
+				if b.Admits(qq, letter) {
+					next[qq] = true
+				}
+			}
+		}
+		return next
+	}
+	for _, letter := range prefix {
+		if first {
+			// The Init set holds the *successors* of the virtual node; the
+			// first letter is consumed entering them.
+			filtered := map[int]bool{}
+			for q := range cur {
+				if b.Admits(q, letter) {
+					filtered[q] = true
+				}
+			}
+			cur = filtered
+			first = false
+			continue
+		}
+		cur = step(cur, letter)
+	}
+	if len(cur) == 0 {
+		return false
+	}
+
+	// Lasso graph: node (q, i) means the automaton entered q and the next
+	// letter is cycle[i]. Edges follow one letter of the cycle.
+	n := len(cycle)
+	node := func(q, i int) int { return q*n + i }
+	var start []int
+	if first {
+		// Empty prefix: the virtual initial node is still pending; its
+		// Init successors are entered consuming cycle[0].
+		for q := range cur {
+			if b.Admits(q, cycle[0]) {
+				start = append(start, node(q, 1%n))
+			}
+		}
+	} else {
+		for q := range cur {
+			start = append(start, node(q, 0))
+		}
+	}
+
+	// Reachability from the start frontier.
+	total := b.Len() * n
+	reach := make([]bool, total)
+	queue := append([]int{}, start...)
+	for _, v := range start {
+		reach[v] = true
+	}
+	succ := func(v int) []int {
+		q, i := v/n, v%n
+		var out []int
+		for _, qq := range b.Succ[q] {
+			if b.Admits(qq, cycle[i]) {
+				out = append(out, node(qq, (i+1)%n))
+			}
+		}
+		return out
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range succ(v) {
+			if !reach[u] {
+				reach[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+
+	// An accepting run exists iff some reachable node with an accepting
+	// automaton state lies on a cycle of the lasso graph.
+	for v := 0; v < total; v++ {
+		if !reach[v] || !b.Accepting[v/n] {
+			continue
+		}
+		// BFS from v back to v.
+		seen := make([]bool, total)
+		q2 := succ(v)
+		hit := false
+		for _, u := range q2 {
+			if u == v {
+				hit = true
+			}
+			seen[u] = true
+		}
+		for len(q2) > 0 && !hit {
+			u := q2[0]
+			q2 = q2[1:]
+			for _, x := range succ(u) {
+				if x == v {
+					hit = true
+					break
+				}
+				if !seen[x] {
+					seen[x] = true
+					q2 = append(q2, x)
+				}
+			}
+		}
+		if hit {
+			return true
+		}
+	}
+	return false
+}

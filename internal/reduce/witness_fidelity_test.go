@@ -1,0 +1,163 @@
+package reduce
+
+import (
+	"testing"
+
+	"effpi/internal/systems"
+	"effpi/internal/term"
+	"effpi/internal/typecheck"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+	"effpi/internal/verify"
+)
+
+func strT() types.Type       { return types.Str{} }
+func replyChanT() types.Type { return types.ChanO{Elem: types.Str{}} }
+
+// Differential fidelity against the process level: the counterexample
+// witnesses extracted from the *type* LTS of the Fig. 9 ping-pong
+// examples must embed into real reduction sequences of matching *terms*
+// (Thm. 4.5's direction, sampled along witness runs instead of
+// hand-picked transitions). Every synchronisation τ[x,x] of a witness
+// stem must be matched — after τ•-closure — by a communication step of
+// the term on the same channel, and the witness's run-completion suffix
+// (✔ or ⊠) must match how the term actually ends.
+
+// pingPongTerm mirrors systems.PingPongPairs(n, responsive) at the term
+// level: for each pair i, a pinger and a ponger over channels zi/yi.
+func pingPongTerm(n int, responsive bool) term.Term {
+	var comps []term.Term
+	for i := 1; i <= n; i++ {
+		z := v(fn("z", i))
+		y := v(fn("y", i))
+		if responsive {
+			// pinger: send its mailbox over z, await the reply on y.
+			pinger := term.Send{Ch: z, Val: y,
+				Cont: thunkT(term.Recv{Ch: y, Cont: lam(fn("r", i), strT(), term.End{})})}
+			// ponger: receive a reply channel from z, respond through it.
+			ponger := term.Recv{Ch: z,
+				Cont: lam(fn("replyTo", i), replyChanT(),
+					term.Send{Ch: v(fn("replyTo", i)), Val: term.StrLit{Val: "Hi!"}, Cont: thunkT(term.End{})})}
+			comps = append(comps, pinger, ponger)
+		} else {
+			pinger := term.Send{Ch: z, Val: term.StrLit{Val: "ping"},
+				Cont: thunkT(term.Recv{Ch: y, Cont: lam(fn("r", i), strT(), term.End{})})}
+			ponger := term.Recv{Ch: z,
+				Cont: lam(fn("s", i), strT(),
+					term.Send{Ch: y, Val: term.StrLit{Val: "pong"}, Cont: thunkT(term.End{})})}
+			comps = append(comps, pinger, ponger)
+		}
+	}
+	return parOf(comps)
+}
+
+// TestWitnessStemsEmbedIntoTermReductions: for each ping-pong instance,
+// collect every witness the verifier produces across the six properties
+// and drive the matching term along the witness's synchronisation
+// sequence (stem plus one cycle unrolling).
+func TestWitnessStemsEmbedIntoTermReductions(t *testing.T) {
+	cases := []struct {
+		n          int
+		responsive bool
+	}{
+		{1, false},
+		{1, true},
+		{2, false},
+	}
+	embedded := 0
+	for _, tc := range cases {
+		s := systems.PingPongPairs(tc.n, tc.responsive)
+		tm := pingPongTerm(tc.n, tc.responsive)
+		if _, err := typecheck.Infer(s.Env, tm); err != nil {
+			t.Fatalf("%s: term does not type-check: %v", s.Name, err)
+		}
+		outcomes, err := verify.VerifyAll(s.Env, s.Type, s.Props, 1<<18)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, o := range outcomes {
+			if o.Holds || o.Witness == nil {
+				continue
+			}
+			if err := verify.Replay(o); err != nil {
+				t.Fatalf("%s / %s: witness does not even replay on the type side: %v", s.Name, o.Property, err)
+			}
+			steps := append(append([]verify.WitnessStep{}, o.Witness.Stem...), o.Witness.Cycle...)
+			driveTermAlongWitness(t, s, o, tm, steps)
+			embedded++
+		}
+	}
+	if embedded == 0 {
+		t.Fatal("no witnesses produced: the embedding was never exercised")
+	}
+	t.Logf("embedded %d witnesses into term reductions", embedded)
+}
+
+// driveTermAlongWitness replays the witness's label sequence on the term:
+// type-level synchronisations must be matched by term communications on
+// the same channel, internal choices need no term step, and the
+// run-completion label ends the walk with the corresponding term state
+// (properly terminated vs communication-stuck).
+func driveTermAlongWitness(t *testing.T, s *systems.System, o *verify.Outcome, tm term.Term, steps []verify.WitnessStep) {
+	t.Helper()
+	env := s.Env
+	for i, st := range steps {
+		switch lab := st.Label.(type) {
+		case typelts.Comm:
+			x, ok := typeCommVar(lab)
+			if !ok {
+				t.Fatalf("%s / %s step %d: witness synchronisation %s has no variable subject", s.Name, o.Property, i, lab)
+			}
+			tm = tauStarClosure(env, tm)
+			var next term.Term
+			found := false
+			for _, ts := range Transitions(env, tm) {
+				if c, ok := commVar(ts.Label); ok && c == x {
+					next = ts.Next
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s / %s step %d: type witness fires τ[%s,%s] but the term cannot communicate on %s (fidelity failure)\n  term: %s",
+					s.Name, o.Property, i, x, x, x, tm)
+			}
+			tm = next
+		case typelts.TauChoice:
+			// Internal choice of the type level; the term's τ•-closure
+			// subsumes it.
+		case typelts.Done:
+			tm = tauStarClosure(env, tm)
+			final, _ := Eval(tm, 200)
+			if _, ok := final.(term.End); !ok {
+				t.Fatalf("%s / %s step %d: witness reports ✔ but the term did not terminate: %s", s.Name, o.Property, i, final)
+			}
+			return
+		case typelts.Stuck:
+			tm = tauStarClosure(env, tm)
+			for _, ts := range Transitions(env, tm) {
+				if _, ok := ts.Label.(CommLabel); ok {
+					t.Fatalf("%s / %s step %d: witness reports ⊠ but the term can still communicate: %s", s.Name, o.Property, i, tm)
+				}
+			}
+			if _, ok := tauStarClosure(env, tm).(term.End); ok {
+				t.Fatalf("%s / %s step %d: witness reports ⊠ but the term terminated properly", s.Name, o.Property, i)
+			}
+			return
+		default:
+			// Closed compositions only fire τ and completion labels; a
+			// free i/o label in a witness would mean the Y-limitation
+			// leaked.
+			t.Fatalf("%s / %s step %d: unexpected witness label %s in a closed composition", s.Name, o.Property, i, st.Label)
+		}
+	}
+}
+
+func fn(prefix string, i int) string { return prefix + itoa(i) }
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + itoa(i%10)
+}

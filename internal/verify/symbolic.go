@@ -1,0 +1,148 @@
+package verify
+
+import (
+	"effpi/internal/mucalc"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// This file compiles Fig. 7 schemas with *symbolic* action sets: instead
+// of enumerating the members of each Def. 4.8 set over the alphabet of a
+// fully explored LTS (compile.go), the sets are membership predicates
+// evaluated per label as the checker encounters it. A predicate set and
+// its enumerated counterpart agree on every label of the explored
+// alphabet — the membership rule is the same — so verdicts coincide; the
+// difference is that the predicate form needs no alphabet up front, which
+// is what lets on-the-fly (early-exit) checking start before exploration.
+//
+// Only the schemas whose *structure* is alphabet-independent compile
+// symbolically: NonUsage, DeadlockFree and Reactive. Forwarding and
+// Responsive shape their formula around the payload variables actually
+// received on the probe channel (PayloadVars over the alphabet), and
+// EventualOutput is not LTL at all — those fall back to the full
+// pipeline (compileSymbolic reports false).
+
+// compileSymbolic builds the alphabet-independent formula for p, or
+// reports that p's schema needs the explored alphabet.
+//
+// The formula is returned twice: whole (for Outcome.Formula and Replay)
+// and as its top-level conjuncts, ordered for the on-the-fly engine. The
+// engine checks conjuncts one at a time over a shared incremental
+// exploration and short-circuits on the first failure — sound because a
+// run violating any conjunct violates the conjunction. Order matters for
+// the early-exit payoff: a conjunct that *holds* forces exhaustive
+// exploration (proving □¬⟨Aτ⟩ means seeing every state), so the schema's
+// main obligation — the part that actually fails on broken systems, and
+// whose violations are found by a shallow dive — comes first and the Aτ
+// sanity conjunct last.
+func compileSymbolic(env *types.Env, p Property) (phi mucalc.Formula, conjuncts []mucalc.Formula, ok bool) {
+	noImprecision := mucalc.Box(mucalc.NegProp{Set: impreciseTauSet(env)})
+	switch p.Kind {
+	case NonUsage:
+		phi = mucalc.Box(mucalc.NegProp{Set: outputUsesSet(env, p.Channels)})
+		return phi, []mucalc.Formula{phi}, true
+	case DeadlockFree:
+		progress := mucalc.Box(mucalc.Or{
+			L: mucalc.Prop{Set: mucalc.TauActions()},
+			R: mucalc.Or{
+				L: mucalc.Prop{Set: exactIOSet(p.Channels)},
+				R: mucalc.Prop{Set: mucalc.DoneActions()},
+			},
+		})
+		return mucalc.And{L: noImprecision, R: progress},
+			[]mucalc.Formula{progress, noImprecision}, true
+	case Reactive:
+		alwaysReceives := mucalc.Box(mucalc.Diamond(mucalc.Prop{Set: exactInputSet(p.From)}))
+		return mucalc.And{L: noImprecision, R: alwaysReceives},
+			[]mucalc.Formula{alwaysReceives, noImprecision}, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// outputUsesSet is the symbolic UoΓ,T(x1..xn) of Def. 4.8: outputs whose
+// subject might be one of the probed channels, and communications whose
+// sender might be (the same subtype test Uses.OutputUses enumerates
+// with).
+func outputUsesSet(env *types.Env, channels []string) mucalc.ActionSet {
+	return mucalc.ActionSet{
+		Name: "Uo(" + joinNames(channels) + ")",
+		Contains: func(l typelts.Label) bool {
+			var subject types.Type
+			switch l := l.(type) {
+			case typelts.Output:
+				subject = l.Subject
+			case typelts.Comm:
+				subject = l.Sender
+			default:
+				return false
+			}
+			for _, x := range channels {
+				if types.Subtype(env, types.Var{Name: x}, subject) {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// impreciseTauSet is the symbolic Aτ of Thm. 4.10: communications whose
+// sender or receiver is not a variable of Γ.
+func impreciseTauSet(env *types.Env) mucalc.ActionSet {
+	isEnvVar := func(t types.Type) bool {
+		v, ok := t.(types.Var)
+		return ok && env.Has(v.Name)
+	}
+	return mucalc.ActionSet{
+		Name: "Aτ",
+		Contains: func(l typelts.Label) bool {
+			c, ok := l.(typelts.Comm)
+			return ok && (!isEnvVar(c.Sender) || !isEnvVar(c.Receiver))
+		},
+	}
+}
+
+// exactIOSet is the symbolic {xi(U′), xi⟨U′⟩}: labels whose subject is
+// exactly one of the probed variables, free or synchronised.
+func exactIOSet(channels []string) mucalc.ActionSet {
+	return mucalc.ActionSet{
+		Name: "io(" + joinNames(channels) + ")",
+		Contains: func(l typelts.Label) bool {
+			for _, x := range channels {
+				switch l := l.(type) {
+				case typelts.Input:
+					if isVarNamed(l.Subject, x) {
+						return true
+					}
+				case typelts.Output:
+					if isVarNamed(l.Subject, x) {
+						return true
+					}
+				case typelts.Comm:
+					if isVarNamed(l.Sender, x) || isVarNamed(l.Receiver, x) {
+						return true
+					}
+				}
+			}
+			return false
+		},
+	}
+}
+
+// exactInputSet is the symbolic {x(U′) | any U′}: labels receiving on
+// exactly the variable x.
+func exactInputSet(x string) mucalc.ActionSet {
+	return mucalc.ActionSet{
+		Name: "in(" + x + ")",
+		Contains: func(l typelts.Label) bool {
+			switch l := l.(type) {
+			case typelts.Input:
+				return isVarNamed(l.Subject, x)
+			case typelts.Comm:
+				return isVarNamed(l.Receiver, x)
+			}
+			return false
+		},
+	}
+}

@@ -1,0 +1,173 @@
+package verify
+
+import (
+	"testing"
+
+	"effpi/internal/lts"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// The early-exit pipeline's verdicts equal the full pipeline's only
+// because the symbolic action sets (symbolic.go) and the enumerated
+// Def. 4.8 sets (uses.go) implement the same membership rule. The rule
+// lives twice by design — the predicates need no alphabet, the
+// enumerations need no re-derivation per label — so this test is the
+// drift guard: over the explored alphabets of systems exercising every
+// label shape (free inputs/outputs, precise and imprecise
+// synchronisations, subtype-related subjects), each predicate must agree
+// with its enumerated counterpart on every single label.
+
+// symbolicFixtures returns systems whose alphabets jointly cover the
+// label shapes the sets discriminate on.
+func symbolicFixtures(t *testing.T) []struct {
+	name     string
+	env      *types.Env
+	typ      types.Type
+	channels []string // probe set for Uo / io
+} {
+	t.Helper()
+	philoEnvDl, philoDl := philosophers(3, true)
+	philoEnvOk, philoOk := philosophers(3, false)
+
+	// Open ponger (Ex. 4.11): free inputs and outputs on env vars, with
+	// subtype-related subjects (z : ChanIO vs the labels' ChanI/ChanO).
+	pongerEnv := types.EnvOf(
+		"z", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}},
+		"w", types.ChanO{Elem: types.Str{}},
+	)
+
+	// A closed composition over a literal (non-Γ) channel: its only
+	// synchronisation is an imprecise τ (Aτ), the case the philosophers
+	// systems never produce.
+	c := types.ChanIO{Elem: types.Int{}}
+	anon := types.ParOf(
+		types.Out{Ch: c, Payload: types.Int{}, Cont: types.Thunk(types.Nil{})},
+		types.In{Ch: c, Cont: types.Pi{Var: "x", Dom: types.Int{}, Cod: types.Nil{}}},
+	)
+
+	return []struct {
+		name     string
+		env      *types.Env
+		typ      types.Type
+		channels []string
+	}{
+		{"philosophers-3-deadlock", philoEnvDl, philoDl, []string{"f0", "f1"}},
+		{"philosophers-3-ok", philoEnvOk, philoOk, []string{"f2"}},
+		{"ponger-open", pongerEnv, pongerType(), []string{"z", "w"}},
+		{"anonymous-channel", types.EnvOf("u", types.ChanO{Elem: types.Int{}}), anon, []string{"u"}},
+	}
+}
+
+func TestSymbolicSetsAgreeWithEnumerated(t *testing.T) {
+	for _, fx := range symbolicFixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			// Explore with every probe observable, as the pipeline would for
+			// a property over fx.channels.
+			obs := map[string]bool{}
+			for _, x := range fx.channels {
+				obs[x] = true
+			}
+			sem := &typelts.Semantics{Env: fx.env, Observable: obs, WitnessOnly: true}
+			m, err := lts.Explore(sem, fx.typ, lts.Options{MaxStates: 1 << 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			alphabet := m.Alphabet()
+			if len(alphabet) == 0 {
+				t.Fatal("fixture explores to an empty alphabet — it guards nothing")
+			}
+			u := NewUses(fx.env, m)
+
+			member := func(set []typelts.Label) map[string]bool {
+				out := map[string]bool{}
+				for _, l := range set {
+					out[l.String()] = true
+				}
+				return out
+			}
+
+			// Uo(channels): union of the per-channel enumerations.
+			var uo []typelts.Label
+			for _, x := range fx.channels {
+				uo = append(uo, u.OutputUses(x)...)
+			}
+			// io(channels): exact inputs ∪ exact outputs per channel.
+			var io []typelts.Label
+			for _, x := range fx.channels {
+				io = append(io, u.ExactInputs(x)...)
+				io = append(io, u.ExactOutputs(x)...)
+			}
+
+			cases := []struct {
+				name       string
+				enumerated map[string]bool
+				symbolic   func(typelts.Label) bool
+			}{
+				{"output-uses", member(uo), outputUsesSet(fx.env, fx.channels).Contains},
+				{"imprecise-tau", member(u.ImpreciseTaus()), impreciseTauSet(fx.env).Contains},
+				{"exact-io", member(io), exactIOSet(fx.channels).Contains},
+			}
+			for _, x := range fx.channels {
+				cases = append(cases, struct {
+					name       string
+					enumerated map[string]bool
+					symbolic   func(typelts.Label) bool
+				}{"exact-input-" + x, member(u.ExactInputs(x)), exactInputSet(x).Contains})
+			}
+
+			for _, c := range cases {
+				hits := 0
+				for _, l := range alphabet {
+					got := c.symbolic(l)
+					want := c.enumerated[l.String()]
+					if got != want {
+						t.Errorf("%s: label %s: symbolic predicate says %v, Def. 4.8 enumeration says %v",
+							c.name, l, got, want)
+					}
+					if got {
+						hits++
+					}
+				}
+				t.Logf("%s: %d/%d labels in the set", c.name, hits, len(alphabet))
+			}
+		})
+	}
+}
+
+// TestSymbolicFixturesCoverLabelShapes fails if the fixture set stops
+// producing one of the label shapes the sets discriminate on — an empty
+// agreement check over a shape proves nothing.
+func TestSymbolicFixturesCoverLabelShapes(t *testing.T) {
+	sawInput, sawOutput, sawPrecise, sawImprecise := false, false, false, false
+	for _, fx := range symbolicFixtures(t) {
+		obs := map[string]bool{}
+		for _, x := range fx.channels {
+			obs[x] = true
+		}
+		sem := &typelts.Semantics{Env: fx.env, Observable: obs, WitnessOnly: true}
+		m, err := lts.Explore(sem, fx.typ, lts.Options{MaxStates: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		imprecise := impreciseTauSet(fx.env)
+		for _, l := range m.Alphabet() {
+			switch l.(type) {
+			case typelts.Input:
+				sawInput = true
+			case typelts.Output:
+				sawOutput = true
+			case typelts.Comm:
+				if imprecise.Contains(l) {
+					sawImprecise = true
+				} else {
+					sawPrecise = true
+				}
+			}
+		}
+	}
+	if !sawInput || !sawOutput || !sawPrecise || !sawImprecise {
+		t.Errorf("fixtures miss a label shape: input=%v output=%v precise-τ=%v imprecise-τ=%v",
+			sawInput, sawOutput, sawPrecise, sawImprecise)
+	}
+}

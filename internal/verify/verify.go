@@ -130,6 +130,20 @@ type Request struct {
 	// (lts.Options.Parallelism): 0 = GOMAXPROCS, 1 = serial. The verdict
 	// and the explored LTS are identical at any value.
 	Parallelism int
+	// EarlyExit selects on-the-fly checking: the property's formula is
+	// compiled symbolically (alphabet-independent action-set predicates),
+	// and the nested DFS drives an lts.Incremental that materialises
+	// states only as the search reaches them — so a violation found early
+	// leaves the rest of the state space unexplored, and the outcome's
+	// States counts only what was discovered. Verdicts are identical to
+	// the full pipeline's. Honored for the schemas whose formula structure
+	// does not depend on the explored alphabet (NonUsage, DeadlockFree,
+	// Reactive); the others — Forwarding, Responsive (shaped by the
+	// payload variables found in the alphabet) and EventualOutput (not
+	// LTL) — silently run the full pipeline, as does a Reuse request.
+	// On-the-fly exploration is serial; Parallelism is ignored. The
+	// outcome's LTS is the explored fragment (lts.LTS.Partial).
+	EarlyExit bool
 }
 
 // Outcome is a verification result.
@@ -150,8 +164,20 @@ type Outcome struct {
 	Duration time.Duration
 	// Counterexample is a violating run when Holds is false.
 	Counterexample *mucalc.Trace
-	// LTS is the explored state space (reusable across properties).
+	// Witness, when Holds is false, is the decoded state-level lasso
+	// behind Counterexample: every visited LTS state with its component
+	// multiset, machine-replayable via Replay. EventualOutput failures
+	// carry no witness (the schema is existential; see Replay).
+	Witness *Witness
+	// LTS is the explored state space (reusable across properties). Under
+	// EarlyExit it is the explored fragment (lts.LTS.Partial) and must not
+	// be reused.
 	LTS *lts.LTS
+	// EarlyExit reports that the on-the-fly engine produced this outcome:
+	// States counts discovered states only, and Expanded of them were
+	// materialised before the search concluded.
+	EarlyExit bool
+	Expanded  int
 }
 
 // Verify runs the full pipeline for one property.
@@ -171,6 +197,12 @@ func Verify(req Request) (*Outcome, error) {
 		obs[x] = true
 	}
 	sem := &typelts.Semantics{Env: req.Env, Observable: obs, WitnessOnly: true, Cache: req.Cache}
+
+	if req.EarlyExit && req.Reuse == nil {
+		if phi, conjuncts, ok := compileSymbolic(req.Env, req.Property); ok {
+			return verifyOnTheFly(req, sem, phi, conjuncts, start)
+		}
+	}
 
 	m := req.Reuse
 	if m == nil {
@@ -205,6 +237,50 @@ func Verify(req Request) (*Outcome, error) {
 	out.ProductStates = res.ProductStates
 	out.AutomatonStates = res.AutomatonStates
 	out.Counterexample = res.Counterexample
+	out.Witness = DecodeWitness(m, res.Witness)
+	out.Duration = time.Since(start)
+	return out, nil
+}
+
+// verifyOnTheFly runs the early-exit pipeline: the nested DFS of
+// mucalc.CheckModel drives an incremental exploration, materialising
+// states only as the search reaches them. The formula's top-level
+// conjuncts are checked one at a time over the shared exploration,
+// short-circuiting on the first violation — a run violating one conjunct
+// violates the conjunction, so the remaining conjuncts (whose PASS proofs
+// would force exhaustive exploration) are never started. Verdicts equal
+// the full pipeline's: the symbolic sets agree with the enumerated ones
+// on every label, and conjunction short-circuiting preserves T |= ϕ1∧ϕ2.
+func verifyOnTheFly(req Request, sem *typelts.Semantics, phi mucalc.Formula, conjuncts []mucalc.Formula, start time.Time) (*Outcome, error) {
+	inc := lts.NewIncremental(sem, req.Type, lts.Options{MaxStates: req.MaxStates})
+	out := &Outcome{
+		Property:  req.Property,
+		Holds:     true,
+		Formula:   phi,
+		EarlyExit: true,
+	}
+	var failed mucalc.Result
+	for _, c := range conjuncts {
+		res, err := mucalc.CheckModel(inc, c)
+		if err != nil {
+			return nil, err
+		}
+		out.ProductStates += res.ProductStates
+		out.AutomatonStates += res.AutomatonStates
+		if !res.Holds {
+			out.Holds = false
+			failed = res
+			break
+		}
+	}
+	m := inc.Snapshot()
+	out.States = m.Len()
+	out.LTS = m
+	out.Expanded = inc.Expanded()
+	if !out.Holds {
+		out.Counterexample = failed.Counterexample
+		out.Witness = DecodeWitness(m, failed.Witness)
+	}
 	out.Duration = time.Since(start)
 	return out, nil
 }
