@@ -3,6 +3,10 @@
 // verifies temporal properties by type-level model checking, explores
 // type state spaces, and runs programs under the operational semantics.
 //
+// It is built entirely on the public effpi package — the same
+// session-oriented API that cmd/effpid serves over HTTP — so every
+// capability here is available to library consumers too.
+//
 // Usage:
 //
 //	effpi check  [-bind x=TYPE]... FILE
@@ -12,18 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"effpi/internal/core"
-	"effpi/internal/lts"
-	"effpi/internal/reduce"
-	"effpi/internal/syntax"
-	"effpi/internal/typelts"
-	"effpi/internal/types"
-	"effpi/internal/verify"
+	"effpi"
 )
 
 func main() {
@@ -87,11 +86,15 @@ a failing property exits with status 1 and prints the counterexample: a
 lasso-shaped run (stem, then a cycle repeating forever) with the parallel
 component multiset at every visited state, re-validated by replaying it
 against the transition system and the property automaton.
+
+the long-lived service flavour of this tool is cmd/effpid: the same
+verification pipeline behind an HTTP JSON API with shared caches.
 `)
 }
 
-// bindFlags collects repeated -bind x=TYPE flags.
-type bindFlags struct{ env *types.Env }
+// bindFlags collects repeated -bind x=TYPE flags, validating each one
+// eagerly (parse errors and duplicates fail at flag-parse time).
+type bindFlags struct{ binds []effpi.Binding }
 
 func (b *bindFlags) String() string { return "" }
 
@@ -100,68 +103,89 @@ func (b *bindFlags) Set(s string) error {
 	if !ok {
 		return fmt.Errorf("-bind wants x=TYPE, got %q", s)
 	}
-	t, err := syntax.ParseType(strings.TrimSpace(tsrc))
-	if err != nil {
-		return fmt.Errorf("type of %s: %w", name, err)
-	}
-	env, err := b.env.Extend(strings.TrimSpace(name), t)
-	if err != nil {
+	b.binds = append(b.binds, effpi.Binding{Name: strings.TrimSpace(name), Type: strings.TrimSpace(tsrc)})
+	// Validate the whole set eagerly so the failing flag is reported,
+	// not the later session construction.
+	if _, err := effpi.BuildEnv(b.binds); err != nil {
+		b.binds = b.binds[:len(b.binds)-1]
 		return err
 	}
-	b.env = env
 	return nil
 }
 
-func loadProgram(fs *flag.FlagSet, binds *bindFlags, args []string) (*core.Program, error) {
+// options converts the collected binds into session options.
+func (b *bindFlags) options() []effpi.Option {
+	opts := make([]effpi.Option, 0, len(b.binds))
+	for _, bind := range b.binds {
+		opts = append(opts, effpi.WithBind(bind.Name, bind.Type))
+	}
+	return opts
+}
+
+// loadSource parses the flag set and reads the single input file. The
+// caller must only read its flag values after this returns.
+func loadSource(fs *flag.FlagSet, args []string) (string, error) {
 	if err := fs.Parse(args); err != nil {
-		return nil, err
+		return "", err
 	}
 	if fs.NArg() != 1 {
-		return nil, fmt.Errorf("expected exactly one input file")
+		return "", fmt.Errorf("expected exactly one input file")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
+		return "", err
+	}
+	return string(src), nil
+}
+
+// loadSession is loadSource plus a session in a fresh workspace. extra
+// options are appended after the binds; pass flag-dependent options only
+// via a command that read them after loadSource instead.
+func loadSession(fs *flag.FlagSet, binds *bindFlags, args []string, extra ...effpi.Option) (*effpi.Session, error) {
+	src, err := loadSource(fs, args)
+	if err != nil {
 		return nil, err
 	}
-	return core.ParseInEnv(string(src), binds.env)
+	ws := effpi.NewWorkspace()
+	return ws.NewSession(src, append(binds.options(), extra...)...)
 }
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
-	binds := &bindFlags{env: types.NewEnv()}
+	binds := &bindFlags{}
 	fs.Var(binds, "bind", "x=TYPE environment binding")
-	p, err := loadProgram(fs, binds, args)
+	s, err := loadSession(fs, binds, args)
 	if err != nil {
 		return err
 	}
-	t, err := p.Check()
+	t, err := s.Check(context.Background())
 	if err != nil {
 		return err
 	}
-	fmt.Println(syntax.PrintType(t))
+	fmt.Println(effpi.FormatType(t))
 	return nil
 }
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	binds := &bindFlags{env: types.NewEnv()}
+	binds := &bindFlags{}
 	fs.Var(binds, "bind", "x=TYPE environment binding")
 	steps := fs.Int("steps", 1_000_000, "maximum reduction steps")
-	p, err := loadProgram(fs, binds, args)
+	s, err := loadSession(fs, binds, args)
 	if err != nil {
 		return err
 	}
-	final, err := p.Run(*steps)
+	final, err := s.Run(context.Background(), *steps)
 	if err != nil {
 		return err
 	}
-	fmt.Println(syntax.PrintTerm(final))
+	fmt.Println(final)
 	return nil
 }
 
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
-	binds := &bindFlags{env: types.NewEnv()}
+	binds := &bindFlags{}
 	fs.Var(binds, "bind", "x=TYPE environment binding")
 	propName := fs.String("prop", "", "property kind")
 	channels := fs.String("channels", "", "comma-separated probe channels")
@@ -171,20 +195,21 @@ func cmdVerify(args []string) error {
 	maxStates := fs.Int("max", 0, "state bound (0 = default)")
 	early := fs.Bool("early", false, "early-exit mode: stop exploring as soon as a violation is found (on-the-fly checking; non-usage, deadlock-free and reactive)")
 	width := fs.Int("width", 100, "truncate printed witness states to this width (0 = full)")
-	p, err := loadProgram(fs, binds, args)
+	src, err := loadSource(fs, args)
 	if err != nil {
 		return err
 	}
-
-	prop, err := propertyFromFlags(*propName, *channels, *from, *to, !*open)
+	prop, err := effpi.PropertyFromFlags(*propName, *channels, *from, *to, !*open)
 	if err != nil {
 		return err
 	}
-	t, err := p.Check()
+	ws := effpi.NewWorkspace()
+	s, err := ws.NewSession(src, append(binds.options(),
+		effpi.WithMaxStates(*maxStates), effpi.WithEarlyExit(*early))...)
 	if err != nil {
 		return err
 	}
-	outcome, err := verify.Verify(verify.Request{Env: p.Env, Type: t, Property: prop, MaxStates: *maxStates, EarlyExit: *early})
+	outcome, err := s.Verify(context.Background(), prop)
 	if err != nil {
 		return err
 	}
@@ -197,43 +222,7 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
-func propertyFromFlags(name, channels, from, to string, closed bool) (verify.Property, error) {
-	var kind verify.Kind
-	switch name {
-	case "deadlock-free":
-		kind = verify.DeadlockFree
-	case "ev-usage":
-		kind = verify.EventualOutput
-	case "forwarding":
-		kind = verify.Forwarding
-	case "non-usage":
-		kind = verify.NonUsage
-	case "reactive":
-		kind = verify.Reactive
-	case "responsive":
-		kind = verify.Responsive
-	default:
-		return verify.Property{}, fmt.Errorf("unknown or missing -prop %q", name)
-	}
-	var chs []string
-	if channels != "" {
-		chs = strings.Split(channels, ",")
-	}
-	p := verify.Property{Kind: kind, Channels: chs, From: from, To: to, Closed: closed}
-	switch kind {
-	case verify.Forwarding:
-		if from == "" || to == "" {
-			return p, fmt.Errorf("forwarding needs -from and -to")
-		}
-	case verify.Reactive, verify.Responsive:
-		if from == "" {
-			return p, fmt.Errorf("%s needs -from", kind)
-		}
-	}
-	return p, nil
-}
-
-func printOutcome(o *verify.Outcome, width int) {
+func printOutcome(o *effpi.Outcome, width int) {
 	fmt.Printf("property:  %s\n", o.Property)
 	fmt.Printf("verdict:   %v\n", o.Holds)
 	if o.EarlyExit {
@@ -248,41 +237,39 @@ func printOutcome(o *verify.Outcome, width int) {
 	}
 	if o.Witness != nil {
 		replayed := "replay-validated"
-		if err := verify.Replay(o); err != nil {
+		if err := effpi.Replay(o); err != nil {
 			replayed = fmt.Sprintf("REPLAY FAILED: %v", err)
 		}
 		fmt.Printf("violating run (lasso, %s):\n%s", replayed, o.Witness.Render(width))
 	} else if o.Counterexample != nil {
 		fmt.Printf("violating run (lasso):\n  prefix: %v\n  cycle:  %v\n",
 			o.Counterexample.Prefix, o.Counterexample.Cycle)
-	} else if !o.Holds && o.Property.Kind == verify.EventualOutput {
+	} else if !o.Holds && o.Property.Kind == effpi.EventualOutput {
 		fmt.Printf("no single-run witness: ev-usage is existential (no run reaches the output)\n")
 	}
 }
 
 func cmdLTS(args []string) error {
 	fs := flag.NewFlagSet("lts", flag.ContinueOnError)
-	binds := &bindFlags{env: types.NewEnv()}
+	binds := &bindFlags{}
 	fs.Var(binds, "bind", "x=TYPE environment binding")
 	dot := fs.Bool("dot", false, "emit Graphviz DOT")
 	maxStates := fs.Int("max", 0, "state bound (0 = default)")
 	observe := fs.String("observe", "", "comma-separated observable channels (default: all closed)")
-	p, err := loadProgram(fs, binds, args)
+	src, err := loadSource(fs, args)
 	if err != nil {
 		return err
 	}
-	t, err := p.Check()
+	ws := effpi.NewWorkspace()
+	s, err := ws.NewSession(src, append(binds.options(), effpi.WithMaxStates(*maxStates))...)
 	if err != nil {
 		return err
 	}
-	obs := map[string]bool{}
+	var obs []string
 	if *observe != "" {
-		for _, x := range strings.Split(*observe, ",") {
-			obs[x] = true
-		}
+		obs = strings.Split(*observe, ",")
 	}
-	sem := &typelts.Semantics{Env: p.Env, Observable: obs, WitnessOnly: true}
-	m, err := lts.Explore(sem, t, lts.Options{MaxStates: *maxStates})
+	m, err := s.Explore(context.Background(), obs...)
 	if err != nil {
 		return err
 	}
@@ -299,45 +286,38 @@ func cmdLTS(args []string) error {
 
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
-	binds := &bindFlags{env: types.NewEnv()}
+	binds := &bindFlags{}
 	fs.Var(binds, "bind", "x=TYPE environment binding")
 	steps := fs.Int("steps", 200, "maximum steps to trace")
 	width := fs.Int("width", 100, "truncate printed terms to this width")
-	p, err := loadProgram(fs, binds, args)
+	s, err := loadSession(fs, binds, args)
 	if err != nil {
 		return err
 	}
-	if _, err := p.Check(); err != nil {
+	tr, err := s.Trace(context.Background(), *steps)
+	if tr != nil {
+		fmt.Printf("%4d  %s\n", 0, effpi.ClipRunes(tr.Initial, *width))
+		for i, st := range tr.Steps {
+			fmt.Printf("%4d  —[%s]→  %s\n", i+1, st.Rule, effpi.ClipRunes(st.Term, *width))
+		}
+	}
+	if err != nil {
 		return err
 	}
-	cur := p.Term
-	fmt.Printf("%4d  %s\n", 0, clip(syntax.PrintTerm(cur), *width))
-	for i := 1; i <= *steps; i++ {
-		next, rule, ok := reduce.Step(cur)
-		if !ok {
-			fmt.Printf("      (no further reductions)\n")
-			return nil
-		}
-		cur = next
-		fmt.Printf("%4d  —[%s]→  %s\n", i, rule, clip(syntax.PrintTerm(cur), *width))
-		if reduce.IsError(cur) {
-			return fmt.Errorf("term reduced to an error (this contradicts type safety)")
-		}
+	if tr.Done {
+		fmt.Printf("      (no further reductions)\n")
+	} else {
+		fmt.Printf("      (trace truncated at %d steps)\n", *steps)
 	}
-	fmt.Printf("      (trace truncated at %d steps)\n", *steps)
 	return nil
 }
-
-// clip truncates s to at most n runes (0 = no truncation), cutting on a
-// rune boundary so multi-byte glyphs in printed terms survive intact.
-func clip(s string, n int) string { return verify.ClipRunes(s, n) }
 
 // cmdBisim decides whether two programs have strongly bisimilar types:
 // an executable notion of behavioural equivalence, useful to check that
 // a protocol refactoring preserves behaviour.
 func cmdBisim(args []string) error {
 	fs := flag.NewFlagSet("bisim", flag.ContinueOnError)
-	binds := &bindFlags{env: types.NewEnv()}
+	binds := &bindFlags{}
 	fs.Var(binds, "bind", "x=TYPE environment binding")
 	maxStates := fs.Int("max", 0, "state bound (0 = default)")
 	if err := fs.Parse(args); err != nil {
@@ -346,26 +326,30 @@ func cmdBisim(args []string) error {
 	if fs.NArg() != 2 {
 		return fmt.Errorf("bisim expects two input files")
 	}
-	load := func(path string) (types.Type, error) {
+	// One workspace for both sessions: bisimilarity requires the two
+	// programs in the same (canonical) typing environment.
+	ws := effpi.NewWorkspace()
+	load := func(path string) (*effpi.Session, error) {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
-		p, err := core.ParseInEnv(string(src), binds.env)
+		opts := append(binds.options(), effpi.WithMaxStates(*maxStates))
+		s, err := ws.NewSession(string(src), opts...)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		return p.Check()
+		return s, nil
 	}
-	t1, err := load(fs.Arg(0))
+	s1, err := load(fs.Arg(0))
 	if err != nil {
-		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+		return err
 	}
-	t2, err := load(fs.Arg(1))
+	s2, err := load(fs.Arg(1))
 	if err != nil {
-		return fmt.Errorf("%s: %w", fs.Arg(1), err)
+		return err
 	}
-	ok, err := lts.TypesBisimilar(binds.env, t1, t2, lts.Options{MaxStates: *maxStates})
+	ok, err := s1.Bisimilar(context.Background(), s2)
 	if err != nil {
 		return err
 	}

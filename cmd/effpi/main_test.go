@@ -5,28 +5,30 @@ import (
 	"path/filepath"
 	"testing"
 
-	"effpi/internal/types"
-	"effpi/internal/verify"
+	"effpi"
 )
 
+// TestPropertyFromFlags covers the shared flag→Property parser the CLI
+// delegates to (effpi.PropertyFromFlags, also used by mcbench and
+// effpid).
 func TestPropertyFromFlags(t *testing.T) {
-	p, err := propertyFromFlags("responsive", "", "m", "", true)
+	p, err := effpi.PropertyFromFlags("responsive", "", "m", "", true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Kind != verify.Responsive || p.From != "m" || !p.Closed {
+	if p.Kind != effpi.Responsive || p.From != "m" || !p.Closed {
 		t.Errorf("bad property: %+v", p)
 	}
-	if _, err := propertyFromFlags("forwarding", "", "a", "", true); err == nil {
+	if _, err := effpi.PropertyFromFlags("forwarding", "", "a", "", true); err == nil {
 		t.Error("forwarding without -to must fail")
 	}
-	if _, err := propertyFromFlags("reactive", "", "", "", true); err == nil {
+	if _, err := effpi.PropertyFromFlags("reactive", "", "", "", true); err == nil {
 		t.Error("reactive without -from must fail")
 	}
-	if _, err := propertyFromFlags("bogus", "", "", "", true); err == nil {
+	if _, err := effpi.PropertyFromFlags("bogus", "", "", "", true); err == nil {
 		t.Error("unknown property must fail")
 	}
-	p, err = propertyFromFlags("non-usage", "a,b", "", "", false)
+	p, err = effpi.PropertyFromFlags("non-usage", "a,b", "", "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,15 +38,15 @@ func TestPropertyFromFlags(t *testing.T) {
 }
 
 func TestBindFlags(t *testing.T) {
-	b := &bindFlags{env: types.NewEnv()}
+	b := &bindFlags{}
 	if err := b.Set("x=Chan[Int]"); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.Set("y = OChan[Str]"); err != nil {
 		t.Fatal(err)
 	}
-	if !b.env.Has("x") || !b.env.Has("y") {
-		t.Errorf("bindings missing: %s", b.env)
+	if len(b.binds) != 2 {
+		t.Errorf("bindings missing: %+v", b.binds)
 	}
 	if err := b.Set("x=Int"); err == nil {
 		t.Error("duplicate binding must fail")
@@ -54,6 +56,10 @@ func TestBindFlags(t *testing.T) {
 	}
 	if err := b.Set("z=NotAType["); err == nil {
 		t.Error("bad type must fail")
+	}
+	// Rejected bindings must not linger in the set.
+	if len(b.binds) != 2 {
+		t.Errorf("rejected bindings retained: %+v", b.binds)
 	}
 }
 
@@ -75,6 +81,9 @@ let c = chan[Int]() in
 	}
 	if err := cmdLTS([]string{file}); err != nil {
 		t.Errorf("lts: %v", err)
+	}
+	if err := cmdTrace([]string{file}); err != nil {
+		t.Errorf("trace: %v", err)
 	}
 }
 
@@ -134,4 +143,5 @@ func TestCmdBisim(t *testing.T) {
 	// c differs — cmdBisim calls os.Exit(1) on mismatch, so test the
 	// library path instead for the negative case (cmd exit is covered by
 	// manual use).
+	_ = c
 }

@@ -1,0 +1,84 @@
+// Command effpid is the long-lived verification service of the effpi-go
+// reproduction: an HTTP JSON API over the public effpi package, serving
+// concurrent verification requests from one shared Workspace — so the
+// hash-consed interner and transition memos warm up across requests
+// instead of being rebuilt per call, with a size-bounded eviction policy
+// keeping the resident set bounded.
+//
+// Usage:
+//
+//	effpid [-addr :8080] [-timeout 30s] [-max-timeout 5m]
+//	       [-max N] [-par N] [-cache-budget N]
+//
+// Endpoints:
+//
+//	POST /v1/verify   {"source": "...", "binds": [{"name":"c","type":"Chan[Int]"}],
+//	                   "properties": [{"kind":"deadlock-free","channels":["c"]}]}
+//	                  — or {"system": "Dining philos. (5, deadlock)"} to run a
+//	                  benchmark row (omit "properties" for its six Fig. 9 columns).
+//	                  Responses carry one result per property with the verdict,
+//	                  state counts, timing, and — on FAIL — the replay-validated
+//	                  counterexample lasso.
+//	GET  /healthz     liveness
+//	GET  /metrics     expvar counters + workspace cache stats (JSON)
+//
+// Requests are cancellable: each runs under a deadline (its "timeout_ms",
+// capped by -max-timeout, defaulting to -timeout), and a dropped client
+// connection aborts the exploration. A timed-out request returns 504 and
+// leaves the shared caches fully usable.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"effpi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "hard cap on requested timeouts")
+	maxStates := flag.Int("max", 0, "default exploration state bound (0 = engine default)")
+	par := flag.Int("par", 0, "default exploration workers (0 = GOMAXPROCS)")
+	cacheBudget := flag.Int("cache-budget", 0, "workspace memo budget (0 = default, <0 = unlimited)")
+	flag.Parse()
+
+	ws := effpi.NewWorkspace(effpi.WithCacheBudget(*cacheBudget))
+	srv := newServer(ws, serverConfig{
+		defaultTimeout: *timeout,
+		maxTimeout:     *maxTimeout,
+		maxStates:      *maxStates,
+		parallelism:    *par,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: in-flight requests get a short drain window;
+	// their contexts are cancelled when it closes.
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "effpid: listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "effpid: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,331 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"effpi"
+)
+
+func testServer(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	if cfg.defaultTimeout == 0 {
+		cfg.defaultTimeout = 30 * time.Second
+	}
+	srv := newServer(effpi.NewWorkspace(), cfg)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postVerify(t *testing.T, ts *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil || !health.OK {
+		t.Fatalf("healthz: ok=%v err=%v", health.OK, err)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics map[string]json.Number
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatalf("metrics is not flat JSON: %v", err)
+	}
+	for _, key := range []string{"requests_total", "verdicts_pass_total", "cache_memos", "cache_evictions"} {
+		if _, ok := metrics[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+}
+
+// TestVerifySourceWitness: a deadlocking program posted as source text
+// comes back with a FAIL verdict carrying a replay-validated witness
+// lasso, and the response names the program's inferred type.
+func TestVerifySourceWitness(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	code, buf := postVerify(t, ts, `{
+		"source": "send(c, 1, fun (_: Unit) => end)",
+		"binds": [{"name": "c", "type": "Chan[Int]"}],
+		"properties": [{"kind": "deadlock-free", "channels": ["c"]}]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, buf)
+	}
+	var resp verifyResponse
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type == "" {
+		t.Error("response missing inferred type")
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(resp.Results))
+	}
+	res := resp.Results[0]
+	if res.Holds {
+		t.Fatal("deadlocking program must fail deadlock-freedom")
+	}
+	if res.Witness == nil {
+		t.Fatal("FAIL without witness")
+	}
+	if !res.Witness.Replayed || len(res.Witness.Cycle) == 0 {
+		t.Errorf("witness not replay-validated or empty: %+v", res.Witness)
+	}
+	for _, st := range append(append([]effpi.WitnessStepJSON{}, res.Witness.Stem...), res.Witness.Cycle...) {
+		if st.Label == "" {
+			t.Error("witness step without label")
+		}
+	}
+}
+
+// TestVerifySystemDefaults: naming a benchmark row without properties
+// runs its six Fig. 9 columns, and every verdict matches the published
+// expectation.
+func TestVerifySystemDefaults(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	row := effpi.Fig9Systems()[5] // Dining philos. (5, deadlock)
+	code, buf := postVerify(t, ts, fmt.Sprintf(`{"system": %q}`, row.Name))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, buf)
+	}
+	var resp verifyResponse
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.System != row.Name {
+		t.Errorf("system echo: %q != %q", resp.System, row.Name)
+	}
+	if len(resp.Results) != len(row.Props) {
+		t.Fatalf("want %d results, got %d", len(row.Props), len(resp.Results))
+	}
+	for i, res := range resp.Results {
+		want, ok := row.Expected[row.Props[i].Kind]
+		if !ok {
+			continue
+		}
+		if res.Holds != want {
+			t.Errorf("%s: verdict %v, Fig. 9 expects %v", res.Property, res.Holds, want)
+		}
+	}
+}
+
+// canonicalise zeroes the wall-clock fields so responses can be compared
+// byte for byte.
+func canonicalise(t *testing.T, buf []byte) string {
+	t.Helper()
+	var resp verifyResponse
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		t.Fatalf("canonicalise: %v (%s)", err, buf)
+	}
+	resp.DurationMS = 0
+	for i := range resp.Results {
+		resp.Results[i].DurationMS = 0
+	}
+	out, err := json.Marshal(&resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestConcurrentRequestsIdentical is the service-level determinism
+// check: many concurrent requests over one shared workspace return
+// byte-identical bodies (modulo wall-clock fields) — to each other and
+// to a fully serial (parallelism 1) run of the same request.
+func TestConcurrentRequestsIdentical(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	row := effpi.Fig9Systems()[5] // Dining philos. (5, deadlock): mixed verdicts, witnesses
+	req := fmt.Sprintf(`{"system": %q}`, row.Name)
+
+	code, serialBuf := postVerify(t, ts, fmt.Sprintf(`{"system": %q, "parallelism": 1}`, row.Name))
+	if code != http.StatusOK {
+		t.Fatalf("serial run: status %d: %s", code, serialBuf)
+	}
+	serial := canonicalise(t, serialBuf)
+
+	const concurrent = 8
+	results := make([]string, concurrent)
+	errs := make([]error, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/verify", "application/json", strings.NewReader(req))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			buf, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, buf)
+				return
+			}
+			results[i] = buf2canon(buf)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < concurrent; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i] != serial {
+			t.Errorf("request %d differs from the serial run:\n%s\nvs\n%s", i, results[i], serial)
+		}
+	}
+}
+
+// buf2canon is canonicalise without *testing.T (for goroutines).
+func buf2canon(buf []byte) string {
+	var resp verifyResponse
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		return "unmarshal error: " + err.Error()
+	}
+	resp.DurationMS = 0
+	for i := range resp.Results {
+		resp.Results[i].DurationMS = 0
+	}
+	out, _ := json.Marshal(&resp)
+	return string(out)
+}
+
+// TestTimeoutCancelsAndCacheSurvives: a request with a 1 ms budget on a
+// multi-thousand-state system times out with 504/"timeout", and the
+// shared workspace stays fully usable — the identical request without
+// the tiny budget succeeds afterwards with the expected verdicts, and
+// two post-cancellation runs are byte-identical.
+func TestTimeoutCancelsAndCacheSurvives(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	row := effpi.LargeSystems()[0] // Dining philos. (7, deadlock): 2187 states
+	code, buf := postVerify(t, ts, fmt.Sprintf(`{"system": %q, "timeout_ms": 1}`, row.Name))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("want 504 on a 1ms budget, got %d: %s", code, buf)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(buf, &e); err != nil || e.Kind != "timeout" {
+		t.Fatalf("want kind=timeout, got %s (err %v)", buf, err)
+	}
+
+	run := func() string {
+		code, buf := postVerify(t, ts, fmt.Sprintf(`{"system": %q}`, row.Name))
+		if code != http.StatusOK {
+			t.Fatalf("post-cancel run: status %d: %s", code, buf)
+		}
+		return canonicalise(t, buf)
+	}
+	first := run()
+	if second := run(); first != second {
+		t.Error("two post-cancellation runs differ — cancellation poisoned the cache")
+	}
+	var resp verifyResponse
+	if err := json.Unmarshal([]byte(first), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range resp.Results {
+		if want, ok := row.Expected[row.Props[i].Kind]; ok && res.Holds != want {
+			t.Errorf("%s: verdict %v after cancellation, expected %v", res.Property, res.Holds, want)
+		}
+	}
+}
+
+// TestBadRequests: malformed inputs come back as structured errors with
+// the right statuses.
+func TestBadRequests(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	cases := []struct {
+		name, body string
+		status     int
+		kind       string
+	}{
+		{"neither source nor system", `{}`, http.StatusBadRequest, "bad-request"},
+		{"both source and system", `{"source": "end", "system": "x"}`, http.StatusBadRequest, "bad-request"},
+		{"unknown system", `{"system": "no such row"}`, http.StatusNotFound, "bad-request"},
+		{"source without properties", `{"source": "end"}`, http.StatusBadRequest, "bad-request"},
+		{"unknown property kind", `{"source": "end", "properties": [{"kind": "bogus"}]}`, http.StatusBadRequest, "bad-request"},
+		{"parse error", `{"source": "send(", "properties": [{"kind": "deadlock-free"}]}`, http.StatusBadRequest, "parse"},
+		{"type error", `{"source": "send(42, 1, fun (_: Unit) => end)", "properties": [{"kind": "deadlock-free"}]}`, http.StatusUnprocessableEntity, "type"},
+		{"unknown field", `{"source": "end", "bogus_field": 1}`, http.StatusBadRequest, "bad-request"},
+	}
+	for _, tc := range cases {
+		code, buf := postVerify(t, ts, tc.body)
+		if code != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.status, buf)
+			continue
+		}
+		var e errorResponse
+		if err := json.Unmarshal(buf, &e); err != nil {
+			t.Errorf("%s: error body is not JSON: %s", tc.name, buf)
+			continue
+		}
+		if e.Kind != tc.kind {
+			t.Errorf("%s: kind %q, want %q", tc.name, e.Kind, tc.kind)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+	// GET on the verify endpoint is not allowed.
+	resp, err := http.Get(ts.URL + "/v1/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/verify: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestEarlyExitRequest: the on-the-fly engine is reachable over the
+// wire and reports its discovered/expanded counts.
+func TestEarlyExitRequest(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	code, buf := postVerify(t, ts, `{
+		"source": "send(c, 1, fun (_: Unit) => end)",
+		"binds": [{"name": "c", "type": "Chan[Int]"}],
+		"properties": [{"kind": "deadlock-free", "channels": ["c"]}],
+		"early_exit": true
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, buf)
+	}
+	if !bytes.Contains(buf, []byte(`"early_exit": true`)) {
+		t.Errorf("early-exit outcome not marked in response: %s", buf)
+	}
+}

@@ -1,0 +1,378 @@
+package main
+
+// HTTP layer of effpid: one long-lived effpi.Workspace serves every
+// request, so concurrent and repeated verifications share the interner
+// and transition memos (with the workspace's eviction budget keeping the
+// resident more bounded). The handler set is deliberately small:
+//
+//	POST /v1/verify   verify properties of a program or benchmark system
+//	GET  /healthz     liveness probe
+//	GET  /metrics     expvar counters + workspace cache stats (JSON)
+//
+// Verdicts and witnesses are schedule-independent: the engine guarantees
+// byte-identical results at any parallelism and under any interleaving
+// of concurrent identical requests, so replaying a request stream always
+// reproduces its responses (modulo the duration fields, which are
+// wall-clock measurements). Witness structure (state ids, label indices)
+// is additionally independent of what else warmed the shared caches;
+// only the *rendered representative types* inside a witness can pick an
+// ≡-equivalent spelling first interned by a sibling workload sharing the
+// same environment (see DESIGN.md, workspace sharing).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"effpi"
+)
+
+// server carries the shared workspace, the per-request limits, and the
+// expvar counter set. Counters live in an unregistered expvar.Map so
+// multiple servers (tests) can coexist in one process.
+type server struct {
+	ws *effpi.Workspace
+
+	defaultTimeout time.Duration // applied when a request names none
+	maxTimeout     time.Duration // hard cap on requested timeouts
+	maxStates      int           // default exploration bound
+	parallelism    int           // default worker count (0 = GOMAXPROCS)
+
+	start   time.Time
+	metrics *expvar.Map
+	// Counter handles into metrics (expvar.Map lookups allocate).
+	requests, failures, pass, fail, cancelled, inflight *expvar.Int
+}
+
+type serverConfig struct {
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	maxStates      int
+	parallelism    int
+}
+
+func newServer(ws *effpi.Workspace, cfg serverConfig) *server {
+	s := &server{
+		ws:             ws,
+		defaultTimeout: cfg.defaultTimeout,
+		maxTimeout:     cfg.maxTimeout,
+		maxStates:      cfg.maxStates,
+		parallelism:    cfg.parallelism,
+		start:          time.Now(),
+		metrics:        new(expvar.Map).Init(),
+	}
+	newInt := func(name string) *expvar.Int {
+		v := new(expvar.Int)
+		s.metrics.Set(name, v)
+		return v
+	}
+	s.requests = newInt("requests_total")
+	s.failures = newInt("failures_total")
+	s.pass = newInt("verdicts_pass_total")
+	s.fail = newInt("verdicts_fail_total")
+	s.cancelled = newInt("cancelled_total")
+	s.inflight = newInt("requests_inflight")
+	return s
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// ---- wire shapes -----------------------------------------------------
+
+// verifyRequest is the POST /v1/verify body. Exactly one of Source
+// (an .epi program, typed under Binds) and System (a benchmark row name
+// from Fig. 9 / the large sweep) must be set.
+type verifyRequest struct {
+	Source string     `json:"source,omitempty"`
+	System string     `json:"system,omitempty"`
+	Binds  []bindJSON `json:"binds,omitempty"`
+	// Properties to verify. A System request may omit them to run the
+	// row's own six Fig. 9 properties.
+	Properties []propJSON `json:"properties,omitempty"`
+	// MaxStates bounds each exploration (0 = server default).
+	MaxStates int `json:"max_states,omitempty"`
+	// Parallelism is the exploration worker count (0 = server default;
+	// verdicts are identical at any value).
+	Parallelism int `json:"parallelism,omitempty"`
+	// EarlyExit selects on-the-fly checking where the schema allows it.
+	EarlyExit bool `json:"early_exit,omitempty"`
+	// TimeoutMS caps this request's wall-clock (0 = server default;
+	// capped by the server's -max-timeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type bindJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// propJSON is the structured property shape (see
+// effpi.PropertyFromSpec; the CLIs use the flag-string twin
+// PropertyFromFlags).
+type propJSON struct {
+	Kind     string   `json:"kind"`
+	Channels []string `json:"channels,omitempty"`
+	From     string   `json:"from,omitempty"`
+	To       string   `json:"to,omitempty"`
+	// Open selects open-process mode (default: closed composition, the
+	// right mode for self-contained systems).
+	Open bool `json:"open,omitempty"`
+}
+
+type verifyResponse struct {
+	// Type is the inferred λπ⩽ type of a Source request, in concrete
+	// syntax; System echoes a System request's row name.
+	Type    string       `json:"type,omitempty"`
+	System  string       `json:"system,omitempty"`
+	Results []resultJSON `json:"results"`
+	// DurationMS is the whole request's wall-clock time.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+type resultJSON struct {
+	Property string `json:"property"`
+	Kind     string `json:"kind"`
+	Holds    bool   `json:"holds"`
+	States   int    `json:"states"`
+	// Expanded is set under early exit: how many of the discovered
+	// states were materialised before the search concluded.
+	Expanded        int     `json:"expanded,omitempty"`
+	EarlyExit       bool    `json:"early_exit,omitempty"`
+	ProductStates   int     `json:"product_states"`
+	AutomatonStates int     `json:"automaton_states"`
+	DurationMS      float64 `json:"duration_ms"`
+	// Witness is the replay-validated counterexample lasso of a FAIL
+	// (absent for PASS and for ev-usage failures, which are existential
+	// and have no single-run witness).
+	Witness *effpi.WitnessJSON `json:"witness,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure: bad-request, parse, type, bound,
+	// timeout, internal.
+	Kind string `json:"kind"`
+}
+
+// ---- handlers --------------------------------------------------------
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// handleMetrics serves the expvar counters plus point-in-time workspace
+// gauges as one flat JSON object.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.ws.CacheStats()
+	w.Header().Set("Content-Type", "application/json")
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	s.metrics.Do(func(kv expvar.KeyValue) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: %s", kv.Key, kv.Value.String())
+	})
+	fmt.Fprintf(&b, ",%q: %d", "cache_caches", st.Caches)
+	fmt.Fprintf(&b, ",%q: %d", "cache_memos", st.Memos)
+	fmt.Fprintf(&b, ",%q: %d", "cache_evictions", st.Evictions)
+	fmt.Fprintf(&b, ",%q: %d", "uptime_ms", time.Since(s.start).Milliseconds())
+	b.WriteString("}\n")
+	fmt.Fprint(w, b.String())
+}
+
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	start := time.Now()
+
+	var req verifyRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if (req.Source == "") == (req.System == "") {
+		s.writeError(w, http.StatusBadRequest, "bad-request", errors.New("exactly one of \"source\" and \"system\" must be set"))
+		return
+	}
+
+	// Per-request deadline: the requested timeout, capped; the server
+	// default otherwise. The request context also cancels on client
+	// disconnect, so an abandoned request stops exploring.
+	timeout := s.defaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.maxTimeout > 0 && timeout > s.maxTimeout {
+		timeout = s.maxTimeout
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	resp, status, kind, err := s.verify(ctx, &req)
+	if err != nil {
+		s.writeError(w, status, kind, err)
+		return
+	}
+	resp.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// verify resolves the request into a session + property list, runs the
+// batch, and assembles the response. The returned status/kind classify
+// a non-nil error for the wire.
+func (s *server) verify(ctx context.Context, req *verifyRequest) (*verifyResponse, int, string, error) {
+	opts := []effpi.Option{
+		effpi.WithMaxStates(pick(req.MaxStates, s.maxStates)),
+		effpi.WithParallelism(pick(req.Parallelism, s.parallelism)),
+		effpi.WithEarlyExit(req.EarlyExit),
+	}
+
+	var (
+		sess  *effpi.Session
+		props []effpi.Property
+		resp  = &verifyResponse{}
+		err   error
+	)
+	switch {
+	case req.Source != "":
+		// Shape validation first: a structurally invalid request must be
+		// a stable 400, not whichever expensive stage fails first.
+		if len(req.Properties) == 0 {
+			return nil, http.StatusBadRequest, "bad-request", errors.New("a source request needs at least one property")
+		}
+		for _, b := range req.Binds {
+			opts = append(opts, effpi.WithBind(b.Name, b.Type))
+		}
+		sess, err = s.ws.NewSession(req.Source, opts...)
+		if err != nil {
+			return nil, http.StatusBadRequest, "parse", err
+		}
+		t, err := sess.Check(ctx)
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, "type", err
+		}
+		resp.Type = effpi.FormatType(t)
+	default:
+		row, ok := effpi.BenchSystemByName(req.System)
+		if !ok {
+			return nil, http.StatusNotFound, "bad-request", fmt.Errorf("unknown benchmark system %q", req.System)
+		}
+		if len(req.Binds) > 0 {
+			return nil, http.StatusBadRequest, "bad-request", errors.New("binds are not applicable to a system request")
+		}
+		sess, err = s.ws.NewSessionFromType(row.Env, row.Type, opts...)
+		if err != nil {
+			return nil, http.StatusBadRequest, "bad-request", err
+		}
+		resp.System = row.Name
+		if len(req.Properties) == 0 {
+			props = append(props, row.Props...)
+		}
+	}
+	for _, p := range req.Properties {
+		prop, err := effpi.PropertyFromSpec(p.Kind, p.Channels, p.From, p.To, !p.Open)
+		if err != nil {
+			return nil, http.StatusBadRequest, "bad-request", err
+		}
+		props = append(props, prop)
+	}
+
+	outs, err := sess.VerifyAll(ctx, props...)
+	if err != nil {
+		status, kind := s.classify(err)
+		return nil, status, kind, err
+	}
+	for _, o := range outs {
+		res := resultJSON{
+			Property:        o.Property.String(),
+			Kind:            o.Property.Kind.String(),
+			Holds:           o.Holds,
+			States:          o.States,
+			Expanded:        o.Expanded,
+			EarlyExit:       o.EarlyExit,
+			ProductStates:   o.ProductStates,
+			AutomatonStates: o.AutomatonStates,
+			DurationMS:      float64(o.Duration.Microseconds()) / 1000,
+		}
+		if o.Holds {
+			s.pass.Add(1)
+		} else {
+			s.fail.Add(1)
+			if o.Property.Kind != effpi.EventualOutput {
+				w, werr := effpi.WitnessToJSON(o)
+				if werr != nil {
+					// A FAIL whose witness does not replay means the checker
+					// lied; that is an internal error, not a verdict.
+					return nil, http.StatusInternalServerError, "internal", werr
+				}
+				res.Witness = w
+			}
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	return resp, 0, "", nil
+}
+
+// classify maps a verification error to wire status and kind.
+func (s *server) classify(err error) (status int, kind string) {
+	var bound *effpi.BoundExceededError
+	var typeErr *effpi.TypeError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.As(err, &bound):
+		return http.StatusUnprocessableEntity, "bound"
+	case errors.As(err, &typeErr):
+		return http.StatusUnprocessableEntity, "type"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// writeError is the single counting point for failed requests, so
+// failures_total covers every error kind exactly once.
+func (s *server) writeError(w http.ResponseWriter, status int, kind string, err error) {
+	s.failures.Add(1)
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// pick returns the request value when set, the server default otherwise.
+func pick(req, def int) int {
+	if req != 0 {
+		return req
+	}
+	return def
+}

@@ -3,23 +3,28 @@
 // verdict, the explored state count, and the mean verification time with
 // standard deviation — the same row format as the paper's table. Beyond
 // the paper's rows it also sweeps the larger instances the parallel
-// engine unlocks (systems.LargeSystems).
+// engine unlocks (effpi.LargeSystems).
+//
+// The harness drives the public effpi package — the same session API
+// cmd/effpid serves over HTTP — so the numbers it reports are the
+// numbers an API consumer gets.
 //
 // Usage:
 //
 //	mcbench [-suite all|payment|philos|pingpong|ring|large] [-reps N]
-//	        [-max N] [-skip-slow] [-shared] [-par N] [-json PATH]
+//	        [-max N] [-skip-slow] [-shared] [-par N] [-props a,b] [-json PATH]
 //
 // With -json PATH the results are also written as machine-readable JSON
 // (one object per row with per-property verdicts and timing stats), the
 // format of the committed BENCH_fig9.json perf-trajectory snapshot. Every
 // failing property additionally carries its counterexample witness — the
-// lasso-shaped violating run, replay-validated with verify.Replay before
+// lasso-shaped violating run, replay-validated with effpi.Replay before
 // it is written — so a FAIL in the snapshot is a checkable artifact, not
 // just a bit.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,9 +33,7 @@ import (
 	"runtime"
 	"strings"
 
-	"effpi/internal/systems"
-	"effpi/internal/typelts"
-	"effpi/internal/verify"
+	"effpi"
 )
 
 func main() {
@@ -38,14 +41,21 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per property")
 	maxStates := flag.Int("max", 1<<22, "state bound for exploration")
 	skipSlow := flag.Bool("skip-slow", false, "skip the largest (slowest) rows")
-	shared := flag.Bool("shared", false, "share one transition cache across a row's properties (the VerifyAll production path) instead of timing each property cold")
+	shared := flag.Bool("shared", false, "share one workspace cache across a row's properties (the VerifyAll production path) instead of timing each property cold")
 	par := flag.Int("par", 0, "BFS workers per exploration: 0 = GOMAXPROCS, 1 = the serial engine (cap total CPU with GOMAXPROCS)")
+	propFilter := flag.String("props", "", "comma-separated property kinds to run (default: all six Fig. 9 columns)")
 	jsonPath := flag.String("json", "", "write machine-readable results to PATH")
 	flag.Parse()
 
 	rows := selectRows(*suite)
 	if len(rows) == 0 {
 		fmt.Fprintf(os.Stderr, "mcbench: unknown suite %q\n", *suite)
+		os.Exit(2)
+	}
+
+	kinds, err := parseKindFilter(*propFilter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -56,13 +66,13 @@ func main() {
 		SharedCache: *shared,
 	}
 
-	fmt.Printf("%-34s %9s  %s\n", "system", "states", strings.Join(propHeaders(), "  "))
+	fmt.Printf("%-34s %9s  %s\n", "system", "states", strings.Join(propHeaders(kinds), "  "))
 	mismatches := 0
 	for _, s := range rows {
 		if *skipSlow && isSlow(s.Name) {
 			continue
 		}
-		row, bad := runRow(s, *reps, *maxStates, *shared, *par)
+		row, bad := runRow(s, *reps, *maxStates, *shared, *par, kinds)
 		report.Rows = append(report.Rows, row)
 		mismatches += bad
 	}
@@ -79,15 +89,37 @@ func main() {
 	}
 }
 
-func selectRows(suite string) []*systems.System {
-	all := append(systems.Fig9Systems(), systems.LargeSystems()...)
+// parseKindFilter resolves the -props flag through the shared property
+// parser: nil means "all kinds".
+func parseKindFilter(spec string) (map[effpi.Kind]bool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	kinds := map[effpi.Kind]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		k, err := effpi.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		kinds[k] = true
+	}
+	return kinds, nil
+}
+
+// keepProp applies the -props filter.
+func keepProp(kinds map[effpi.Kind]bool, p effpi.Property) bool {
+	return kinds == nil || kinds[p.Kind]
+}
+
+func selectRows(suite string) []*effpi.BenchSystem {
+	all := append(effpi.Fig9Systems(), effpi.LargeSystems()...)
 	if suite == "all" {
 		return all
 	}
 	if suite == "large" {
-		return systems.LargeSystems()
+		return effpi.LargeSystems()
 	}
-	var out []*systems.System
+	var out []*effpi.BenchSystem
 	for _, s := range all {
 		name := strings.ToLower(s.Name)
 		switch suite {
@@ -114,7 +146,7 @@ func selectRows(suite string) []*systems.System {
 
 // isSlow marks the rows whose full sweep takes seconds rather than
 // milliseconds: the paper's 10-pair ping-pong rows and the beyond-Fig. 9
-// instances of systems.LargeSystems. -skip-slow keeps a default run
+// instances of effpi.LargeSystems. -skip-slow keeps a default run
 // fast; the full sweep is one flag away.
 func isSlow(name string) bool {
 	for _, marker := range []string{
@@ -131,11 +163,13 @@ func isSlow(name string) bool {
 	return false
 }
 
-func propHeaders() []string {
-	ks := verify.AllKinds()
-	out := make([]string, len(ks))
-	for i, k := range ks {
-		out[i] = fmt.Sprintf("%-24s", k)
+func propHeaders(kinds map[effpi.Kind]bool) []string {
+	var out []string
+	for _, k := range effpi.AllKinds() {
+		if kinds != nil && !kinds[k] {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%-24s", k))
 	}
 	return out
 }
@@ -165,75 +199,47 @@ type jsonProp struct {
 	StddevSeconds float64 `json:"stddev_seconds"`
 	Error         string  `json:"error,omitempty"`
 	// Witness is the counterexample lasso of a failing property,
-	// replay-validated (verify.Replay) before it is written. ev-usage
+	// replay-validated (effpi.Replay) before it is written. ev-usage
 	// failures have none: the schema is existential.
-	Witness *jsonWitness `json:"witness,omitempty"`
+	Witness *effpi.WitnessJSON `json:"witness,omitempty"`
 }
 
-// jsonWitness is the machine-readable counterexample lasso: the run
-// follows Stem from the initial state, then repeats Cycle forever. Every
-// step names its source and destination state ids (into the row's
-// explored LTS) and the fired transition label.
-type jsonWitness struct {
-	Stem  []jsonStep `json:"stem"`
-	Cycle []jsonStep `json:"cycle"`
-	// Replayed records that verify.Replay re-validated the lasso against
-	// the LTS and the property's Büchi automaton.
-	Replayed bool `json:"replayed"`
-}
-
-type jsonStep struct {
-	From  int    `json:"from"`
-	Label string `json:"label"`
-	To    int    `json:"to"`
-}
-
-// witnessJSON converts a failing outcome's witness, re-validating it via
-// verify.Replay; a replay failure is reported as a verdict mismatch by
-// the caller (a witness that doesn't replay means the checker lied).
-func witnessJSON(o *verify.Outcome) (*jsonWitness, error) {
-	// No nil-witness guard: the caller only passes FAILs of LTL-checked
-	// properties, which must carry a witness — Replay turns a missing one
-	// into an error, and the caller counts it against the row.
-	if err := verify.Replay(o); err != nil {
-		return nil, err
-	}
-	jw := &jsonWitness{Replayed: true}
-	conv := func(steps []verify.WitnessStep) []jsonStep {
-		out := make([]jsonStep, len(steps))
-		for i, st := range steps {
-			out[i] = jsonStep{From: st.From, Label: st.Label.String(), To: st.To}
-		}
-		return out
-	}
-	jw.Stem = conv(o.Witness.Stem)
-	jw.Cycle = conv(o.Witness.Cycle)
-	return jw, nil
-}
-
-// runRow verifies all six properties of one system, reps times each, and
-// prints one Fig. 9-style row. It returns the row's JSON record and the
-// number of verdicts that deviate from the expectations. With shared,
-// one transition cache serves the whole row, so later properties reuse
-// earlier per-component work.
-func runRow(s *systems.System, reps, maxStates int, shared bool, par int) (jsonRow, int) {
+// runRow verifies the (filtered) properties of one system, reps times
+// each, and prints one Fig. 9-style row. It returns the row's JSON
+// record and the number of verdicts that deviate from the expectations.
+// With shared, one workspace serves the whole row, so later properties
+// reuse earlier per-component work through its cache; without it every
+// repetition runs in a fresh workspace (timed cold).
+func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, kinds map[effpi.Kind]bool) (jsonRow, int) {
+	ctx := context.Background()
 	row := jsonRow{System: s.Name}
 	cells := make([]string, 0, len(s.Props))
 	mismatches := 0
-	var cache *typelts.Cache
+	var rowWS *effpi.Workspace
 	if shared {
-		cache = typelts.NewCache(s.Env, true)
+		rowWS = effpi.NewWorkspace()
+	}
+	newSession := func() (*effpi.Session, error) {
+		ws := rowWS
+		if ws == nil {
+			ws = effpi.NewWorkspace()
+		}
+		return ws.NewSessionFromType(s.Env, s.Type,
+			effpi.WithMaxStates(maxStates), effpi.WithParallelism(par))
 	}
 	for _, prop := range s.Props {
+		if !keepProp(kinds, prop) {
+			continue
+		}
 		jp := jsonProp{Kind: prop.Kind.String(), Matches: true}
 		var times []float64
-		var last *verify.Outcome
+		var last *effpi.Outcome
 		failed := false
 		for r := 0; r < reps; r++ {
-			o, err := verify.Verify(verify.Request{
-				Env: s.Env, Type: s.Type, Property: prop,
-				MaxStates: maxStates, Cache: cache, Parallelism: par,
-			})
+			sess, err := newSession()
+			if err == nil {
+				last, err = sess.Verify(ctx, prop)
+			}
 			if err != nil {
 				cells = append(cells, fmt.Sprintf("error: %v", err))
 				jp.Error = err.Error()
@@ -241,18 +247,17 @@ func runRow(s *systems.System, reps, maxStates int, shared bool, par int) (jsonR
 				failed = true
 				break
 			}
-			jp.Holds = o.Holds
-			row.States = o.States
-			last = o
-			times = append(times, o.Duration.Seconds())
+			jp.Holds = last.Holds
+			row.States = last.States
+			times = append(times, last.Duration.Seconds())
 		}
 		if failed {
 			mismatches++
 			row.Properties = append(row.Properties, jp)
 			continue
 		}
-		if last != nil && !last.Holds && prop.Kind != verify.EventualOutput {
-			w, err := witnessJSON(last)
+		if last != nil && !last.Holds && prop.Kind != effpi.EventualOutput {
+			w, err := effpi.WitnessToJSON(last)
 			if err != nil {
 				// A FAIL whose witness does not replay is as bad as a wrong
 				// verdict: count it against the row.

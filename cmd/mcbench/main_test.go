@@ -5,27 +5,32 @@ import (
 	"os"
 	"testing"
 
-	"effpi/internal/systems"
-	"effpi/internal/verify"
+	"effpi"
 )
 
 // TestRunRowAttachesReplayedWitnesses: every failing LTL property of a
 // benchmark row comes out with a witness that was re-validated by
-// verify.Replay before serialisation; replay failures count as verdict
-// mismatches.
+// replay, and none of the verdicts mismatch Fig. 9.
 func TestRunRowAttachesReplayedWitnesses(t *testing.T) {
-	s := systems.DiningPhilosophers(3, true)
-	row, mismatches := runRow(s, 1, 1<<18, true, 1)
+	s, ok := effpi.BenchSystemByName("Dining philos. (4, deadlock)")
+	if !ok {
+		t.Fatal("benchmark row not found")
+	}
+	row, mismatches := runRow(s, 1, 1<<18, true, 1, nil)
 	if mismatches != 0 {
 		t.Fatalf("unexpected verdict mismatches: %d", mismatches)
 	}
 	sawWitness := false
 	for _, p := range row.Properties {
-		want := s.Expected[kindByName(t, p.Kind)]
+		kind, err := effpi.ParseKind(p.Kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.Expected[kind]
 		if p.Holds != want {
 			t.Errorf("%s: verdict %v, Fig. 9 expects %v", p.Kind, p.Holds, want)
 		}
-		if p.Holds || p.Kind == verify.EventualOutput.String() {
+		if p.Holds || kind == effpi.EventualOutput {
 			if p.Witness != nil {
 				t.Errorf("%s: unexpected witness", p.Kind)
 			}
@@ -40,7 +45,7 @@ func TestRunRowAttachesReplayedWitnesses(t *testing.T) {
 		if len(p.Witness.Cycle) == 0 {
 			t.Errorf("%s: witness cycle is empty", p.Kind)
 		}
-		for _, st := range append(append([]jsonStep{}, p.Witness.Stem...), p.Witness.Cycle...) {
+		for _, st := range append(append([]effpi.WitnessStepJSON{}, p.Witness.Stem...), p.Witness.Cycle...) {
 			if st.Label == "" {
 				t.Errorf("%s: witness step without label", p.Kind)
 			}
@@ -52,15 +57,44 @@ func TestRunRowAttachesReplayedWitnesses(t *testing.T) {
 	}
 }
 
-func kindByName(t *testing.T, name string) verify.Kind {
-	t.Helper()
-	for _, k := range verify.AllKinds() {
-		if k.String() == name {
-			return k
+// TestPropFilter: the -props flag runs through the façade's shared kind
+// parser and filters the row's columns.
+func TestPropFilter(t *testing.T) {
+	kinds, err := parseKindFilter("deadlock-free, reactive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 2 || !kinds[effpi.DeadlockFree] || !kinds[effpi.Reactive] {
+		t.Errorf("bad filter: %v", kinds)
+	}
+	if _, err := parseKindFilter("deadlock-free,bogus"); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	all, err := parseKindFilter("")
+	if err != nil || all != nil {
+		t.Errorf("empty filter must mean all kinds: %v %v", all, err)
+	}
+
+	s, ok := effpi.BenchSystemByName("Dining philos. (4, deadlock)")
+	if !ok {
+		t.Fatal("benchmark row not found")
+	}
+	row, mismatches := runRow(s, 1, 1<<18, true, 1, kinds)
+	if mismatches != 0 {
+		t.Fatalf("unexpected verdict mismatches: %d", mismatches)
+	}
+	if len(row.Properties) != 2 {
+		t.Fatalf("filter kept %d properties, want 2", len(row.Properties))
+	}
+	for _, p := range row.Properties {
+		k, err := effpi.ParseKind(p.Kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !kinds[k] {
+			t.Errorf("property %s escaped the filter", p.Kind)
 		}
 	}
-	t.Fatalf("unknown kind %q", name)
-	return 0
 }
 
 // TestSnapshotSchemaCompat: the committed BENCH_fig9.json parses under
@@ -89,7 +123,7 @@ func TestSnapshotSchemaCompat(t *testing.T) {
 			if !p.Matches {
 				t.Errorf("%s / %s: snapshot verdict does not match Fig. 9", row.System, p.Kind)
 			}
-			if p.Holds || p.Kind == verify.EventualOutput.String() {
+			if p.Holds || p.Kind == effpi.EventualOutput.String() {
 				continue
 			}
 			if p.Witness == nil {

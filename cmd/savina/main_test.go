@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"effpi/internal/savina"
+)
+
+// TestSmokeOneBenchmarkOneEngine: the Fig. 8 harness end to end at its
+// smallest useful scale — one benchmark (ping-pong), one engine, one
+// repetition — covering benchmark lookup, engine construction and a
+// measured point, so a harness regression fails in CI instead of at
+// paper-regeneration time.
+func TestSmokeOneBenchmarkOneEngine(t *testing.T) {
+	b, err := savina.ByName("pingpong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines, err := selectEngines("goroutine", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(engines) != 1 {
+		t.Fatalf("want 1 engine, got %d", len(engines))
+	}
+	res := b.Run(engines[0], 10)
+	if res.Messages <= 0 {
+		t.Fatalf("benchmark processed no messages: %+v", res)
+	}
+	// The full harness path, including the warmup and the printed point.
+	runPoint(b, engines[0], 10, 1, true)
+}
+
+func TestSelectEngines(t *testing.T) {
+	all, err := selectEngines("all", 0)
+	if err != nil || len(all) != 3 {
+		t.Errorf("all: %d engines, err %v", len(all), err)
+	}
+	if _, err := selectEngines("bogus", 0); err == nil {
+		t.Error("unknown engine must fail")
+	}
+}

@@ -1,22 +1,38 @@
 // Package effpi is a from-scratch Go reproduction of "Verifying
 // Message-Passing Programs with Dependent Behavioural Types" (Scalas,
-// Yoshida, Benussi; PLDI 2019) — the Effpi system.
+// Yoshida, Benussi; PLDI 2019) — the Effpi system — grown into a
+// session-oriented verification library and service.
 //
-// The implementation lives under internal/ (see DESIGN.md for the module
-// map), the executables under cmd/ (effpi, savina, mcbench), and runnable
-// examples under examples/. The benchmarks in bench_test.go regenerate
-// every figure and table of the paper's evaluation (Fig. 8 and Fig. 9);
-// EXPERIMENTS.md records the measured results against the published ones.
+// This package is the public API. A Workspace owns the state worth
+// keeping between requests (the hash-consed type interner and the
+// memoised transition semantics, with a size-bounded eviction policy); a
+// Session binds one program or type to a workspace and is configured
+// with functional options (WithMaxStates, WithParallelism,
+// WithEarlyExit, WithClosed, WithProgress, …):
+//
+//	ws := effpi.NewWorkspace()
+//	s, err := ws.NewSession(src, effpi.WithBind("c", "Chan[Int]"))
+//	outcome, err := s.Verify(ctx, effpi.Property{Kind: effpi.DeadlockFree, Channels: []string{"c"}, Closed: true})
+//
+// Every exploration and model-checking pass is cancellable and
+// deadline-aware through the context; errors are structured
+// (*ParseError, *TypeError, *BoundExceededError), and progress streams
+// through WithProgress / WithEventChannel. The implementation lives
+// under internal/ (see DESIGN.md for the module map) and is not
+// importable — the façade re-exports everything the executables under
+// cmd/ (effpi, effpid, savina, mcbench) and external consumers need.
+// cmd/effpid serves this API over HTTP (POST /v1/verify) from one
+// long-lived shared workspace; see README.md for a curl example.
 //
 // Reading counterexample output: a failing property is reported as a
 // lasso-shaped witness — a stem of transitions from the initial state
 // followed by a cycle that repeats forever, with the parallel component
 // multiset printed at every visited state. "effpi verify" prints the
-// witness and exits non-zero on FAIL; "mcbench -json" embeds it in each
-// row (field "witness", with state ids and labels). Every witness is
-// replay-validated before it is shown: the run is re-executed against the
-// explored transition system and the property's Büchi automaton
-// (verify.Replay), so a reported FAIL is a checkable artifact. The
-// "-early" flag of effpi verify stops exploring as soon as a violation
-// exists (on-the-fly checking; see DESIGN.md).
+// witness and exits non-zero on FAIL; "mcbench -json" and effpid
+// responses embed it (field "witness", with state ids and labels). Every
+// witness is replay-validated before it is shown: the run is re-executed
+// against the explored transition system and the property's Büchi
+// automaton (Replay), so a reported FAIL is a checkable artifact. The
+// "-early" flag of effpi verify (WithEarlyExit here) stops exploring as
+// soon as a violation exists (on-the-fly checking; see DESIGN.md).
 package effpi

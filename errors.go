@@ -1,0 +1,68 @@
+package effpi
+
+import (
+	"errors"
+	"fmt"
+
+	"effpi/internal/lts"
+)
+
+// ParseError reports that source text — a program, a type, or a binding
+// — could not be parsed. What names the artifact that failed.
+type ParseError struct {
+	What string
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	if e.What == "" {
+		return fmt.Sprintf("parse error: %v", e.Err)
+	}
+	return fmt.Sprintf("parse error in %s: %v", e.What, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// TypeError reports that a parsed program failed λπ⩽ type inference, or
+// that a type failed the admissibility preconditions of Thm. 4.10.
+type TypeError struct {
+	Err error
+}
+
+func (e *TypeError) Error() string { return fmt.Sprintf("type error: %v", e.Err) }
+
+func (e *TypeError) Unwrap() error { return e.Err }
+
+// BoundExceededError reports that LTS exploration hit the state bound:
+// the type may be infinite-state (§5.1 limitation 2), or the bound is
+// simply too small for the system. MaxStates is the effective bound the
+// exploration ran with.
+type BoundExceededError struct {
+	MaxStates int
+	Err       error
+}
+
+func (e *BoundExceededError) Error() string {
+	// The wrapped engine error already names the bound and the likely
+	// cause; repeating it here would double the message.
+	return e.Err.Error()
+}
+
+func (e *BoundExceededError) Unwrap() error { return e.Err }
+
+// wrapVerifyErr classifies an error from the verification pipeline into
+// the façade's structured error types. Context errors (cancellation,
+// deadline) pass through wrapped, so errors.Is(err, context.Canceled)
+// keeps working on the result.
+func wrapVerifyErr(err error, maxStates int) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, lts.ErrStateBound) {
+		if maxStates <= 0 {
+			maxStates = lts.DefaultMaxStates
+		}
+		return &BoundExceededError{MaxStates: maxStates, Err: err}
+	}
+	return err
+}

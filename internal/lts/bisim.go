@@ -1,6 +1,7 @@
 package lts
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -126,12 +127,17 @@ func itoa(n int) string {
 // TypesBisimilar explores two types under the same semantics and decides
 // their strong bisimilarity.
 func TypesBisimilar(env *types.Env, a, b types.Type, opts Options) (bool, error) {
+	return TypesBisimilarContext(context.Background(), env, a, b, opts)
+}
+
+// TypesBisimilarContext is TypesBisimilar with cancellable explorations.
+func TypesBisimilarContext(ctx context.Context, env *types.Env, a, b types.Type, opts Options) (bool, error) {
 	sem := &typelts.Semantics{Env: env}
-	m1, err := Explore(sem, a, opts)
+	m1, err := ExploreContext(ctx, sem, a, opts)
 	if err != nil {
 		return false, err
 	}
-	m2, err := Explore(sem, b, opts)
+	m2, err := ExploreContext(ctx, sem, b, opts)
 	if err != nil {
 		return false, err
 	}

@@ -18,6 +18,8 @@ package lts
 // Incremental are meaningful only relative to itself and its Snapshot.
 
 import (
+	"context"
+
 	"effpi/internal/typelts"
 	"effpi/internal/types"
 )
@@ -42,7 +44,17 @@ type Incremental struct {
 // in Explore — once exceeded, every further expansion fails with the
 // state-bound error.
 func NewIncremental(sem *typelts.Semantics, init types.Type, opts Options) *Incremental {
-	return &Incremental{b: prepBuilder(sem, init, opts.MaxStates), lo: []int32{-1}, hi: []int32{-1}}
+	return NewIncrementalContext(context.Background(), sem, init, opts)
+}
+
+// NewIncrementalContext is NewIncremental with cancellation: every Succ
+// expansion polls ctx first, and a cancelled context makes the expansion
+// (and every later one) fail with an error wrapping ctx.Err() — which
+// aborts the driving nested DFS. Already-expanded states keep serving
+// their cached edges, so the explored fragment stays internally
+// consistent.
+func NewIncrementalContext(ctx context.Context, sem *typelts.Semantics, init types.Type, opts Options) *Incremental {
+	return &Incremental{b: prepBuilder(ctx, sem, init, opts), lo: []int32{-1}, hi: []int32{-1}}
 }
 
 // Initial is the initial state index (always 0).
@@ -77,6 +89,10 @@ func (x *Incremental) Succ(s int) ([]Edge, error) {
 	if x.err != nil {
 		return nil, x.err
 	}
+	if x.b.ctx.Err() != nil {
+		x.err = x.b.cancelled()
+		return nil, x.err
+	}
 	x.grow()
 	if len(x.b.l.States) > x.b.maxStates {
 		x.err = x.b.boundExceeded()
@@ -89,6 +105,9 @@ func (x *Incremental) Succ(s int) ([]Edge, error) {
 	x.grow() // expansion may have discovered new states
 	x.lo[s], x.hi[s] = from, int32(len(x.b.l.edges))
 	x.expanded++
+	if x.expanded%progressStride == 0 {
+		x.b.report(x.expanded)
+	}
 	return x.b.l.edges[from:], nil
 }
 

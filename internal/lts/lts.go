@@ -13,6 +13,8 @@
 package lts
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +23,11 @@ import (
 	"effpi/internal/typelts"
 	"effpi/internal/types"
 )
+
+// ErrStateBound is the sentinel wrapped by every state-bound-exceeded
+// error, so callers can classify the failure with errors.Is regardless of
+// which engine (serial, parallel, incremental) hit the bound.
+var ErrStateBound = errors.New("state bound exceeded")
 
 // Edge is a transition to state Dst firing the label with index Label in
 // the owning LTS's dense alphabet (LTS.Labels).
@@ -65,7 +72,34 @@ type Options struct {
 	// the same LTS: state order, dense alphabet and the CSR edge arrays
 	// are identical to the serial engine's (see DESIGN.md §parallel).
 	Parallelism int
+	// Progress, when non-nil, is called periodically during exploration —
+	// after every BFS level in the parallel engine, every progressStride
+	// expanded states in the serial one, and once at the end — with the
+	// running state and edge counts. It is always called from the
+	// exploration's merge (single-threaded) side, never concurrently.
+	Progress func(p Progress)
 }
+
+// Progress is a snapshot of a running exploration, delivered through
+// Options.Progress.
+type Progress struct {
+	// States is the number of states discovered so far; Expanded of them
+	// have had their successors computed.
+	States, Expanded int
+	// Edges is the number of transitions spliced so far.
+	Edges int
+}
+
+// progressStride is how many states the serial engine expands between
+// Progress callbacks. Exploration of one state is microseconds, so this
+// keeps the callback off the hot path while still reporting every few
+// hundred microseconds. cancelStride is the (smaller) interval between
+// context polls: a poll is one atomic-ish check, so cancellation latency
+// is bounded by a few dozen expansions.
+const (
+	progressStride = 512
+	cancelStride   = 64
+)
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
 const DefaultMaxStates = 1 << 20
@@ -89,11 +123,22 @@ const DefaultMaxStates = 1 << 20
 // array in (parent-index, edge-order) order — so the resulting LTS is
 // identical to the serial engine's at any worker count (see DESIGN.md).
 func Explore(sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error) {
+	return ExploreContext(context.Background(), sem, init, opts)
+}
+
+// ExploreContext is Explore with cancellation: the exploration polls ctx
+// between state expansions (serial) and BFS levels / worker batches
+// (parallel), and returns an error wrapping ctx.Err() as soon as the
+// context is cancelled or its deadline passes. A cancelled exploration
+// leaves any shared typelts.Cache fully usable — the cache is an
+// append-only memo, so a later identical exploration produces the
+// identical LTS (it just starts warmer).
+func ExploreContext(ctx context.Context, sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error) {
 	par := opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	b := prepBuilder(sem, init, opts.MaxStates)
+	b := prepBuilder(ctx, sem, init, opts)
 	if par == 1 {
 		return b.l, b.exploreSerial()
 	}
@@ -109,9 +154,13 @@ func Explore(sem *typelts.Semantics, init types.Type, opts Options) (*LTS, error
 // engines must run it identically: a witness extracted from an
 // Incremental only replays against Explore-style numbering because the
 // two share this path.
-func prepBuilder(sem *typelts.Semantics, init types.Type, maxStates int) *builder {
+func prepBuilder(ctx context.Context, sem *typelts.Semantics, init types.Type, opts Options) *builder {
+	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if !sem.HasCompatibleCache() {
 		clone := *sem
@@ -119,6 +168,8 @@ func prepBuilder(sem *typelts.Semantics, init types.Type, maxStates int) *builde
 		sem = &clone
 	}
 	b := newBuilder(sem, maxStates)
+	b.ctx = ctx
+	b.progress = opts.Progress
 	root := sem.InternLeaves(init)
 	b.orderComps(root)
 	b.internState(root, init)
@@ -154,6 +205,12 @@ type builder struct {
 	// during orderComps.
 	scratch     []types.ID
 	rankScratch []int32
+
+	// ctx is polled between expansions; a cancelled context aborts the
+	// exploration with an error wrapping ctx.Err(). progress, when
+	// non-nil, receives periodic Progress snapshots (see Options).
+	ctx      context.Context
+	progress func(Progress)
 
 	// Per-state edge dedup: linear scan while the out-degree is small,
 	// switching to a map once it crosses dedupThreshold (high-out-degree
@@ -354,7 +411,23 @@ func (b *builder) expandInto(from int32, comps []types.ID) {
 func (b *builder) boundExceeded() error {
 	b.l.Truncated = true
 	b.l.sealTruncated()
-	return fmt.Errorf("lts: state bound %d exceeded (type may be infinite-state; see Lemma 4.7 and §5.1 limitation 2)", b.maxStates)
+	return fmt.Errorf("lts: state bound %d exceeded (type may be infinite-state; see Lemma 4.7 and §5.1 limitation 2): %w", b.maxStates, ErrStateBound)
+}
+
+// cancelled reports (and wraps) a cancelled context. The partial LTS is
+// sealed so its CSR arrays stay consistent, but a cancelled exploration's
+// LTS must not be consumed — only the error matters.
+func (b *builder) cancelled() error {
+	b.l.sealTruncated()
+	return fmt.Errorf("lts: exploration cancelled after %d states: %w", len(b.l.States), b.ctx.Err())
+}
+
+// report delivers a Progress snapshot (expanded = the number of states
+// whose successors are spliced).
+func (b *builder) report(expanded int) {
+	if b.progress != nil {
+		b.progress(Progress{States: len(b.l.States), Expanded: expanded, Edges: len(b.l.edges)})
+	}
 }
 
 // exploreSerial is the single-threaded worklist engine (Parallelism 1):
@@ -364,11 +437,18 @@ func (b *builder) exploreSerial() error {
 		if len(b.l.States) > b.maxStates {
 			return b.boundExceeded()
 		}
+		if next%cancelStride == 0 && b.ctx.Err() != nil {
+			return b.cancelled()
+		}
+		if next%progressStride == 0 && next > 0 {
+			b.report(next)
+		}
 		from := b.l.start[next]
 		b.beginState()
 		b.expandInto(from, b.stateComps[next])
 		b.finishState(next, from)
 	}
+	b.report(len(b.l.States))
 	return nil
 }
 

@@ -62,11 +62,20 @@ func (b *builder) exploreParallel(par int) error {
 		lo, hi := done, len(b.l.States)
 		n := hi - lo
 
+		if b.ctx.Err() != nil {
+			return b.cancelled()
+		}
+
 		// Expand the level. If the bound is already exceeded the merge
 		// will fail at state lo, so skip the (possibly huge) expansion.
 		var props [][]proposal
 		if hi <= b.maxStates {
 			props = b.expandLevel(lo, n, forks)
+			// Workers bail early on cancellation, leaving nil proposal
+			// slots; the merge must not mistake those for edge-less states.
+			if b.ctx.Err() != nil {
+				return b.cancelled()
+			}
 		} else {
 			props = make([][]proposal, n)
 		}
@@ -93,6 +102,7 @@ func (b *builder) exploreParallel(par int) error {
 			props[i] = nil
 		}
 		done = hi
+		b.report(done)
 	}
 	return nil
 }
@@ -108,11 +118,15 @@ func (b *builder) expandLevel(lo, n int, forks []*typelts.Semantics) [][]proposa
 	}
 	if workers <= 1 || n < minParallelFrontier {
 		for i := 0; i < n; i++ {
+			if i%cancelStride == 0 && b.ctx.Err() != nil {
+				return props
+			}
 			props[i] = expandState(forks[0], b.stateComps[lo+i])
 		}
 		return props
 	}
 
+	done := b.ctx.Done()
 	var idx atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -124,6 +138,16 @@ func (b *builder) expandLevel(lo, n int, forks []*typelts.Semantics) [][]proposa
 				i := int(idx.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						// Cancelled mid-level: stop expanding. The merge
+						// re-checks ctx before consuming the (partial)
+						// proposals.
+						return
+					default:
+					}
 				}
 				props[i] = expandState(ws, b.stateComps[lo+i])
 			}

@@ -1,6 +1,9 @@
 package mucalc
 
 import (
+	"context"
+	"fmt"
+
 	"effpi/internal/lts"
 	"effpi/internal/typelts"
 )
@@ -75,6 +78,14 @@ func Check(m *lts.LTS, phi Formula) Result {
 	return r
 }
 
+// CheckContext is Check with cancellation: the nested DFS polls ctx every
+// checkCancelStride visited product states and returns an error wrapping
+// ctx.Err() when the context is cancelled or past its deadline. The
+// Result accompanying a non-nil error is invalid.
+func CheckContext(ctx context.Context, m *lts.LTS, phi Formula) (Result, error) {
+	return CheckModelContext(ctx, LTSModel(m), phi)
+}
+
 // CheckModel is Check over an arbitrary Model. With an on-demand model
 // (lts.Incremental) the search is on-the-fly: LTS states are materialised
 // only when the blue DFS first needs their successors, so a violation
@@ -84,12 +95,23 @@ func Check(m *lts.LTS, phi Formula) Result {
 // (automaton-reachable) product. The returned error is the model's — a
 // state bound hit mid-search — and invalidates the Result.
 func CheckModel(m Model, phi Formula) (Result, error) {
+	return CheckModelContext(context.Background(), m, phi)
+}
+
+// CheckModelContext is CheckModel with cancellation: both DFS passes poll
+// ctx every checkCancelStride state visits, so even a check over a fully
+// materialised (never-erroring) model returns promptly — with an error
+// wrapping ctx.Err() — once the context is done.
+func CheckModelContext(ctx context.Context, m Model, phi Formula) (Result, error) {
 	phi = Simplify(phi)
 	if isTrue(phi) {
 		return Result{Holds: true}, nil
 	}
 	ba := Translate(Not{F: phi})
 	p := newProduct(m, ba)
+	if ctx != nil && ctx.Done() != nil {
+		p.ctx = ctx
+	}
 	w, visited := p.findAcceptingLasso()
 	res := Result{
 		Holds:           w == nil,
@@ -120,9 +142,35 @@ type product struct {
 
 	marks markStore
 
-	// err records a model error (state bound hit mid-expansion); the
-	// search aborts as soon as it is set.
+	// err records a model error (state bound hit mid-expansion) or a
+	// cancelled context; the search aborts as soon as it is set.
 	err error
+	// ctx, when non-nil, is polled every checkCancelStride visits of
+	// either DFS pass; visits counts them.
+	ctx    context.Context
+	visits int
+}
+
+// checkCancelStride is how many product-state visits pass between
+// context polls: visits are tens of nanoseconds, so this bounds the
+// cancellation latency to microseconds without touching the hot path.
+const checkCancelStride = 1024
+
+// pollCtx checks for cancellation every checkCancelStride visits,
+// recording the wrapped context error in p.err.
+func (p *product) pollCtx() bool {
+	if p.ctx == nil {
+		return false
+	}
+	p.visits++
+	if p.visits%checkCancelStride != 0 {
+		return false
+	}
+	if err := p.ctx.Err(); err != nil {
+		p.err = fmt.Errorf("mucalc: check cancelled after %d product states: %w", p.visits, err)
+		return true
+	}
+	return false
 }
 
 // Colour/flag values packed into one byte per product state: the low two
@@ -327,6 +375,9 @@ func (p *product) findAcceptingLasso() (*Witness, int) {
 	push(start)
 
 	for len(stack) > 0 {
+		if p.pollCtx() {
+			return nil, visited
+		}
 		top := &stack[len(stack)-1]
 		if next, ok := p.advance(top); ok {
 			if p.marks.get(next)&colorMask == colorWhite {
@@ -360,6 +411,9 @@ func (p *product) redDFS(seed int) []frame {
 	stack = append(stack, p.newFrame(seed))
 	p.marks.or(seed, redFlag)
 	for len(stack) > 0 {
+		if p.pollCtx() {
+			return nil
+		}
 		top := &stack[len(stack)-1]
 		next, ok := p.advance(top)
 		if !ok {

@@ -1,0 +1,108 @@
+package mucalc
+
+// Cancellation coverage for the nested DFS: a context that dies
+// mid-search must abort both passes promptly and surface an error
+// wrapping context.Canceled, and the same check re-run with a live
+// context must produce the original result.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"effpi/internal/lts"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// bigCycle builds a strongly connected N-state LTS where every state
+// fires label "a" to its successor: the product with any liveness
+// automaton visits all N states, giving the DFS room to be interrupted.
+func bigCycle(n int) *lts.LTS {
+	states := make([]types.Type, n)
+	adj := make([][]lts.AdjEdge, n)
+	lab := typelts.Output{Subject: types.Var{Name: "a"}, Payload: types.Int{}}
+	for i := range states {
+		states[i] = types.Nil{}
+		adj[i] = []lts.AdjEdge{{Label: lab, Dst: (i + 1) % n}}
+	}
+	return lts.FromAdjacency(states, adj, 0)
+}
+
+// pollCountCtx flips to Canceled after a fixed number of Err polls —
+// deterministic mid-DFS cancellation (the checker polls every
+// checkCancelStride product-state visits).
+type pollCountCtx struct {
+	context.Context
+	polls, after int
+}
+
+func (c *pollCountCtx) Err() error {
+	c.polls++
+	if c.polls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollCountCtx) Done() <-chan struct{} {
+	// Non-nil so CheckModelContext arms its polling; never closed — Err
+	// is the only cancellation signal, as with a real cancelCtx the
+	// checker never selects on Done anyway.
+	return make(chan struct{})
+}
+
+func TestCheckContextCancelledMidNDFS(t *testing.T) {
+	m := bigCycle(32 * checkCancelStride)
+	// □◇a holds (every state fires a forever) — the checker must visit
+	// the whole product to prove it, so a mid-search cancel interrupts.
+	phi := Box(Diamond(Prop{Set: AnyAction()}))
+
+	res, err := CheckContext(&pollCountCtx{Context: context.Background(), after: 2}, m, phi)
+	if err == nil {
+		t.Fatalf("cancelled check must fail (got holds=%v)", res.Holds)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got: %v", err)
+	}
+	// Prompt: at most a few polling strides of product states visited.
+	if res.ProductStates > 8*checkCancelStride {
+		t.Errorf("search ran on after cancellation: %d product states", res.ProductStates)
+	}
+
+	// The model is untouched: the same check with a live context
+	// completes and holds.
+	redo, err := CheckContext(context.Background(), m, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !redo.Holds {
+		t.Error("□◇a must hold on the cycle")
+	}
+}
+
+// TestCheckContextCancelledRedDFS steers the flip so it lands during a
+// red (inner) search: the formula fails, so red DFSes run from every
+// retired accepting state; a late flip is overwhelmingly consumed by
+// one of them. Either pass aborting must yield the wrapped error.
+func TestCheckContextCancelledRedDFS(t *testing.T) {
+	m := bigCycle(8 * checkCancelStride)
+	// □◇b with no b anywhere: fails; the ¬ϕ automaton accepts
+	// everything, so the product is accepting-state-rich and the nested
+	// search alternates blue and red phases.
+	phi := Box(Diamond(Prop{Set: LabelSet("b" /* empty: matches nothing */)}))
+
+	_, err := CheckContext(&pollCountCtx{Context: context.Background(), after: 4}, m, phi)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled (or fast verdict), got: %v", err)
+	}
+	if err == nil {
+		// The search found its lasso before the fourth poll — legal (the
+		// NDFS stops at the first accepting cycle); then the verdict must
+		// simply be correct.
+		redo, rerr := CheckContext(context.Background(), m, phi)
+		if rerr != nil || redo.Holds {
+			t.Fatalf("fallback verdict wrong: holds=%v err=%v", redo.Holds, rerr)
+		}
+	}
+}

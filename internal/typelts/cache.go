@@ -190,6 +190,25 @@ func (c *Cache) storeSync(key [2]types.ID, ss []CompStep) []CompStep {
 // use for state identity.
 func (c *Cache) Interner() *types.Interner { return c.in }
 
+// Memos returns the total number of memo entries held by the cache — the
+// four shard-striped maps plus the interned-type table — the size measure
+// long-lived owners (the public package's Workspace) budget their
+// eviction policy against. It takes every shard lock briefly, so it is
+// meant for periodic accounting, not hot paths.
+func (c *Cache) Memos() int {
+	n := c.in.Len()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.steps) + len(sh.match) + len(sh.comp) + len(sh.sync)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Env returns the environment the cache was built for.
+func (c *Cache) Env() *types.Env { return c.env }
+
 // compatible reports whether the cache may serve entries for s: same
 // environment and early-input mode.
 func (c *Cache) compatible(s *Semantics) bool {

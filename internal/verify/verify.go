@@ -12,6 +12,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -144,6 +145,9 @@ type Request struct {
 	// On-the-fly exploration is serial; Parallelism is ignored. The
 	// outcome's LTS is the explored fragment (lts.LTS.Partial).
 	EarlyExit bool
+	// Progress, when non-nil, receives periodic exploration snapshots
+	// (lts.Options.Progress).
+	Progress func(lts.Progress)
 }
 
 // Outcome is a verification result.
@@ -182,6 +186,18 @@ type Outcome struct {
 
 // Verify runs the full pipeline for one property.
 func Verify(req Request) (*Outcome, error) {
+	return VerifyContext(context.Background(), req)
+}
+
+// VerifyContext is Verify with cancellation: ctx is plumbed into the LTS
+// exploration (lts.ExploreContext / lts.NewIncrementalContext) and the
+// model-checking passes (mucalc.CheckModelContext), so the request
+// returns promptly — with an error wrapping ctx.Err() — once the context
+// is cancelled or past its deadline. A cancelled request leaves any
+// shared typelts.Cache fully usable: the cache is an append-only memo of
+// schedule-independent entries, so a later identical request produces
+// byte-identical verdicts and witnesses.
+func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 	start := time.Now()
 
 	if err := Admissible(req.Env, req.Type); err != nil {
@@ -200,14 +216,14 @@ func Verify(req Request) (*Outcome, error) {
 
 	if req.EarlyExit && req.Reuse == nil {
 		if phi, conjuncts, ok := compileSymbolic(req.Env, req.Property); ok {
-			return verifyOnTheFly(req, sem, phi, conjuncts, start)
+			return verifyOnTheFly(ctx, req, sem, phi, conjuncts, start)
 		}
 	}
 
 	m := req.Reuse
 	if m == nil {
 		var err error
-		m, err = lts.Explore(sem, req.Type, lts.Options{MaxStates: req.MaxStates, Parallelism: req.Parallelism})
+		m, err = lts.ExploreContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Parallelism: req.Parallelism, Progress: req.Progress})
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +247,10 @@ func Verify(req Request) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := mucalc.Check(m, phi)
+	res, err := mucalc.CheckContext(ctx, m, phi)
+	if err != nil {
+		return nil, err
+	}
 	out.Holds = res.Holds
 	out.Formula = phi
 	out.ProductStates = res.ProductStates
@@ -251,8 +270,8 @@ func Verify(req Request) (*Outcome, error) {
 // would force exhaustive exploration) are never started. Verdicts equal
 // the full pipeline's: the symbolic sets agree with the enumerated ones
 // on every label, and conjunction short-circuiting preserves T |= ϕ1∧ϕ2.
-func verifyOnTheFly(req Request, sem *typelts.Semantics, phi mucalc.Formula, conjuncts []mucalc.Formula, start time.Time) (*Outcome, error) {
-	inc := lts.NewIncremental(sem, req.Type, lts.Options{MaxStates: req.MaxStates})
+func verifyOnTheFly(ctx context.Context, req Request, sem *typelts.Semantics, phi mucalc.Formula, conjuncts []mucalc.Formula, start time.Time) (*Outcome, error) {
+	inc := lts.NewIncrementalContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Progress: req.Progress})
 	out := &Outcome{
 		Property:  req.Property,
 		Holds:     true,
@@ -261,7 +280,7 @@ func verifyOnTheFly(req Request, sem *typelts.Semantics, phi mucalc.Formula, con
 	}
 	var failed mucalc.Result
 	for _, c := range conjuncts {
-		res, err := mucalc.CheckModel(inc, c)
+		res, err := mucalc.CheckModelContext(ctx, inc, c)
 		if err != nil {
 			return nil, err
 		}
@@ -302,6 +321,18 @@ func VerifyAll(env *types.Env, t types.Type, props []Property, maxStates int) ([
 type AllOptions struct {
 	// MaxStates bounds each LTS exploration (0 = lts.DefaultMaxStates).
 	MaxStates int
+	// Cache, when non-nil, is the shared transition cache every
+	// exploration runs on, letting a long-lived owner (the public
+	// package's Workspace) reuse per-component work across whole
+	// requests. It must have been built with typelts.NewCache(env, true)
+	// for the same env passed to VerifyAllContext. Nil means a fresh
+	// per-call cache, the previous behaviour.
+	Cache *typelts.Cache
+	// Progress, when non-nil, receives periodic exploration snapshots
+	// from every group exploration (lts.Options.Progress). Under the
+	// concurrent pipeline callbacks arrive from multiple goroutines; the
+	// callee must be safe for that.
+	Progress func(lts.Progress)
 	// Parallelism selects the engine and sizes each exploration's worker
 	// pool: 0 = GOMAXPROCS, 1 = the fully serial engine (explorations
 	// and property checks run one after another — the reference
@@ -326,12 +357,23 @@ type AllOptions struct {
 // in input order, and the error contract matches the serial engine:
 // outcomes up to the first failing property, plus that property's error.
 func VerifyAllWith(env *types.Env, t types.Type, props []Property, opts AllOptions) ([]*Outcome, error) {
+	return VerifyAllContext(context.Background(), env, t, props, opts)
+}
+
+// VerifyAllContext is VerifyAllWith with cancellation: ctx reaches every
+// group exploration and every model-checking stage, so the whole batch
+// unwinds promptly — with an error wrapping ctx.Err() — once the context
+// is done. The error contract is unchanged (outcomes up to the first
+// failing property, plus that property's error); under the concurrent
+// pipeline a cancelled context typically surfaces on the earliest
+// still-running property.
+func VerifyAllContext(ctx context.Context, env *types.Env, t types.Type, props []Property, opts AllOptions) ([]*Outcome, error) {
 	par := opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	if par == 1 {
-		return verifyAllSerial(env, t, props, opts.MaxStates)
+		return verifyAllSerial(ctx, env, t, props, opts)
 	}
 
 	outcomes := make([]*Outcome, 0, len(props))
@@ -369,7 +411,10 @@ func VerifyAllWith(env *types.Env, t types.Type, props []Property, opts AllOptio
 	// One exploration per distinct observable set, all concurrent, all
 	// sharing the transition cache (so groups still reuse each other's
 	// per-component work even though their Y-limitations differ).
-	shared := typelts.NewCache(env, true)
+	shared := opts.Cache
+	if shared == nil {
+		shared = typelts.NewCache(env, true)
+	}
 	type exploration struct {
 		done chan struct{}
 		lts  *lts.LTS
@@ -388,7 +433,7 @@ func VerifyAllWith(env *types.Env, t types.Type, props []Property, opts AllOptio
 		go func(obs map[string]bool, g *exploration) {
 			defer close(g.done)
 			sem := &typelts.Semantics{Env: env, Observable: obs, WitnessOnly: true, Cache: shared}
-			g.lts, g.err = lts.Explore(sem, t, lts.Options{MaxStates: opts.MaxStates, Parallelism: par})
+			g.lts, g.err = lts.ExploreContext(ctx, sem, t, lts.Options{MaxStates: opts.MaxStates, Parallelism: par, Progress: opts.Progress})
 		}(obsSets[i], g)
 	}
 
@@ -412,7 +457,7 @@ func VerifyAllWith(env *types.Env, t types.Type, props []Property, opts AllOptio
 				propErrs[i] = g.err
 				return
 			}
-			o, err := Verify(Request{
+			o, err := VerifyContext(ctx, Request{
 				Env: env, Type: t, Property: props[i],
 				MaxStates: opts.MaxStates, Reuse: g.lts, Cache: shared, Parallelism: par,
 			})
@@ -440,10 +485,13 @@ func VerifyAllWith(env *types.Env, t types.Type, props []Property, opts AllOptio
 // verifyAllSerial is the reference single-threaded pipeline (and the
 // baseline the parallel engine is measured against): one property after
 // another, LTS reuse by observable-set key, one shared cache.
-func verifyAllSerial(env *types.Env, t types.Type, props []Property, maxStates int) ([]*Outcome, error) {
+func verifyAllSerial(ctx context.Context, env *types.Env, t types.Type, props []Property, opts AllOptions) ([]*Outcome, error) {
 	outcomes := make([]*Outcome, 0, len(props))
 	ltsCache := map[string]*lts.LTS{}
-	shared := typelts.NewCache(env, true)
+	shared := opts.Cache
+	if shared == nil {
+		shared = typelts.NewCache(env, true)
+	}
 	for _, p := range props {
 		obs, err := ObservablesFor(env, p)
 		if err != nil {
@@ -452,8 +500,8 @@ func verifyAllSerial(env *types.Env, t types.Type, props []Property, maxStates i
 		sorted := append([]string{}, obs...)
 		sort.Strings(sorted)
 		key := strings.Join(sorted, ",")
-		req := Request{Env: env, Type: t, Property: p, MaxStates: maxStates, Reuse: ltsCache[key], Cache: shared, Parallelism: 1}
-		o, err := Verify(req)
+		req := Request{Env: env, Type: t, Property: p, MaxStates: opts.MaxStates, Reuse: ltsCache[key], Cache: shared, Parallelism: 1, Progress: opts.Progress}
+		o, err := VerifyContext(ctx, req)
 		if err != nil {
 			return outcomes, fmt.Errorf("%s: %w", p, err)
 		}

@@ -1,0 +1,92 @@
+package effpi
+
+// Option configures a Session at creation time. Options replace the
+// internal layer's ever-growing request struct: a session is configured
+// once, then every call on it (Verify, VerifyAll, Explore, …) runs under
+// the same knobs.
+type Option func(*sessionOptions) error
+
+type sessionOptions struct {
+	binds       []Binding
+	maxStates   int
+	parallelism int
+	earlyExit   bool
+	// closed, when non-nil, overrides Property.Closed on every property
+	// the session verifies.
+	closed   *bool
+	progress func(Event)
+	events   chan<- Event
+}
+
+// WithBind adds x:TYPE to the session's typing environment, with TYPE in
+// the .epi concrete syntax (e.g. "Chan[Int]"). Repeatable; unparsable
+// types and duplicate names surface as a *ParseError from the session
+// constructor.
+func WithBind(name, typeSrc string) Option {
+	return func(o *sessionOptions) error {
+		o.binds = append(o.binds, Binding{Name: name, Type: typeSrc})
+		return nil
+	}
+}
+
+// WithMaxStates bounds every LTS exploration the session runs
+// (0 = the engine default of 2^20 states). Exceeding the bound fails the
+// request with a *BoundExceededError.
+func WithMaxStates(n int) Option {
+	return func(o *sessionOptions) error {
+		o.maxStates = n
+		return nil
+	}
+}
+
+// WithParallelism sets the exploration worker count: 0 = GOMAXPROCS,
+// 1 = the serial reference engine. Verdicts, state counts and witnesses
+// are identical at any value; only wall-clock changes.
+func WithParallelism(n int) Option {
+	return func(o *sessionOptions) error {
+		o.parallelism = n
+		return nil
+	}
+}
+
+// WithEarlyExit selects on-the-fly checking where the property schema
+// supports it: exploration stops as soon as a violation is found.
+// Verdicts are identical to the full pipeline's.
+func WithEarlyExit(v bool) Option {
+	return func(o *sessionOptions) error {
+		o.earlyExit = v
+		return nil
+	}
+}
+
+// WithClosed forces every property the session verifies into closed
+// (true) or open (false) composition mode, overriding Property.Closed.
+// Sessions without this option leave each property's own flag intact.
+func WithClosed(v bool) Option {
+	return func(o *sessionOptions) error {
+		o.closed = &v
+		return nil
+	}
+}
+
+// WithProgress registers a callback for streaming progress events
+// (exploration counters, property started/verdict). The callback runs
+// synchronously on the emitting goroutine — keep it fast, and safe for
+// calls from the concurrent engine's merge goroutines (calls are
+// serialised, but not pinned to one goroutine).
+func WithProgress(fn func(Event)) Option {
+	return func(o *sessionOptions) error {
+		o.progress = fn
+		return nil
+	}
+}
+
+// WithEventChannel streams progress events into ch. Sends block until
+// the consumer is ready: use a buffered channel or a dedicated draining
+// goroutine, and do not close ch while the session is in use.
+func WithEventChannel(ch chan<- Event) Option {
+	return func(o *sessionOptions) error {
+		o.events = ch
+		return nil
+	}
+}

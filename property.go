@@ -1,0 +1,74 @@
+package effpi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseKind resolves a property-kind name (the CLI's -prop values and
+// the service's "kind" field) to its Kind. Recognised names are the
+// Fig. 9 column labels: deadlock-free, ev-usage, forwarding, non-usage,
+// reactive, responsive.
+func ParseKind(name string) (Kind, error) {
+	for _, k := range AllKinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("effpi: unknown property kind %q (want one of %s)", name, strings.Join(KindNames(), ", "))
+}
+
+// KindNames lists the recognised property-kind names in Fig. 9 column
+// order.
+func KindNames() []string {
+	ks := AllKinds()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// PropertyFromFlags assembles a Property from the flat flag shape of
+// the CLI front ends (effpi verify's flags, mcbench's filters): the
+// kind name, a comma-separated probe channel list, the
+// forwarding/reactive/responsive source and target channels, and the
+// composition mode. Structured callers (effpid's JSON requests) should
+// use PropertyFromSpec, which takes the channel list as-is — the comma
+// syntax here cannot express a channel whose name contains a comma.
+func PropertyFromFlags(kind, channels, from, to string, closed bool) (Property, error) {
+	var chs []string
+	if channels != "" {
+		chs = strings.Split(channels, ",")
+	}
+	return PropertyFromSpec(kind, chs, from, to, closed)
+}
+
+// PropertyFromSpec assembles a Property from its structured parts: the
+// kind name, the probe channel list, the forwarding/reactive/responsive
+// source and target channels, and the composition mode. It validates
+// the per-kind requirements (forwarding needs from and to; reactive and
+// responsive need from) and rejects empty channel names.
+func PropertyFromSpec(kind string, channels []string, from, to string, closed bool) (Property, error) {
+	k, err := ParseKind(kind)
+	if err != nil {
+		return Property{}, err
+	}
+	for _, ch := range channels {
+		if ch == "" {
+			return Property{}, fmt.Errorf("effpi: empty probe channel name in %s", kind)
+		}
+	}
+	p := Property{Kind: k, Channels: channels, From: from, To: to, Closed: closed}
+	switch k {
+	case Forwarding:
+		if from == "" || to == "" {
+			return p, fmt.Errorf("effpi: forwarding needs both a source and a target channel (-from/-to)")
+		}
+	case Reactive, Responsive:
+		if from == "" {
+			return p, fmt.Errorf("effpi: %s needs a source channel (-from)", k)
+		}
+	}
+	return p, nil
+}
