@@ -79,6 +79,10 @@ verify flags:
   -open          treat the program as open (environment may interact on
                  the probe channels); default is closed-composition mode
   -early         stop exploring as soon as a violation is found
+  -reduce MODE   off | strong — check on the strong-bisimulation
+                 quotient of the state space (verdicts unchanged;
+                 counterexamples lifted back to concrete runs and
+                 replay-validated)
   -width N       truncate printed witness states to N runes (default
                  100, 0 = full)
 
@@ -194,6 +198,7 @@ func cmdVerify(args []string) error {
 	open := fs.Bool("open", false, "open-process mode (default: closed composition)")
 	maxStates := fs.Int("max", 0, "state bound (0 = default)")
 	early := fs.Bool("early", false, "early-exit mode: stop exploring as soon as a violation is found (on-the-fly checking; non-usage, deadlock-free and reactive)")
+	reduce := fs.String("reduce", "off", "state-space reduction before checking: off | strong (bisimulation quotient; verdicts unchanged, witnesses lifted and replay-validated)")
 	width := fs.Int("width", 100, "truncate printed witness states to this width (0 = full)")
 	src, err := loadSource(fs, args)
 	if err != nil {
@@ -203,9 +208,13 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
+	reduction, err := effpi.ParseReduction(*reduce)
+	if err != nil {
+		return err
+	}
 	ws := effpi.NewWorkspace()
 	s, err := ws.NewSession(src, append(binds.options(),
-		effpi.WithMaxStates(*maxStates), effpi.WithEarlyExit(*early))...)
+		effpi.WithMaxStates(*maxStates), effpi.WithEarlyExit(*early), effpi.WithReduction(reduction))...)
 	if err != nil {
 		return err
 	}
@@ -228,6 +237,9 @@ func printOutcome(o *effpi.Outcome, width int) {
 	if o.EarlyExit {
 		fmt.Printf("states:    %d discovered, %d expanded (early exit; product %d, automaton %d)\n",
 			o.States, o.Expanded, o.ProductStates, o.AutomatonStates)
+	} else if o.ReducedStates > 0 {
+		fmt.Printf("states:    %d, checked as %d bisimulation blocks (%.1f×; product %d, automaton %d)\n",
+			o.States, o.ReducedStates, float64(o.States)/float64(o.ReducedStates), o.ProductStates, o.AutomatonStates)
 	} else {
 		fmt.Printf("states:    %d (product %d, automaton %d)\n", o.States, o.ProductStates, o.AutomatonStates)
 	}

@@ -47,6 +47,10 @@ type server struct {
 	metrics *expvar.Map
 	// Counter handles into metrics (expvar.Map lookups allocate).
 	requests, failures, pass, fail, cancelled, inflight *expvar.Int
+	// Reduction accounting: how many properties ran with the Reduce
+	// stage, and the cumulative concrete/quotient state counts they saw —
+	// /metrics derives the fleet-wide reduction ratio from the pair.
+	reducedProps, reducedStatesFull, reducedStatesQuotient *expvar.Int
 }
 
 type serverConfig struct {
@@ -77,6 +81,9 @@ func newServer(ws *effpi.Workspace, cfg serverConfig) *server {
 	s.fail = newInt("verdicts_fail_total")
 	s.cancelled = newInt("cancelled_total")
 	s.inflight = newInt("requests_inflight")
+	s.reducedProps = newInt("reduced_properties_total")
+	s.reducedStatesFull = newInt("reduction_states_full_total")
+	s.reducedStatesQuotient = newInt("reduction_states_reduced_total")
 	return s
 }
 
@@ -107,6 +114,10 @@ type verifyRequest struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// EarlyExit selects on-the-fly checking where the schema allows it.
 	EarlyExit bool `json:"early_exit,omitempty"`
+	// Reduction selects the state-space reduction stage: "off" (default)
+	// or "strong" (bisimulation quotienting; verdicts identical, FAIL
+	// witnesses lifted to concrete runs and replay-validated).
+	Reduction string `json:"reduction,omitempty"`
 	// TimeoutMS caps this request's wall-clock (0 = server default;
 	// capped by the server's -max-timeout).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -145,6 +156,11 @@ type resultJSON struct {
 	Kind     string `json:"kind"`
 	Holds    bool   `json:"holds"`
 	States   int    `json:"states"`
+	// StatesReduced is the bisimulation-quotient block count the checker
+	// ran on when the request selected a reduction (0 = no Reduce stage,
+	// e.g. reduction off, ev-usage, a trivially-true formula, or an
+	// early-exit search).
+	StatesReduced int `json:"states_reduced,omitempty"`
 	// Expanded is set under early exit: how many of the discovered
 	// states were materialised before the search concluded.
 	Expanded        int     `json:"expanded,omitempty"`
@@ -189,6 +205,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		first = false
 		fmt.Fprintf(&b, "%q: %s", kv.Key, kv.Value.String())
 	})
+	// Derived gauge: fleet-wide states-checked shrink factor across every
+	// reduced property so far (1.0 until a reduction has run).
+	ratio := 1.0
+	if q := s.reducedStatesQuotient.Value(); q > 0 {
+		ratio = float64(s.reducedStatesFull.Value()) / float64(q)
+	}
+	fmt.Fprintf(&b, ",%q: %.3f", "reduction_ratio", ratio)
 	fmt.Fprintf(&b, ",%q: %d", "cache_caches", st.Caches)
 	fmt.Fprintf(&b, ",%q: %d", "cache_memos", st.Memos)
 	fmt.Fprintf(&b, ",%q: %d", "cache_evictions", st.Evictions)
@@ -246,10 +269,18 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // batch, and assembles the response. The returned status/kind classify
 // a non-nil error for the wire.
 func (s *server) verify(ctx context.Context, req *verifyRequest) (*verifyResponse, int, string, error) {
+	reduction := effpi.ReduceOff
+	if req.Reduction != "" {
+		var err error
+		if reduction, err = effpi.ParseReduction(req.Reduction); err != nil {
+			return nil, http.StatusBadRequest, "bad-request", err
+		}
+	}
 	opts := []effpi.Option{
 		effpi.WithMaxStates(pick(req.MaxStates, s.maxStates)),
 		effpi.WithParallelism(pick(req.Parallelism, s.parallelism)),
 		effpi.WithEarlyExit(req.EarlyExit),
+		effpi.WithReduction(reduction),
 	}
 
 	var (
@@ -313,11 +344,17 @@ func (s *server) verify(ctx context.Context, req *verifyRequest) (*verifyRespons
 			Kind:            o.Property.Kind.String(),
 			Holds:           o.Holds,
 			States:          o.States,
+			StatesReduced:   o.ReducedStates,
 			Expanded:        o.Expanded,
 			EarlyExit:       o.EarlyExit,
 			ProductStates:   o.ProductStates,
 			AutomatonStates: o.AutomatonStates,
 			DurationMS:      float64(o.Duration.Microseconds()) / 1000,
+		}
+		if o.ReducedStates > 0 {
+			s.reducedProps.Add(1)
+			s.reducedStatesFull.Add(int64(o.States))
+			s.reducedStatesQuotient.Add(int64(o.ReducedStates))
 		}
 		if o.Holds {
 			s.pass.Add(1)

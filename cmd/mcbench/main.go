@@ -43,6 +43,7 @@ func main() {
 	skipSlow := flag.Bool("skip-slow", false, "skip the largest (slowest) rows")
 	shared := flag.Bool("shared", false, "share one workspace cache across a row's properties (the VerifyAll production path) instead of timing each property cold")
 	par := flag.Int("par", 0, "BFS workers per exploration: 0 = GOMAXPROCS, 1 = the serial engine (cap total CPU with GOMAXPROCS)")
+	reduce := flag.Bool("reduce", false, "check every property on the strong-bisimulation quotient of its state space (verdicts unchanged; rows gain states_full/states_reduced columns)")
 	propFilter := flag.String("props", "", "comma-separated property kinds to run (default: all six Fig. 9 columns)")
 	jsonPath := flag.String("json", "", "write machine-readable results to PATH")
 	flag.Parse()
@@ -59,20 +60,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	reduction := effpi.ReduceOff
+	if *reduce {
+		reduction = effpi.ReduceStrong
+	}
 	report := &jsonReport{
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Parallelism: *par,
 		Reps:        *reps,
 		SharedCache: *shared,
+		Reduction:   reduction.String(),
 	}
 
-	fmt.Printf("%-34s %9s  %s\n", "system", "states", strings.Join(propHeaders(kinds), "  "))
+	statesHeader := "states"
+	if *reduce {
+		statesHeader = "states full→reduced"
+	}
+	fmt.Printf("%-34s %19s  %s\n", "system", statesHeader, strings.Join(propHeaders(kinds), "  "))
 	mismatches := 0
 	for _, s := range rows {
 		if *skipSlow && isSlow(s.Name) {
 			continue
 		}
-		row, bad := runRow(s, *reps, *maxStates, *shared, *par, kinds)
+		row, bad := runRow(s, *reps, *maxStates, *shared, *par, reduction, kinds)
 		report.Rows = append(report.Rows, row)
 		mismatches += bad
 	}
@@ -177,22 +187,41 @@ func propHeaders(kinds map[effpi.Kind]bool) []string {
 // jsonReport is the -json output: enough context to compare runs across
 // machines and parallelism settings, plus one entry per row.
 type jsonReport struct {
-	GOMAXPROCS  int       `json:"gomaxprocs"`
-	Parallelism int       `json:"parallelism"`
-	Reps        int       `json:"reps"`
-	SharedCache bool      `json:"shared_cache"`
-	Rows        []jsonRow `json:"rows"`
+	GOMAXPROCS  int  `json:"gomaxprocs"`
+	Parallelism int  `json:"parallelism"`
+	Reps        int  `json:"reps"`
+	SharedCache bool `json:"shared_cache"`
+	// Reduction is the state-space reduction the run checked under
+	// ("off" or "strong"); with "strong" every row carries the
+	// states_full / states_reduced pair and their ratio.
+	Reduction string    `json:"reduction"`
+	Rows      []jsonRow `json:"rows"`
 }
 
 type jsonRow struct {
-	System     string     `json:"system"`
-	States     int        `json:"states"`
-	Properties []jsonProp `json:"properties"`
+	System string `json:"system"`
+	States int    `json:"states"`
+	// StatesFull/StatesReduced are the row's states-checked totals under
+	// -reduce: the concrete state count summed over every property that
+	// ran the Reduce stage, against the bisimulation-block count the
+	// checker actually visited (each property refines over its own
+	// observation classes, so quotient sizes differ per column).
+	// ReductionRatio is StatesFull / StatesReduced — the row's
+	// states-checked shrink factor.
+	StatesFull     int        `json:"states_full,omitempty"`
+	StatesReduced  int        `json:"states_reduced,omitempty"`
+	ReductionRatio float64    `json:"reduction_ratio,omitempty"`
+	Properties     []jsonProp `json:"properties"`
 }
 
 type jsonProp struct {
-	Kind          string  `json:"kind"`
-	Holds         bool    `json:"holds"`
+	Kind  string `json:"kind"`
+	Holds bool   `json:"holds"`
+	// StatesReduced is the bisimulation-quotient block count this
+	// property was checked on under -reduce (0 = no Reduce stage ran,
+	// e.g. reduction off, the existential ev-usage schema, or a formula
+	// that simplifies to ⊤).
+	StatesReduced int     `json:"states_reduced,omitempty"`
 	Expected      *bool   `json:"expected,omitempty"`
 	Matches       bool    `json:"matches_expected"`
 	MeanSeconds   float64 `json:"mean_seconds"`
@@ -210,7 +239,7 @@ type jsonProp struct {
 // With shared, one workspace serves the whole row, so later properties
 // reuse earlier per-component work through its cache; without it every
 // repetition runs in a fresh workspace (timed cold).
-func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, kinds map[effpi.Kind]bool) (jsonRow, int) {
+func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, reduction effpi.Reduction, kinds map[effpi.Kind]bool) (jsonRow, int) {
 	ctx := context.Background()
 	row := jsonRow{System: s.Name}
 	cells := make([]string, 0, len(s.Props))
@@ -225,7 +254,8 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, kin
 			ws = effpi.NewWorkspace()
 		}
 		return ws.NewSessionFromType(s.Env, s.Type,
-			effpi.WithMaxStates(maxStates), effpi.WithParallelism(par))
+			effpi.WithMaxStates(maxStates), effpi.WithParallelism(par),
+			effpi.WithReduction(reduction))
 	}
 	for _, prop := range s.Props {
 		if !keepProp(kinds, prop) {
@@ -248,6 +278,7 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, kin
 				break
 			}
 			jp.Holds = last.Holds
+			jp.StatesReduced = last.ReducedStates
 			row.States = last.States
 			times = append(times, last.Duration.Seconds())
 		}
@@ -267,6 +298,11 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, kin
 			}
 			jp.Witness = w
 		}
+		if jp.StatesReduced > 0 {
+			// Row-level states-checked totals: concrete vs quotient.
+			row.StatesFull += last.States
+			row.StatesReduced += jp.StatesReduced
+		}
 		jp.MeanSeconds, jp.StddevSeconds = meanStddev(times)
 		mark := ""
 		if want, ok := s.Expected[prop.Kind]; ok {
@@ -281,7 +317,14 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, kin
 		cells = append(cells, fmt.Sprintf("%-5v (%6.2f±%5.1f%%)%s", jp.Holds, jp.MeanSeconds, relDev(jp.MeanSeconds, jp.StddevSeconds), mark))
 		row.Properties = append(row.Properties, jp)
 	}
-	fmt.Printf("%-34s %9d  %s\n", s.Name, row.States, strings.Join(cells, "  "))
+	statesCell := fmt.Sprintf("%19d", row.States)
+	if reduction != effpi.ReduceOff && row.StatesReduced > 0 {
+		// Rows where no property ran the Reduce stage (e.g. -props
+		// ev-usage) keep the plain state count instead of a 0\u21920 cell.
+		row.ReductionRatio = float64(row.StatesFull) / float64(row.StatesReduced)
+		statesCell = fmt.Sprintf("%10d\u2192%-8d", row.StatesFull, row.StatesReduced)
+	}
+	fmt.Printf("%-34s %s  %s\n", s.Name, statesCell, strings.Join(cells, "  "))
 	return row, mismatches
 }
 

@@ -8,7 +8,7 @@
 // memoised transition semantics, with a size-bounded eviction policy); a
 // Session binds one program or type to a workspace and is configured
 // with functional options (WithMaxStates, WithParallelism,
-// WithEarlyExit, WithClosed, WithProgress, …):
+// WithEarlyExit, WithReduction, WithClosed, WithProgress, …):
 //
 //	ws := effpi.NewWorkspace()
 //	s, err := ws.NewSession(src, effpi.WithBind("c", "Chan[Int]"))
@@ -35,4 +35,15 @@
 // automaton (Replay), so a reported FAIL is a checkable artifact. The
 // "-early" flag of effpi verify (WithEarlyExit here) stops exploring as
 // soon as a violation exists (on-the-fly checking; see DESIGN.md).
+//
+// State-space reduction: WithReduction(ReduceStrong) — "-reduce strong"
+// in effpi verify, "-reduce" in mcbench, "reduction": "strong" in
+// effpid requests — inserts a Reduce stage between exploration and
+// checking that quotients the state space by strong bisimulation over
+// the property's observation classes. Verdicts are provably (and, on
+// every FAIL, machine-checkedly) identical: the counterexample found on
+// the quotient is lifted back to a concrete run and re-validated by the
+// replay oracle before it is returned, and Outcome.ReducedStates
+// reports the block count actually checked (symmetric systems shrink by
+// orders of magnitude; see DESIGN.md §reduction).
 package effpi

@@ -40,6 +40,8 @@ type (
 	// BenchSystem is one benchmark row: a named system with its property
 	// instances and the verdicts Fig. 9 publishes for them.
 	BenchSystem = systems.System
+	// Reduction selects the state-space reduction stage (WithReduction).
+	Reduction = verify.Reduction
 )
 
 // The six property schemas of Fig. 7.
@@ -52,8 +54,22 @@ const (
 	Responsive     = verify.Responsive
 )
 
+// The reduction modes of WithReduction.
+const (
+	// ReduceOff checks on the concrete LTS (the default).
+	ReduceOff = verify.ReduceOff
+	// ReduceStrong checks on the strong-bisimulation quotient over the
+	// property's observation classes, with replay-validated witness
+	// lifting on every FAIL.
+	ReduceStrong = verify.ReduceStrong
+)
+
 // AllKinds lists the six schemas in the column order of Fig. 9.
 func AllKinds() []Kind { return verify.AllKinds() }
+
+// ParseReduction resolves a reduction mode name ("off", "strong") as
+// used by CLI flags and the effpid request field.
+func ParseReduction(name string) (Reduction, error) { return verify.ParseReduction(name) }
 
 // Replay re-validates a FAIL outcome by machine-checking its witness
 // against the explored LTS and a freshly re-translated property

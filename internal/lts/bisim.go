@@ -2,126 +2,77 @@ package lts
 
 import (
 	"context"
-	"sort"
-	"strings"
 
 	"effpi/internal/typelts"
 	"effpi/internal/types"
 )
 
-// This file implements strong bisimilarity of type LTSs by partition
-// refinement (Kanellakis–Smolka). It gives the repository an executable
-// notion of behavioural type equivalence: two types are strongly
-// bisimilar iff no µ-calculus formula over their action alphabet
-// distinguishes them, so e.g. µ-unfolding and the ≡ congruence laws can
-// be validated semantically, and protocol refactorings can be checked
-// behaviour-preserving.
+// This file decides strong bisimilarity of type LTSs. It gives the
+// repository an executable notion of behavioural type equivalence: two
+// types are strongly bisimilar iff no µ-calculus formula over their
+// action alphabet distinguishes them, so e.g. µ-unfolding and the ≡
+// congruence laws can be validated semantically, and protocol
+// refactorings can be checked behaviour-preserving.
+//
+// The decision procedure is the minimize.go partition refiner run on the
+// disjoint union of the two systems: the roots are bisimilar iff the
+// coarsest stable partition puts them in one block. Labels are compared
+// by Key (the two LTSs have independent dense alphabets, so their label
+// indices are unified into joint classes first).
 
 // Bisimilar reports whether the initial states of m1 and m2 are strongly
 // bisimilar (labels compared by Key).
 func Bisimilar(m1, m2 *LTS) bool {
-	// Work on the disjoint union of the two systems.
 	n1 := m1.Len()
 	n := n1 + m2.Len()
-	succ := make([]map[string][]int, n)
-	for i := 0; i < n; i++ {
-		succ[i] = map[string][]int{}
+	if n == 0 {
+		return true
 	}
-	for s := 0; s < m1.Len(); s++ {
-		for _, e := range m1.Out(s) {
-			k := m1.LabelOf(e).Key()
-			succ[s][k] = append(succ[s][k], int(e.Dst))
+
+	// Joint label classes: one dense class per distinct label key across
+	// both alphabets. The map is lookup-only and filled in deterministic
+	// (alphabet) order; class ids never depend on its iteration order.
+	classIdx := make(map[string]int32, len(m1.Labels)+len(m2.Labels))
+	classFor := func(lab typelts.Label) int32 {
+		key := lab.Key()
+		if c, ok := classIdx[key]; ok {
+			return c
 		}
+		c := int32(len(classIdx))
+		classIdx[key] = c
+		return c
+	}
+	class1 := make([]int32, len(m1.Labels))
+	for i, lab := range m1.Labels {
+		class1[i] = classFor(lab)
+	}
+	class2 := make([]int32, len(m2.Labels))
+	for i, lab := range m2.Labels {
+		class2[i] = classFor(lab)
+	}
+
+	// Disjoint-union CSR: m2's states are shifted by n1, every edge is
+	// rewritten to (joint class, shifted destination) once up front so
+	// the refiner sees plain Edge slices.
+	ustart := make([]int32, 1, n+1)
+	uedges := make([]Edge, 0, m1.NumEdges()+m2.NumEdges())
+	for s := 0; s < n1; s++ {
+		for _, e := range m1.Out(s) {
+			uedges = append(uedges, Edge{Label: class1[e.Label], Dst: e.Dst})
+		}
+		ustart = append(ustart, int32(len(uedges)))
 	}
 	for s := 0; s < m2.Len(); s++ {
 		for _, e := range m2.Out(s) {
-			k := m2.LabelOf(e).Key()
-			succ[n1+s][k] = append(succ[n1+s][k], n1+int(e.Dst))
+			uedges = append(uedges, Edge{Label: class2[e.Label], Dst: e.Dst + int32(n1)})
 		}
+		ustart = append(ustart, int32(len(uedges)))
 	}
 
-	// Initial partition: all states together.
-	block := make([]int, n)
-	numBlocks := 1
-
-	// Refine until stable: two states stay in the same block iff for
-	// every label they reach the same *set of blocks*.
-	for {
-		sig := make([]string, n)
-		for s := 0; s < n; s++ {
-			sig[s] = signature(succ[s], block)
-		}
-		// Re-block by (old block, signature).
-		index := map[string]int{}
-		next := make([]int, n)
-		count := 0
-		for s := 0; s < n; s++ {
-			key := strings.Join([]string{itoa(block[s]), sig[s]}, "⊢")
-			b, ok := index[key]
-			if !ok {
-				b = count
-				count++
-				index[key] = b
-			}
-			next[s] = b
-		}
-		if count == numBlocks {
-			break
-		}
-		block, numBlocks = next, count
-	}
-	return block[m1.Initial] == block[n1+m2.Initial]
-}
-
-// signature renders the set of (label, target-block) pairs of a state.
-func signature(succ map[string][]int, block []int) string {
-	var parts []string
-	for lab, dsts := range succ {
-		blocks := map[int]bool{}
-		for _, d := range dsts {
-			blocks[block[d]] = true
-		}
-		ids := make([]int, 0, len(blocks))
-		for b := range blocks {
-			ids = append(ids, b)
-		}
-		sort.Ints(ids)
-		var sb strings.Builder
-		sb.WriteString(lab)
-		sb.WriteString("→{")
-		for i, b := range ids {
-			if i > 0 {
-				sb.WriteString(",")
-			}
-			sb.WriteString(itoa(b))
-		}
-		sb.WriteString("}")
-		parts = append(parts, sb.String())
-	}
-	sort.Strings(parts)
-	return strings.Join(parts, ";")
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	neg := n < 0
-	if neg {
-		n = -n
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
+	blockOf, _, _ := refineCSR(nil, n, // nil ctx: refinement never errors
+		func(s int) []Edge { return uedges[ustart[s]:ustart[s+1]] },
+		func(l int32) int32 { return l })
+	return blockOf[m1.Initial] == blockOf[n1+m2.Initial]
 }
 
 // TypesBisimilar explores two types under the same semantics and decides

@@ -1,0 +1,519 @@
+package lts
+
+// This file is the state-space reduction layer: partition refinement in
+// the Paige–Tarjan tradition over the CSR edge array, producing the
+// coarsest strong-bisimulation partition of an LTS and packaging it as a
+// Quotient — a block-level transition system every µ-calculus verdict can
+// be decided on instead of the concrete one (see DESIGN.md §reduction).
+//
+// The refiner is shared by two consumers with different label views:
+//
+//   - Minimize quotients one LTS for the verifier's Reduce stage. Labels
+//     are first collapsed into observation classes (labels the property's
+//     automaton cannot tell apart, computed by mucalc.LabelClasses), which
+//     is what turns symmetric benchmark rows into tiny quotients while
+//     preserving the verdict of the formula that induced the classes.
+//   - Bisimilar decides strong bisimilarity of two LTSs on their joint
+//     concrete alphabet (classes = label keys), replacing the former
+//     ad-hoc string-signature algorithm.
+//
+// Determinism contract: block ids are assigned by encounter rank — the
+// order in which blocks are first met scanning states 0..n-1 — never by
+// map iteration order. Two byte-identical LTSs therefore always produce
+// byte-identical quotients (block numbering, representatives, member
+// lists, quotient CSR), regardless of interner ID assignment or worker
+// count; TestQuotientIndependentOfInternOrder pins this the same way
+// TestExploreIndependentOfInternOrder pins it for exploration.
+
+import (
+	"context"
+	"fmt"
+	"slices"
+)
+
+// Quotient is an LTS quotiented by the coarsest partition stable under
+// its (class-projected) edge relation: states of a block are pairwise
+// strongly bisimilar over the class alphabet. Blocks are dense ids in
+// encounter-rank order (block b's least member precedes block b+1's), so
+// a quotient is a pure function of the LTS bytes and the class vector.
+type Quotient struct {
+	// Full is the concrete LTS the quotient was computed from.
+	Full *LTS
+	// ClassOf maps every label index of Full to its observation class
+	// (nil = identity: plain strong bisimulation on concrete labels).
+	ClassOf []int32
+	// BlockOf maps every concrete state to its block.
+	BlockOf []int32
+	// Rep maps every block to its representative concrete state — the
+	// least state id in the block (strictly increasing across blocks, the
+	// encounter-rank numbering contract).
+	Rep []int32
+
+	// members[memberStart[b]:memberStart[b+1]] lists block b's concrete
+	// states in increasing id order.
+	memberStart []int32
+	members     []int32
+
+	// Quotient CSR: block b owns qedges[qstart[b]:qstart[b+1]]. Edge
+	// labels are concrete label indices into Full.Labels — the first
+	// label (in the representative's edge order) that realises the
+	// (class, destination block) move — so block-level runs project to
+	// concrete label words directly.
+	qstart []int32
+	qedges []Edge
+}
+
+// NumBlocks returns the number of blocks.
+func (q *Quotient) NumBlocks() int { return len(q.Rep) }
+
+// InitialBlock returns the block of the concrete initial state.
+func (q *Quotient) InitialBlock() int { return int(q.BlockOf[q.Full.Initial]) }
+
+// Out returns block b's outgoing quotient edges (a view; do not mutate).
+func (q *Quotient) Out(b int) []Edge { return q.qedges[q.qstart[b]:q.qstart[b+1]] }
+
+// NumEdges returns the number of quotient transitions.
+func (q *Quotient) NumEdges() int { return len(q.qedges) }
+
+// Members returns block b's concrete states in increasing id order (a
+// view; do not mutate).
+func (q *Quotient) Members(b int) []int32 {
+	return q.members[q.memberStart[b]:q.memberStart[b+1]]
+}
+
+// Class returns the observation class of a concrete label index.
+func (q *Quotient) Class(label int32) int32 {
+	if q.ClassOf == nil {
+		return label
+	}
+	return q.ClassOf[label]
+}
+
+// Minimize computes the strong-bisimulation quotient of m over the given
+// label classes. classOf maps each label index of m to its observation
+// class; nil means every label is its own class (plain strong
+// bisimulation). Two states land in the same block iff no class-word
+// distinguishes their behaviours — so any property whose checker only
+// observes labels through the classes (mucalc.LabelClasses computes
+// exactly that set for a formula) has the same verdict on the quotient.
+func Minimize(m *LTS, classOf []int32) *Quotient {
+	q, _ := MinimizeContext(context.Background(), m, classOf) // only a cancelled ctx errors
+	return q
+}
+
+// MinimizeContext is Minimize with cancellation: the refiner polls ctx
+// every refineCancelStride member scans (signature computations are
+// sub-microsecond, so cancellation latency stays in the tens of
+// microseconds even mid-round on a million-state LTS) and returns an
+// error wrapping ctx.Err() once the context is done.
+func MinimizeContext(ctx context.Context, m *LTS, classOf []int32) (*Quotient, error) {
+	n := m.Len()
+	q := &Quotient{Full: m, ClassOf: classOf}
+	if n == 0 {
+		q.BlockOf = []int32{}
+		q.memberStart = []int32{0}
+		q.qstart = []int32{0}
+		return q, nil
+	}
+	class := func(l int32) int32 {
+		if classOf == nil {
+			return l
+		}
+		return classOf[l]
+	}
+	blockOf, numBlocks, err := refineCSR(ctx, n, func(s int) []Edge { return m.Out(s) }, class)
+	if err != nil {
+		return nil, err
+	}
+	q.BlockOf = blockOf
+
+	// Representatives and member lists. Blocks are numbered in
+	// first-encounter order over the state scan, so the first member seen
+	// for a block is its least state id.
+	q.Rep = make([]int32, numBlocks)
+	for i := range q.Rep {
+		q.Rep[i] = -1
+	}
+	counts := make([]int32, numBlocks)
+	for s := 0; s < n; s++ {
+		b := blockOf[s]
+		if q.Rep[b] < 0 {
+			q.Rep[b] = int32(s)
+		}
+		counts[b]++
+	}
+	q.memberStart = make([]int32, numBlocks+1)
+	for b := 0; b < numBlocks; b++ {
+		q.memberStart[b+1] = q.memberStart[b] + counts[b]
+	}
+	q.members = make([]int32, n)
+	fill := append([]int32(nil), q.memberStart[:numBlocks]...)
+	for s := 0; s < n; s++ {
+		b := blockOf[s]
+		q.members[fill[b]] = int32(s)
+		fill[b]++
+	}
+
+	// Quotient edges from each block's representative: by stability the
+	// representative's (class, destination block) set is the whole
+	// block's. The concrete label kept per move is the first one in the
+	// representative's edge order that realises it — deterministic, and a
+	// valid letter of the class by construction.
+	q.qstart = make([]int32, 1, numBlocks+1)
+	var seen map[Edge]struct{}
+	for b := 0; b < numBlocks; b++ {
+		from := len(q.qedges)
+		edges := m.Out(int(q.Rep[b]))
+		if len(edges) >= dedupThreshold {
+			if seen == nil {
+				seen = make(map[Edge]struct{}, 2*dedupThreshold)
+			} else {
+				clear(seen)
+			}
+		}
+		for _, e := range edges {
+			move := Edge{Label: class(e.Label), Dst: blockOf[e.Dst]}
+			if len(edges) >= dedupThreshold {
+				if _, dup := seen[move]; dup {
+					continue
+				}
+				seen[move] = struct{}{}
+			} else if hasMove(q.qedges[from:], move, class) {
+				continue
+			}
+			q.qedges = append(q.qedges, Edge{Label: e.Label, Dst: move.Dst})
+		}
+		q.qstart = append(q.qstart, int32(len(q.qedges)))
+	}
+	return q, nil
+}
+
+// hasMove reports whether the (class, block) move is already represented
+// in the spliced quotient edges (whose Dst is already a block id).
+func hasMove(edges []Edge, move Edge, class func(int32) int32) bool {
+	for _, x := range edges {
+		if class(x.Label) == move.Label && x.Dst == move.Dst {
+			return true
+		}
+	}
+	return false
+}
+
+// FindLift returns the first edge of concrete state s (in edge order)
+// whose label class and destination block match the quotient move
+// (qlabel, dstBlock). Stability guarantees such an edge exists for every
+// quotient edge of s's block; ok is false only on a contract violation.
+func (q *Quotient) FindLift(s int, qlabel int32, dstBlock int32) (Edge, bool) {
+	c := q.Class(qlabel)
+	for _, e := range q.Full.Out(s) {
+		if q.Class(e.Label) == c && q.BlockOf[e.Dst] == dstBlock {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// refineCSR computes the coarsest partition of states 0..n-1 stable under
+// the labelled edge relation (labels viewed through class): the strong-
+// bisimulation partition. Block ids are dense, assigned in first-
+// encounter order over the final state scan, so the result is a pure
+// function of the input — no map iteration order is ever observed.
+//
+// The algorithm is worklist partition refinement in the Paige–Tarjan
+// tradition: a split of block C enqueues only the blocks holding
+// predecessors of the states C lost, so stabilised regions of the state
+// space are never rescanned — the work per round is proportional to the
+// part of the partition still in motion, not to the whole LTS. Within a
+// round, blocks are split by exact signature — the dedup-sorted set of
+// (class, successor block) moves — grouped through an open-addressed
+// table with full collision checks. Splitting is monotone (the largest
+// signature group keeps the block's id, the others get fresh ids), so
+// the partition only ever refines and the loop terminates with the
+// coarsest stable one.
+// refineCancelStride is the number of member scans between context
+// polls: a scan is sub-microsecond, so cancellation latency stays in
+// the tens of microseconds without touching the hot path.
+const refineCancelStride = 32768
+
+func refineCSR(ctx context.Context, n int, out func(s int) []Edge, class func(int32) int32) ([]int32, int, error) {
+	poll := ctx != nil && ctx.Done() != nil
+
+	// The reverse CSR — the worklist needs "who can reach the states this
+	// split moved" — is built lazily, on the first split that actually
+	// moves states: partitions that collapse in one pass (frequent under
+	// coarse observation classes) never pay for it.
+	var rstart, rsrc []int32
+	buildRev := func() {
+		rstart = make([]int32, n+1)
+		total := 0
+		for s := 0; s < n; s++ {
+			for _, e := range out(s) {
+				rstart[e.Dst+1]++
+				total++
+			}
+		}
+		for i := 0; i < n; i++ {
+			rstart[i+1] += rstart[i]
+		}
+		rsrc = make([]int32, total)
+		rfill := append([]int32(nil), rstart[:n]...)
+		for s := 0; s < n; s++ {
+			for _, e := range out(s) {
+				rsrc[rfill[e.Dst]] = int32(s)
+				rfill[e.Dst]++
+			}
+		}
+	}
+
+	// Internal block state: ids are stable across rounds (only fresh
+	// split-off groups get new ones); the canonical encounter-rank
+	// numbering is applied in one renaming pass at the end.
+	blockOf := make([]int32, n)
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	members := [][]int32{all}
+	inQueue := []bool{true}
+	queue := []int32{0}
+	var nextQueue []int32
+	dirtyState := make([]bool, n)
+	var dirtyList []int32
+
+	var sig []uint64       // scratch: the signature of the member at hand
+	var groupSigs []uint64 // pooled: one canonical signature per group
+	var gidx []int32       // group index per member of the block at hand
+	var table []int32      // pooled open-addressed table (group index + 1)
+	var tslots []int32     // slots written into table, zeroed after each block
+	var changed []int32    // states whose block id changed this round
+
+	sincePoll := 0
+	for round := 0; len(queue) > 0; round++ {
+		if poll && ctx.Err() != nil {
+			return nil, 0, fmt.Errorf("lts: minimization cancelled after %d refinement rounds (%d blocks): %w", round, len(members), ctx.Err())
+		}
+		changed = changed[:0]
+		for _, b := range queue {
+			inQueue[b] = false
+			ms := members[b]
+			if len(ms) <= 1 {
+				continue
+			}
+			// Group members by exact signature, two passes (so the id
+			// assignment can favour the LARGEST group — see below). A
+			// member's signature lives only in a scratch while it is
+			// matched against the per-group canonical copies: nothing
+			// proportional to the block's edge count is retained.
+			tcap := 16
+			for tcap < 2*len(ms) {
+				tcap <<= 1
+			}
+			if len(table) < tcap {
+				table = make([]int32, tcap) // group index + 1; 0 = empty
+			}
+			type group struct {
+				off, len int32 // canonical signature, into groupSigs
+				count    int32
+			}
+			var groups []group
+			groupSigs = groupSigs[:0]
+			gidx = gidx[:0]
+			tslots = tslots[:0]
+			for _, s := range ms {
+				// In-round cancellation: one poll per refineCancelStride
+				// member scans, so a huge block (round one is the whole
+				// LTS) cannot delay a timeout by a full round.
+				if poll {
+					if sincePoll++; sincePoll >= refineCancelStride {
+						sincePoll = 0
+						if ctx.Err() != nil {
+							return nil, 0, fmt.Errorf("lts: minimization cancelled after %d refinement rounds (%d blocks): %w", round, len(members), ctx.Err())
+						}
+					}
+				}
+				sig = sig[:0]
+				for _, e := range out(int(s)) {
+					sig = append(sig, uint64(uint32(class(e.Label)))<<32|uint64(uint32(blockOf[e.Dst])))
+				}
+				sortDedupU64(&sig)
+				h := hashU64s(sig)
+				for i := int(h) & (tcap - 1); ; i = (i + 1) & (tcap - 1) {
+					ei := table[i]
+					if ei == 0 {
+						table[i] = int32(len(groups) + 1)
+						tslots = append(tslots, int32(i))
+						gidx = append(gidx, int32(len(groups)))
+						groups = append(groups, group{off: int32(len(groupSigs)), len: int32(len(sig)), count: 1})
+						groupSigs = append(groupSigs, sig...)
+						break
+					}
+					g := &groups[ei-1]
+					if int(g.len) == len(sig) && equalU64(groupSigs[g.off:g.off+g.len], sig) {
+						g.count++
+						gidx = append(gidx, ei-1)
+						break
+					}
+				}
+			}
+			// The pooled table must be clean for the next block: zero
+			// exactly the slots this block wrote.
+			for _, i := range tslots {
+				table[i] = 0
+			}
+			if len(groups) == 1 {
+				continue
+			}
+			// The largest group keeps id b (ties: first encountered), the
+			// others take fresh ids in encounter order. Keeping the big
+			// group in place is the Hopcroft bound: every state then
+			// migrates O(log n) times over the whole refinement, which
+			// caps the total churn the reverse pass has to chase.
+			keeper := 0
+			for gi := 1; gi < len(groups); gi++ {
+				if groups[gi].count > groups[keeper].count {
+					keeper = gi
+				}
+			}
+			ids := make([]int32, len(groups))
+			segs := make([][]int32, len(groups))
+			backing := make([]int32, len(ms))
+			used := int32(0)
+			for gi := range groups {
+				segs[gi] = backing[used : used : used+groups[gi].count]
+				used += groups[gi].count
+				if gi == keeper {
+					ids[gi] = b
+				} else {
+					ids[gi] = int32(len(members))
+					members = append(members, nil)
+					inQueue = append(inQueue, false)
+				}
+			}
+			for mi, s := range ms {
+				gi := gidx[mi]
+				segs[gi] = append(segs[gi], s)
+				if int(gi) != keeper {
+					blockOf[s] = ids[gi]
+					changed = append(changed, s)
+				}
+			}
+			for gi := range groups {
+				members[ids[gi]] = segs[gi]
+			}
+		}
+		// Predecessors of moved states must be re-examined: their
+		// signatures now mention the fresh block ids. (States that kept
+		// their id need no re-examination — their predecessors'
+		// signatures are bitwise unchanged, and any split those
+		// predecessors still owe is triggered by a dirty co-member.)
+		if len(changed) > 0 && rsrc == nil {
+			buildRev()
+		}
+		for _, d := range changed {
+			for _, p := range rsrc[rstart[d]:rstart[d+1]] {
+				if !dirtyState[p] {
+					dirtyState[p] = true
+					dirtyList = append(dirtyList, p)
+				}
+			}
+		}
+		nextQueue = nextQueue[:0]
+		for _, s := range dirtyList {
+			dirtyState[s] = false
+			if b := blockOf[s]; !inQueue[b] {
+				inQueue[b] = true
+				nextQueue = append(nextQueue, b)
+			}
+		}
+		dirtyList = dirtyList[:0]
+		slices.Sort(nextQueue) // fixed processing order: determinism
+		queue, nextQueue = nextQueue, queue
+	}
+
+	// Canonical numbering: dense ids in first-encounter order over the
+	// state scan (a plain rename slice — no map is consulted).
+	rename := make([]int32, len(members))
+	for i := range rename {
+		rename[i] = -1
+	}
+	final := make([]int32, n)
+	count := 0
+	for s := 0; s < n; s++ {
+		b := blockOf[s]
+		if rename[b] < 0 {
+			rename[b] = int32(count)
+			count++
+		}
+		final[s] = rename[b]
+	}
+	return final, count, nil
+}
+
+// hashU64s mixes a signature into a 64-bit probe hash.
+func hashU64s(sig []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, x := range sig {
+		h ^= x
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	return h
+}
+
+// sortDedupU64 sorts the signature moves and removes duplicates in place.
+// Move lists are short and mostly sorted (successor blocks correlate with
+// edge order), so the insertion sort wins on constants; long lists fall
+// back to the library sort.
+func sortDedupU64(xs *[]uint64) {
+	s := *xs
+	if len(s) <= 1 {
+		return
+	}
+	if len(s) <= 32 {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+	} else {
+		slices.Sort(s)
+	}
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	*xs = s[:w]
+}
+
+func equalU64(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprint renders the determinism-relevant content of a quotient:
+// block count, representatives, members, and the quotient CSR. Exposed
+// for the determinism tests (compare byte for byte across hostile
+// interner orders and worker counts).
+func (q *Quotient) fingerprint() string {
+	out := fmt.Sprintf("blocks=%d initial=%d\n", q.NumBlocks(), q.InitialBlock())
+	for b := 0; b < q.NumBlocks(); b++ {
+		out += fmt.Sprintf("B%d rep=%d members=%v\n", b, q.Rep[b], q.Members(b))
+	}
+	for b := 0; b < q.NumBlocks(); b++ {
+		for _, e := range q.Out(b) {
+			out += fmt.Sprintf("q %d %d %d\n", b, e.Label, e.Dst)
+		}
+	}
+	return out
+}
+
+// Fingerprint is the exported determinism fingerprint of the quotient
+// (see fingerprint); tests outside the package compare it byte for byte.
+func (q *Quotient) Fingerprint() string { return q.fingerprint() }

@@ -1,0 +1,293 @@
+package lts
+
+import (
+	"context"
+	"testing"
+
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// quotientAsLTS converts a quotient back into a plain LTS (blocks become
+// states, representative edges become edges) so the refiner itself can
+// judge it: with identity classes, the quotient must be strongly
+// bisimilar to the LTS it was computed from.
+func quotientAsLTS(q *Quotient) *LTS {
+	states := make([]types.Type, q.NumBlocks())
+	adj := make([][]AdjEdge, q.NumBlocks())
+	for b := 0; b < q.NumBlocks(); b++ {
+		states[b] = q.Full.States[q.Rep[b]]
+		for _, e := range q.Out(b) {
+			adj[b] = append(adj[b], AdjEdge{Label: q.Full.Labels[e.Label], Dst: int(e.Dst)})
+		}
+	}
+	return FromAdjacency(states, adj, q.InitialBlock())
+}
+
+// TestMinimizeBisimilarToFull: for every exploration fixture, the
+// identity-class quotient is strongly bisimilar to the concrete LTS —
+// the defining property of a bisimulation quotient, decided by the same
+// refiner on the disjoint union (a genuinely different input).
+func TestMinimizeBisimilarToFull(t *testing.T) {
+	for _, fx := range exploreFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			m, err := Explore(fx.sem(), fx.init, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := Minimize(m, nil)
+			if q.NumBlocks() > m.Len() {
+				t.Fatalf("quotient has %d blocks for %d states", q.NumBlocks(), m.Len())
+			}
+			if !Bisimilar(m, quotientAsLTS(q)) {
+				t.Errorf("identity-class quotient is not bisimilar to the full LTS (%d states → %d blocks)", m.Len(), q.NumBlocks())
+			}
+		})
+	}
+}
+
+// TestMinimizeStability checks the partition's defining stability
+// property state by state: every concrete state must have exactly its
+// block's (class, destination block) move set — i.e. every member agrees
+// with the block's quotient edges, in both directions.
+func TestMinimizeStability(t *testing.T) {
+	sem, init := philosophersFixture(4)
+	m, err := Explore(sem, init, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, classes := range map[string][]int32{
+		"identity": nil,
+		"coarse":   make([]int32, len(m.Labels)), // every label one class
+	} {
+		q := Minimize(m, classes)
+		for s := 0; s < m.Len(); s++ {
+			b := int(q.BlockOf[s])
+			// Every quotient move of the block must be realisable from s...
+			for _, qe := range q.Out(b) {
+				if _, ok := q.FindLift(s, qe.Label, qe.Dst); !ok {
+					t.Fatalf("%s: state %d (block %d) cannot fire quotient move (class %d → block %d)",
+						name, s, b, q.Class(qe.Label), qe.Dst)
+				}
+			}
+			// ...and every concrete move of s must appear as a quotient move.
+			for _, e := range m.Out(s) {
+				found := false
+				for _, qe := range q.Out(b) {
+					if q.Class(qe.Label) == q.Class(e.Label) && qe.Dst == q.BlockOf[e.Dst] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s: concrete move of state %d (class %d → block %d) missing from block %d's quotient edges",
+						name, s, q.Class(e.Label), q.BlockOf[e.Dst], b)
+				}
+			}
+		}
+	}
+}
+
+// TestMinimizeCoarseClassesCollapse: with every label in one class, the
+// no-deadlock philosophers LTS — where every state can always keep
+// moving — must collapse to a single block, and a system with both live
+// and terminating behaviour must keep them apart under identity classes.
+func TestMinimizeCoarseClassesCollapse(t *testing.T) {
+	sem, init := philosophersFixture(3)
+	m, err := Explore(sem, init, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := make([]int32, len(m.Labels)) // all zero: one class
+	q := Minimize(m, classes)
+	if q.NumBlocks() != 1 {
+		t.Errorf("single-class quotient of an always-live LTS: %d blocks, want 1", q.NumBlocks())
+	}
+	if got := q.InitialBlock(); got != 0 {
+		t.Errorf("initial block = %d, want 0", got)
+	}
+}
+
+// TestQuotientEncounterRankContract pins the deterministic numbering
+// contract directly: block b's representative is its least member, and
+// representatives are strictly increasing — blocks are numbered by the
+// first concrete state that reaches them, never by map order. (The
+// contract was mutation-tested: renumbering blocks through a Go map
+// makes this and the byte-identity tests fail.)
+func TestQuotientEncounterRankContract(t *testing.T) {
+	sem, init := philosophersFixture(4)
+	m, err := Explore(sem, init, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, classes := range [][]int32{nil, make([]int32, len(m.Labels))} {
+		q := Minimize(m, classes)
+		last := int32(-1)
+		for b := 0; b < q.NumBlocks(); b++ {
+			ms := q.Members(b)
+			if len(ms) == 0 {
+				t.Fatalf("block %d has no members", b)
+			}
+			if q.Rep[b] != ms[0] {
+				t.Errorf("block %d: rep %d is not its least member %d", b, q.Rep[b], ms[0])
+			}
+			for i := 1; i < len(ms); i++ {
+				if ms[i] <= ms[i-1] {
+					t.Fatalf("block %d members not strictly increasing: %v", b, ms)
+				}
+			}
+			if q.Rep[b] <= last {
+				t.Errorf("representatives not strictly increasing at block %d (%d after %d): blocks are not in encounter-rank order", b, q.Rep[b], last)
+			}
+			last = q.Rep[b]
+			for _, s := range ms {
+				if q.BlockOf[s] != int32(b) {
+					t.Fatalf("member table and BlockOf disagree at state %d", s)
+				}
+			}
+		}
+	}
+}
+
+// TestQuotientIndependentOfInternOrder attacks the quotient's
+// determinism the same way TestExploreIndependentOfInternOrder attacks
+// the explorer's: pre-intern the system's components in hostile orders
+// (so interner ID values differ wildly), explore at several worker
+// counts, and require the quotient fingerprint — block numbering,
+// representatives, member lists, quotient CSR — to be byte-identical in
+// every run.
+func TestQuotientIndependentOfInternOrder(t *testing.T) {
+	baselineSem, init := philosophersFixture(3)
+	baseline, err := Explore(baselineSem, init, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := func(m *LTS) []int32 {
+		// A two-class view (completions vs everything else): coarse
+		// enough to merge states, fine enough to keep structure.
+		classes := make([]int32, len(m.Labels))
+		for i, lab := range m.Labels {
+			if typelts.IsTau(lab) {
+				classes[i] = 0
+			} else {
+				classes[i] = 1
+			}
+		}
+		return classes
+	}
+	wantID := Minimize(baseline, nil).Fingerprint()
+	wantCoarse := Minimize(baseline, coarse(baseline)).Fingerprint()
+
+	var comps []types.Type
+	seen := map[string]bool{}
+	for _, s := range baseline.States {
+		for _, c := range types.FlattenPar(s) {
+			key := types.Canon(c)
+			if !seen[key] {
+				seen[key] = true
+				comps = append(comps, c)
+			}
+		}
+	}
+
+	for trial := 0; trial < 4; trial++ {
+		sem, init := philosophersFixture(3)
+		sem.Cache = typelts.NewCache(sem.Env, sem.WitnessOnly)
+		in := sem.Cache.Interner()
+		switch trial {
+		case 0: // reversed
+			for i := len(comps) - 1; i >= 0; i-- {
+				in.Intern(comps[i])
+			}
+		case 1: // rotated
+			for i := range comps {
+				in.Intern(comps[(i+len(comps)/2)%len(comps)])
+			}
+		case 2: // interleaved from both ends
+			for i, j := 0, len(comps)-1; i <= j; i, j = i+1, j-1 {
+				in.Intern(comps[j])
+				in.Intern(comps[i])
+			}
+		case 3: // forward (control)
+			for i := range comps {
+				in.Intern(comps[i])
+			}
+		}
+		for _, par := range []int{1, 4} {
+			m, err := Explore(sem, init, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("trial %d par %d: %v", trial, par, err)
+			}
+			if got := Minimize(m, nil).Fingerprint(); got != wantID {
+				t.Errorf("trial %d par %d: identity quotient depends on interner ID order\n--- baseline ---\n%s--- got ---\n%s", trial, par, wantID, got)
+			}
+			if got := Minimize(m, coarse(m)).Fingerprint(); got != wantCoarse {
+				t.Errorf("trial %d par %d: coarse quotient depends on interner ID order\n--- baseline ---\n%s--- got ---\n%s", trial, par, wantCoarse, got)
+			}
+		}
+	}
+}
+
+// TestMinimizeRepeatedRunsIdentical guards against any hidden
+// nondeterminism (map iteration, allocation addresses) inside one
+// process: repeated minimizations of one LTS must be byte-identical.
+func TestMinimizeRepeatedRunsIdentical(t *testing.T) {
+	sem, init := philosophersFixture(4)
+	m, err := Explore(sem, init, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Minimize(m, nil).Fingerprint()
+	for i := 0; i < 5; i++ {
+		if got := Minimize(m, nil).Fingerprint(); got != want {
+			t.Fatalf("run %d: quotient differs from first run", i)
+		}
+	}
+}
+
+// TestMinimizeContextCancelled: a pre-cancelled context aborts the
+// refinement with a classifiable error.
+func TestMinimizeContextCancelled(t *testing.T) {
+	sem, init := philosophersFixture(3)
+	m, err := Explore(sem, init, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinimizeContext(ctx, m, nil); err == nil {
+		t.Fatal("cancelled minimization must error")
+	} else if got := context.Cause(ctx); got == nil {
+		t.Fatalf("unexpected cause state: %v", got)
+	}
+}
+
+// TestBisimilarQuotientSizes cross-checks the refiner against the
+// bisimilarity corpus from the other direction: a type and its unfolding
+// explore to different LTSs whose joint quotient must put the two roots
+// in one block (Bisimilar true) while separating e.g. loops on different
+// channels.
+func TestBisimilarQuotientSizes(t *testing.T) {
+	env := types.EnvOf(
+		"x", types.ChanIO{Elem: types.Int{}},
+		"y", types.ChanIO{Elem: types.Int{}},
+	)
+	loop := func(ch string) types.Type {
+		return types.Rec{Var: "t", Body: types.Out{Ch: types.Var{Name: ch}, Payload: types.Int{},
+			Cont: types.Thunk(types.RecVar{Name: "t"})}}
+	}
+	ok, err := TypesBisimilar(env, loop("x"), types.Unfold(loop("x")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("µt.T must be bisimilar to its unfolding under the refiner")
+	}
+	ok, err = TypesBisimilar(env, loop("x"), loop("y"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("loops on different channels must not be bisimilar")
+	}
+}

@@ -1,0 +1,84 @@
+package mucalc
+
+import (
+	"effpi/internal/lts"
+	"effpi/internal/typelts"
+)
+
+// This file connects the checker to the reduction layer: LabelClasses
+// computes the observation classes a formula induces on an alphabet (the
+// input to lts.Minimize), and QuotientModel presents the resulting
+// quotient as a Model so both NDFS passes run on blocks unchanged.
+
+// LabelClasses partitions an alphabet by indistinguishability under the
+// Büchi automaton for ¬phi: two labels land in one class iff every
+// automaton state admits both or neither — the product construction (and
+// AcceptsLasso, the replay oracle) observe labels only through Admits, so
+// swapping class-mates in a run cannot change acceptance. Class ids are
+// dense, assigned in label-index order (first label of a new class gets
+// the next id), and the second return is the class count.
+//
+// This is the label view to quotient an LTS under before checking phi:
+// strong bisimulation over these classes preserves the checker's verdict
+// (see DESIGN.md §reduction).
+func LabelClasses(labels []typelts.Label, phi Formula) ([]int32, int) {
+	phi = Simplify(phi)
+	ba := Translate(Not{F: phi})
+	classOf := make([]int32, len(labels))
+	// Admit column per label: one bit per automaton state. Columns are
+	// compared via a lookup-only map keyed by the packed column; ids are
+	// assigned in label order, never map order.
+	words := (ba.Len() + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	index := make(map[string]int32, 16)
+	col := make([]uint64, words)
+	buf := make([]byte, 8*words)
+	count := 0
+	for i := range labels {
+		for w := range col {
+			col[w] = 0
+		}
+		for q := 0; q < ba.Len(); q++ {
+			if ba.Admits(q, labels[i]) {
+				col[q>>6] |= 1 << (uint(q) & 63)
+			}
+		}
+		for w, x := range col {
+			for b := 0; b < 8; b++ {
+				buf[8*w+b] = byte(x >> (8 * b))
+			}
+		}
+		c, ok := index[string(buf)]
+		if !ok {
+			c = int32(count)
+			count++
+			index[string(buf)] = c
+		}
+		classOf[i] = c
+	}
+	return classOf, count
+}
+
+// TriviallyTrue reports whether phi simplifies to ⊤. The checker
+// answers such formulas without touching the model (CheckModelContext's
+// early-out), so a reduction stage would be pure overhead — the
+// verifier skips quotienting for them.
+func TriviallyTrue(phi Formula) bool { return isTrue(Simplify(phi)) }
+
+// quotientModel adapts a bisimulation quotient to the checker's Model:
+// states are blocks, successors are the quotient's representative edges
+// (concrete label indices into the full LTS's alphabet, destinations are
+// blocks), and the alphabet is the full LTS's. Checking a formula on it
+// is sound whenever the quotient was computed over classes at least as
+// fine as LabelClasses(labels, phi).
+type quotientModel struct{ q *lts.Quotient }
+
+func (x quotientModel) Initial() int                   { return x.q.InitialBlock() }
+func (x quotientModel) Succ(b int) ([]lts.Edge, error) { return x.q.Out(b), nil }
+func (x quotientModel) Labels() []typelts.Label        { return x.q.Full.Labels }
+func (x quotientModel) Len() int                       { return x.q.NumBlocks() }
+
+// QuotientModel wraps a reduction quotient as a checker Model.
+func QuotientModel(q *lts.Quotient) Model { return quotientModel{q: q} }

@@ -1,0 +1,184 @@
+package verify
+
+// The Reduce stage of the verification pipeline (Explore → Reduce →
+// Check): quotient the explored LTS by strong bisimulation over the
+// property's observation classes, model-check on blocks, and lift a
+// block-level counterexample back to a concrete run that the PR 3 replay
+// oracle re-validates. See DESIGN.md §reduction for the soundness
+// argument and the determinism contract.
+
+import (
+	"context"
+	"fmt"
+
+	"effpi/internal/lts"
+	"effpi/internal/mucalc"
+)
+
+// Reduction selects the state-space reduction applied between
+// exploration and checking.
+type Reduction int
+
+const (
+	// ReduceOff checks on the concrete LTS (the reference pipeline).
+	ReduceOff Reduction = iota
+	// ReduceStrong quotients the LTS by strong bisimulation over the
+	// property's observation classes (labels the compiled formula's
+	// automaton cannot distinguish, mucalc.LabelClasses) before checking.
+	// Verdicts are identical to ReduceOff — the quotient preserves
+	// exactly the runs the automaton can observe — and every FAIL's
+	// witness is lifted to a concrete lasso and re-validated by Replay,
+	// so the lift's soundness is machine-checked per verdict. Symmetric
+	// systems shrink by orders of magnitude; the worst case is a
+	// same-size quotient plus the refinement cost.
+	ReduceStrong
+)
+
+var reductionNames = map[Reduction]string{
+	ReduceOff:    "off",
+	ReduceStrong: "strong",
+}
+
+func (r Reduction) String() string {
+	if n, ok := reductionNames[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("Reduction(%d)", int(r))
+}
+
+// ParseReduction resolves a reduction name ("off", "strong") as used by
+// CLI flags and service request fields.
+func ParseReduction(name string) (Reduction, error) {
+	for r, n := range reductionNames {
+		if n == name {
+			return r, nil
+		}
+	}
+	return ReduceOff, fmt.Errorf("verify: unknown reduction %q (want off or strong)", name)
+}
+
+// checkReduced runs the Reduce → Check stages for one compiled formula:
+// partition the LTS over the formula's label classes, check on the
+// quotient, and — on FAIL — lift the block lasso to a concrete one. The
+// outcome's ReducedStates records the block count actually checked; the
+// caller re-validates the lifted witness with the replay oracle.
+func checkReduced(ctx context.Context, m *lts.LTS, phi mucalc.Formula, out *Outcome) (mucalc.Result, error) {
+	if mucalc.TriviallyTrue(phi) {
+		// The checker answers ⊤ without touching the model; refining the
+		// partition first would be pure overhead. ReducedStates stays 0:
+		// no Reduce stage ran.
+		return mucalc.CheckContext(ctx, m, phi)
+	}
+	// LabelClasses re-translates ¬ϕ internally rather than sharing the
+	// checker's automaton: translation of the schema formulas is
+	// microseconds against the refinement's edge-array passes, and the
+	// independence mirrors Replay's trust structure (classes and oracle
+	// each derive the automaton from the formula alone).
+	classes, _ := mucalc.LabelClasses(m.Labels, phi)
+	q, err := lts.MinimizeContext(ctx, m, classes)
+	if err != nil {
+		return mucalc.Result{}, err
+	}
+	out.ReducedStates = q.NumBlocks()
+	res, err := mucalc.CheckModelContext(ctx, mucalc.QuotientModel(q), phi)
+	if err != nil || res.Holds {
+		return res, err
+	}
+	lifted, err := liftWitness(q, res.Witness)
+	if err != nil {
+		return res, fmt.Errorf("verify: lifting the quotient counterexample: %w", err)
+	}
+	res.Witness = lifted
+	res.Counterexample = lifted.Trace(m.Labels)
+	return res, nil
+}
+
+// liftWitness turns a lasso over quotient blocks into a lasso over
+// concrete states of q.Full:
+//
+//   - Stem: walk from the concrete initial state, at each step following
+//     the first concrete edge (in edge order) whose label class and
+//     destination block match the quotient step — stability of the
+//     partition guarantees one exists from *every* member of the block.
+//   - Cycle: unroll the quotient cycle from the reached lasso-head state;
+//     each unrolling ends on some member of the head block, so within
+//     |head block|+1 unrollings a concrete state repeats (pigeonhole).
+//     The steps before the first repeat extend the stem; the steps
+//     between its two occurrences are the concrete cycle.
+//
+// The lifted label word is stem·(cycle)^ω with the same class word as
+// the quotient lasso's — and the ¬ϕ automaton only observes classes — so
+// the lifted run violates the property iff the quotient run does. The
+// caller still re-validates via Replay rather than trusting this
+// argument: a FAIL's witness is machine-checked evidence, not a proof
+// sketch.
+func liftWitness(q *lts.Quotient, w *mucalc.Witness) (*mucalc.Witness, error) {
+	if w == nil {
+		return nil, fmt.Errorf("no quotient witness to lift")
+	}
+	if len(w.StemStates) != len(w.StemLabels)+1 || len(w.CycleStates) != len(w.CycleLabels)+1 || len(w.CycleLabels) == 0 {
+		return nil, fmt.Errorf("malformed quotient witness (%d/%d stem, %d/%d cycle)",
+			len(w.StemStates), len(w.StemLabels), len(w.CycleStates), len(w.CycleLabels))
+	}
+
+	lifted := &mucalc.Witness{}
+	cur := q.Full.Initial
+	lifted.StemStates = append(lifted.StemStates, cur)
+	step := func(qlab int32, dstBlock int) (int, error) {
+		e, ok := q.FindLift(cur, qlab, int32(dstBlock))
+		if !ok {
+			return 0, fmt.Errorf("state %d (block %d) has no edge of class %d into block %d — partition not stable",
+				cur, q.BlockOf[cur], q.Class(qlab), dstBlock)
+		}
+		lifted.StemLabels = append(lifted.StemLabels, e.Label)
+		return int(e.Dst), nil
+	}
+
+	// Stem: one concrete step per quotient stem step.
+	for i, qlab := range w.StemLabels {
+		if int(q.BlockOf[cur]) != w.StemStates[i] {
+			return nil, fmt.Errorf("stem step %d: concrete state %d is in block %d, quotient stem says %d",
+				i, cur, q.BlockOf[cur], w.StemStates[i])
+		}
+		next, err := step(qlab, w.StemStates[i+1])
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		lifted.StemStates = append(lifted.StemStates, cur)
+	}
+
+	// Cycle: unroll until a concrete state repeats at a cycle start.
+	head := w.CycleStates[0]
+	if int(q.BlockOf[cur]) != head {
+		return nil, fmt.Errorf("lasso head: concrete state %d is in block %d, quotient head is %d", cur, q.BlockOf[cur], head)
+	}
+	cyclen := len(w.CycleLabels)
+	bound := len(q.Members(head)) + 1
+	firstSeen := map[int]int{} // concrete state at a cycle start → unroll index
+	for iter := 0; iter <= bound; iter++ {
+		if at, ok := firstSeen[cur]; ok {
+			// Closed: the first at·cyclen unrolled steps stay on the
+			// stem, the rest form the concrete cycle on cur.
+			cut := len(w.StemLabels) + at*cyclen
+			cyc := &mucalc.Witness{
+				StemStates:  lifted.StemStates[:cut+1],
+				StemLabels:  lifted.StemLabels[:cut],
+				CycleStates: lifted.StemStates[cut:],
+				CycleLabels: lifted.StemLabels[cut:],
+			}
+			return cyc, nil
+		}
+		firstSeen[cur] = iter
+		for j, qlab := range w.CycleLabels {
+			next, err := step(qlab, w.CycleStates[j+1])
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+			lifted.StemStates = append(lifted.StemStates, cur)
+		}
+	}
+	return nil, fmt.Errorf("cycle did not close within %d unrollings of the head block (%d members) — quotient is inconsistent",
+		bound, len(q.Members(head)))
+}

@@ -1,0 +1,248 @@
+package verify
+
+import (
+	"context"
+	"testing"
+
+	"effpi/internal/lts"
+	"effpi/internal/mucalc"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// reductionFixture pairs a request with whether its compiled formula is
+// trivially ⊤ (empty probe use-sets simplify away — the Reduce stage
+// skips quotienting for those and ReducedStates stays 0).
+type reductionFixture struct {
+	req     Request
+	trivial bool
+}
+
+// reductionFixtures is a mixed bag of PASS and FAIL requests across the
+// LTL-checked schemas (open and closed), small enough for the unit suite.
+func reductionFixtures() []reductionFixture {
+	env := types.EnvOf(
+		"x", types.ChanIO{Elem: types.Int{}},
+		"y", types.ChanIO{Elem: types.Int{}},
+		"aud", types.ChanIO{Elem: types.Str{}},
+	)
+	loop := func(ch string) types.Type {
+		return types.Rec{Var: "t", Body: types.Out{Ch: tv(ch), Payload: types.Int{},
+			Cont: types.Thunk(types.RecVar{Name: "t"})}}
+	}
+	oneShot := types.In{Ch: tv("aud"), Cont: types.Pi{Var: "a", Dom: types.Str{}, Cod: types.Nil{}}}
+	looping := types.Rec{Var: "t", Body: types.In{Ch: tv("aud"),
+		Cont: types.Pi{Var: "a", Dom: types.Str{}, Cod: types.RecVar{Name: "t"}}}}
+	stuck := types.Par{L: loop("x"), R: types.Out{Ch: tv("y"), Payload: types.Int{}, Cont: types.Thunk(types.Nil{})}}
+
+	return []reductionFixture{
+		// loop(x) never uses y, so the non-usage probe's use-set is empty
+		// and the formula simplifies to ⊤: no quotient is refined.
+		{req: Request{Env: env, Type: loop("x"), Property: Property{Kind: NonUsage, Channels: []string{"y"}}}, trivial: true},
+		{req: Request{Env: env, Type: loop("y"), Property: Property{Kind: NonUsage, Channels: []string{"y"}}}},
+		{req: Request{Env: env, Type: oneShot, Property: Property{Kind: Reactive, From: "aud"}}},
+		{req: Request{Env: env, Type: looping, Property: Property{Kind: Reactive, From: "aud"}}},
+		{req: Request{Env: env, Type: stuck, Property: Property{Kind: DeadlockFree, Channels: []string{"x"}, Closed: true}}},
+		{req: Request{Env: env, Type: loop("x"), Property: Property{Kind: DeadlockFree, Channels: []string{"x"}, Closed: true}}},
+	}
+}
+
+// TestReductionVerdictsMatchFull: every fixture gets the same verdict
+// with the Reduce stage on and off; reduced FAILs carry a lifted witness
+// that the replay oracle accepts (Verify itself enforces this, but the
+// test re-runs Replay on the returned outcome to pin the public
+// contract), and ReducedStates reports a non-trivial block count.
+func TestReductionVerdictsMatchFull(t *testing.T) {
+	for i, fx := range reductionFixtures() {
+		req := fx.req
+		base, err := Verify(req)
+		if err != nil {
+			t.Fatalf("fixture %d (%s): %v", i, req.Property, err)
+		}
+		req.Reduction = ReduceStrong
+		red, err := Verify(req)
+		if err != nil {
+			t.Fatalf("fixture %d (%s) reduced: %v", i, req.Property, err)
+		}
+		if red.Holds != base.Holds {
+			t.Errorf("fixture %d (%s): reduced verdict %v, full %v", i, req.Property, red.Holds, base.Holds)
+		}
+		if red.States != base.States {
+			t.Errorf("fixture %d (%s): reduced States %d, full %d (States must stay the concrete count)", i, req.Property, red.States, base.States)
+		}
+		if fx.trivial {
+			if red.ReducedStates != 0 {
+				t.Errorf("fixture %d (%s): trivially-true formula must skip the Reduce stage, got ReducedStates %d", i, req.Property, red.ReducedStates)
+			}
+		} else if red.ReducedStates <= 0 || red.ReducedStates > red.States {
+			t.Errorf("fixture %d (%s): ReducedStates %d out of range (states %d)", i, req.Property, red.ReducedStates, red.States)
+		}
+		if base.ReducedStates != 0 {
+			t.Errorf("fixture %d (%s): unreduced outcome reports ReducedStates %d", i, req.Property, base.ReducedStates)
+		}
+		if !red.Holds {
+			if red.Witness == nil || red.Witness.Raw == nil {
+				t.Fatalf("fixture %d (%s): reduced FAIL without witness", i, req.Property)
+			}
+			if err := Replay(red); err != nil {
+				t.Errorf("fixture %d (%s): lifted witness does not replay: %v", i, req.Property, err)
+			}
+		}
+	}
+}
+
+// TestReductionEvUsageRunsConcrete: the existential schema has no
+// formula, so the Reduce stage does not apply — the verdict must still
+// match and ReducedStates stay zero.
+func TestReductionEvUsageRunsConcrete(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	p := types.Rec{Var: "t", Body: types.Out{Ch: tv("x"), Payload: types.Int{},
+		Cont: types.Thunk(types.RecVar{Name: "t"})}}
+	req := Request{Env: env, Type: p, Property: Property{Kind: EventualOutput, Channels: []string{"x"}}}
+	base, err := Verify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Reduction = ReduceStrong
+	red, err := Verify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Holds != base.Holds || red.ReducedStates != 0 {
+		t.Errorf("ev-usage under reduction: holds=%v (want %v), reduced=%d (want 0)", red.Holds, base.Holds, red.ReducedStates)
+	}
+}
+
+// TestReductionEarlyExitPrecedence: when a request asks for both
+// on-the-fly checking and reduction, the on-the-fly engine wins for the
+// symbolically compilable schemas (on-the-fly quotienting is a ROADMAP
+// follow-on) — the outcome is flagged EarlyExit with no ReducedStates.
+func TestReductionEarlyExitPrecedence(t *testing.T) {
+	env := types.EnvOf("aud", types.ChanIO{Elem: types.Str{}})
+	oneShot := types.In{Ch: tv("aud"), Cont: types.Pi{Var: "a", Dom: types.Str{}, Cod: types.Nil{}}}
+	o, err := Verify(Request{Env: env, Type: oneShot,
+		Property: Property{Kind: Reactive, From: "aud"}, EarlyExit: true, Reduction: ReduceStrong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.EarlyExit {
+		t.Fatal("early-exit request did not take the on-the-fly path")
+	}
+	if o.ReducedStates != 0 {
+		t.Errorf("on-the-fly outcome reports ReducedStates %d, want 0", o.ReducedStates)
+	}
+}
+
+// TestReductionVerifyAllMatrix: the batched pipeline agrees with itself
+// across reduction on/off and parallelism, including shared-LTS reuse.
+func TestReductionVerifyAllMatrix(t *testing.T) {
+	env := types.EnvOf(
+		"x", types.ChanIO{Elem: types.Int{}},
+		"y", types.ChanIO{Elem: types.Int{}},
+	)
+	sys := types.Par{
+		L: types.Rec{Var: "t", Body: types.Out{Ch: tv("x"), Payload: types.Int{}, Cont: types.Thunk(types.RecVar{Name: "t"})}},
+		R: types.Rec{Var: "t", Body: types.In{Ch: tv("x"), Cont: types.Pi{Var: "v", Dom: types.Int{}, Cod: types.RecVar{Name: "t"}}}},
+	}
+	props := []Property{
+		{Kind: DeadlockFree, Channels: []string{"x"}, Closed: true},
+		// y is never used: this non-usage formula simplifies to ⊤ and
+		// skips the Reduce stage (ReducedStates 0).
+		{Kind: NonUsage, Channels: []string{"y"}, Closed: true},
+		{Kind: Reactive, From: "x", Closed: true},
+		{Kind: EventualOutput, Channels: []string{"x"}, Closed: true},
+	}
+	trivial := map[Kind]bool{NonUsage: true, EventualOutput: true}
+	base, err := VerifyAllWith(env, sys, props, AllOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		outs, err := VerifyAllWith(env, sys, props, AllOptions{Parallelism: par, Reduction: ReduceStrong})
+		if err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		for i := range base {
+			if outs[i].Holds != base[i].Holds {
+				t.Errorf("par %d %s: reduced verdict %v, full %v", par, base[i].Property, outs[i].Holds, base[i].Holds)
+			}
+			wantReduced := !trivial[base[i].Property.Kind]
+			if (outs[i].ReducedStates > 0) != wantReduced {
+				t.Errorf("par %d %s: ReducedStates=%d, want reduced=%v", par, base[i].Property, outs[i].ReducedStates, wantReduced)
+			}
+		}
+	}
+}
+
+// TestLiftWitnessContractViolations: the lift refuses malformed or
+// inconsistent quotient witnesses instead of fabricating a run.
+func TestLiftWitnessContractViolations(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	sem := &typelts.Semantics{Env: env, Observable: map[string]bool{}}
+	stuck := types.Out{Ch: tv("x"), Payload: types.Int{}, Cont: types.Thunk(types.Nil{})}
+	m, err := lts.Explore(sem, stuck, lts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := lts.Minimize(m, nil)
+
+	if _, err := liftWitness(q, nil); err == nil {
+		t.Error("nil witness must be rejected")
+	}
+	if _, err := liftWitness(q, &mucalc.Witness{StemStates: []int{0}, CycleStates: []int{0}}); err == nil {
+		t.Error("empty cycle must be rejected")
+	}
+	// A stem that claims the initial state sits in a non-existent block.
+	bad := &mucalc.Witness{
+		StemStates:  []int{q.NumBlocks() + 3, 0},
+		StemLabels:  []int32{0},
+		CycleStates: []int{0, 0},
+		CycleLabels: []int32{0},
+	}
+	if _, err := liftWitness(q, bad); err == nil {
+		t.Error("stem starting in the wrong block must be rejected")
+	}
+	// A cycle move the quotient cannot fire.
+	head := q.InitialBlock()
+	if _, err := liftWitness(q, &mucalc.Witness{
+		StemStates:  []int{head},
+		CycleStates: []int{head, q.NumBlocks() + 1, head},
+		CycleLabels: []int32{0, 0},
+	}); err == nil {
+		t.Error("cycle through a non-existent block must be rejected")
+	}
+}
+
+// TestParseReduction covers the flag/wire-name round trip.
+func TestParseReduction(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Reduction
+	}{{"off", ReduceOff}, {"strong", ReduceStrong}} {
+		got, err := ParseReduction(tc.name)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseReduction(%q) = %v, %v", tc.name, got, err)
+		}
+		if got.String() != tc.name {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.name)
+		}
+	}
+	if _, err := ParseReduction("branching"); err == nil {
+		t.Error("unknown reduction name must error")
+	}
+}
+
+// TestReductionCancellation: a cancelled context surfaces promptly from
+// the Reduce stage and is errors.Is-classifiable.
+func TestReductionCancellation(t *testing.T) {
+	env := types.EnvOf("x", types.ChanIO{Elem: types.Int{}})
+	p := types.Rec{Var: "t", Body: types.Out{Ch: tv("x"), Payload: types.Int{},
+		Cont: types.Thunk(types.RecVar{Name: "t"})}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := VerifyContext(ctx, Request{Env: env, Type: p,
+		Property: Property{Kind: NonUsage, Channels: []string{"x"}}, Reduction: ReduceStrong})
+	if err == nil {
+		t.Fatal("cancelled reduced verification must error")
+	}
+}

@@ -131,6 +131,19 @@ type Request struct {
 	// (lts.Options.Parallelism): 0 = GOMAXPROCS, 1 = serial. The verdict
 	// and the explored LTS are identical at any value.
 	Parallelism int
+	// Reduction selects the Reduce stage of the pipeline (Explore →
+	// Reduce → Check). ReduceStrong checks the property on the strong-
+	// bisimulation quotient of the explored LTS (over the formula's
+	// observation classes) instead of the concrete state space; verdicts
+	// are identical, FAIL witnesses are lifted back to concrete runs and
+	// re-validated by Replay before the outcome is returned, and the
+	// outcome's ReducedStates records the block count actually checked.
+	// EventualOutput (existential, checked by reachability, no formula)
+	// always runs on the concrete LTS; so do formulas that simplify to ⊤
+	// (the checker answers those without touching the model), and an
+	// EarlyExit request that takes the on-the-fly path skips the stage
+	// too (on-the-fly quotienting is future work; see ROADMAP).
+	Reduction Reduction
 	// EarlyExit selects on-the-fly checking: the property's formula is
 	// compiled symbolically (alphabet-independent action-set predicates),
 	// and the nested DFS drives an lts.Incremental that materialises
@@ -161,6 +174,10 @@ type Outcome struct {
 	Formula mucalc.Formula
 	// States is the size of the (Y-limited, run-completed) type LTS.
 	States int
+	// ReducedStates is the number of quotient blocks the checker actually
+	// ran on when a Reduce stage was applied (0 = no reduction stage; the
+	// reduction ratio is States / ReducedStates).
+	ReducedStates int
 	// ProductStates and AutomatonStates report model-checker effort.
 	ProductStates   int
 	AutomatonStates int
@@ -247,7 +264,12 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := mucalc.CheckContext(ctx, m, phi)
+	var res mucalc.Result
+	if req.Reduction == ReduceStrong {
+		res, err = checkReduced(ctx, m, phi, out)
+	} else {
+		res, err = mucalc.CheckContext(ctx, m, phi)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +280,14 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 	out.Counterexample = res.Counterexample
 	out.Witness = DecodeWitness(m, res.Witness)
 	out.Duration = time.Since(start)
+	if !out.Holds && req.Reduction == ReduceStrong {
+		// The witness was found on the quotient and lifted; a reduced
+		// FAIL is only reported once the existing replay oracle confirms
+		// the lift produced a genuine concrete violation.
+		if err := Replay(out); err != nil {
+			return nil, fmt.Errorf("verify: reduction produced an invalid counterexample lift: %w", err)
+		}
+	}
 	return out, nil
 }
 
@@ -321,6 +351,9 @@ func VerifyAll(env *types.Env, t types.Type, props []Property, maxStates int) ([
 type AllOptions struct {
 	// MaxStates bounds each LTS exploration (0 = lts.DefaultMaxStates).
 	MaxStates int
+	// Reduction selects the Reduce stage for every property of the batch
+	// (see Request.Reduction).
+	Reduction Reduction
 	// Cache, when non-nil, is the shared transition cache every
 	// exploration runs on, letting a long-lived owner (the public
 	// package's Workspace) reuse per-component work across whole
@@ -460,6 +493,7 @@ func VerifyAllContext(ctx context.Context, env *types.Env, t types.Type, props [
 			o, err := VerifyContext(ctx, Request{
 				Env: env, Type: t, Property: props[i],
 				MaxStates: opts.MaxStates, Reuse: g.lts, Cache: shared, Parallelism: par,
+				Reduction: opts.Reduction,
 			})
 			if err != nil {
 				propErrs[i] = err
@@ -500,7 +534,7 @@ func verifyAllSerial(ctx context.Context, env *types.Env, t types.Type, props []
 		sorted := append([]string{}, obs...)
 		sort.Strings(sorted)
 		key := strings.Join(sorted, ",")
-		req := Request{Env: env, Type: t, Property: p, MaxStates: opts.MaxStates, Reuse: ltsCache[key], Cache: shared, Parallelism: 1, Progress: opts.Progress}
+		req := Request{Env: env, Type: t, Property: p, MaxStates: opts.MaxStates, Reuse: ltsCache[key], Cache: shared, Parallelism: 1, Progress: opts.Progress, Reduction: opts.Reduction}
 		o, err := VerifyContext(ctx, req)
 		if err != nil {
 			return outcomes, fmt.Errorf("%s: %w", p, err)

@@ -1,5 +1,7 @@
 package effpi
 
+import "fmt"
+
 // Option configures a Session at creation time. Options replace the
 // internal layer's ever-growing request struct: a session is configured
 // once, then every call on it (Verify, VerifyAll, Explore, …) runs under
@@ -11,6 +13,7 @@ type sessionOptions struct {
 	maxStates   int
 	parallelism int
 	earlyExit   bool
+	reduction   Reduction
 	// closed, when non-nil, overrides Property.Closed on every property
 	// the session verifies.
 	closed   *bool
@@ -55,6 +58,28 @@ func WithParallelism(n int) Option {
 func WithEarlyExit(v bool) Option {
 	return func(o *sessionOptions) error {
 		o.earlyExit = v
+		return nil
+	}
+}
+
+// WithReduction selects the state-space reduction stage applied between
+// exploration and checking (the Reduce of Explore → Reduce → Check).
+// ReduceStrong quotients every explored LTS by strong bisimulation over
+// the property's observation classes before model checking: verdicts are
+// identical to ReduceOff (the default), every failing property's
+// counterexample is lifted back to a concrete run and machine-re-checked
+// by the replay oracle before it is returned, and Outcome.ReducedStates
+// reports the block count actually checked. Symmetric systems shrink by
+// orders of magnitude; the worst case is a same-size quotient plus the
+// refinement cost. The stage does not apply to ev-usage (existential,
+// checked by reachability) or to requests served by the on-the-fly
+// engine (WithEarlyExit).
+func WithReduction(r Reduction) Option {
+	return func(o *sessionOptions) error {
+		if r != ReduceOff && r != ReduceStrong {
+			return fmt.Errorf("effpi: unknown reduction %v", r)
+		}
+		o.reduction = r
 		return nil
 	}
 }

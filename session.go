@@ -128,7 +128,7 @@ func (s *Session) Verify(ctx context.Context, prop Property) (*Outcome, error) {
 	o, err := verify.VerifyContext(ctx, verify.Request{
 		Env: s.env, Type: t, Property: prop,
 		MaxStates: s.opt.maxStates, Parallelism: s.opt.parallelism,
-		EarlyExit: s.opt.earlyExit, Cache: s.cache,
+		EarlyExit: s.opt.earlyExit, Reduction: s.opt.reduction, Cache: s.cache,
 		Progress: s.progressHook(&prop),
 	})
 	s.ws.sweep()
@@ -165,6 +165,7 @@ func (s *Session) VerifyAll(ctx context.Context, props ...Property) ([]*Outcome,
 	outs, err := verify.VerifyAllContext(ctx, s.env, t, applied, verify.AllOptions{
 		MaxStates:   s.opt.maxStates,
 		Parallelism: s.opt.parallelism,
+		Reduction:   s.opt.reduction,
 		Cache:       s.cache,
 		Progress:    s.progressHook(nil),
 	})
@@ -191,7 +192,7 @@ func (s *Session) verifyAllEarlyExit(ctx context.Context, t Type, props []Proper
 	for _, p := range props {
 		o, err := verify.VerifyContext(ctx, verify.Request{
 			Env: s.env, Type: t, Property: p,
-			MaxStates: s.opt.maxStates, EarlyExit: true, Cache: s.cache,
+			MaxStates: s.opt.maxStates, EarlyExit: true, Reduction: s.opt.reduction, Cache: s.cache,
 			Progress: s.progressHook(&p),
 		})
 		if err != nil {
