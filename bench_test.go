@@ -242,6 +242,59 @@ func BenchmarkReduceCheckPingPong12Reduced(b *testing.B) {
 	benchReduceCheckLarge(b, systems.PingPongPairs(12, false), deadlockOnly, verify.ReduceStrong)
 }
 
+// --- Symmetry: exploration-time orbit collapsing -----------------------------
+//
+// The Serial/Symmetry pairs time the WHOLE VerifyAll pipeline — unlike
+// the Reduce pairs above, symmetry pays off during exploration itself:
+// the n-pair ping-pong rows have 3^n concrete states but only
+// 3·C(n+1, 2) orbit representatives (one pair pinned by the probe
+// channels), so the Symmetry variants never materialise the exponential
+// state space at all. PingPong-12 collapses 531 441 states to 234 —
+// the acceptance pair behind the ISSUE's ≥5× target.
+
+// benchSymmetryVerifyAll runs the full batch pipeline (exploration
+// included, fresh cache per iteration) under the given symmetry mode,
+// asserting every verdict against the row's expectations.
+func benchSymmetryVerifyAll(b *testing.B, s *systems.System, sym verify.SymmetryMode) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		outs, err := verify.VerifyAllWith(s.Env, s.Type, s.Props, verify.AllOptions{Symmetry: sym})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			if want, ok := s.Expected[o.Property.Kind]; ok && o.Holds != want {
+				b.Fatalf("%s / %s: verdict %v, expected %v", s.Name, o.Property, o.Holds, want)
+			}
+		}
+	}
+}
+
+func benchSymmetryVerifyAllLarge(b *testing.B, s *systems.System, sym verify.SymmetryMode) {
+	if testing.Short() {
+		b.Skip("large instance skipped in -short mode")
+	}
+	benchSymmetryVerifyAll(b, s, sym)
+}
+
+func BenchmarkSymmetryVerifyAllPingPong10Serial(b *testing.B) {
+	benchSymmetryVerifyAll(b, systems.PingPongPairs(10, false), verify.SymmetryOff)
+}
+
+func BenchmarkSymmetryVerifyAllPingPong10Symmetry(b *testing.B) {
+	benchSymmetryVerifyAll(b, systems.PingPongPairs(10, false), verify.SymmetryOn)
+}
+
+// The acceptance pair: all six Fig. 9 columns of the 531 441-state
+// ping-pong sweep, end to end.
+func BenchmarkSymmetryVerifyAllPingPong12Serial(b *testing.B) {
+	benchSymmetryVerifyAllLarge(b, systems.PingPongPairs(12, false), verify.SymmetryOff)
+}
+
+func BenchmarkSymmetryVerifyAllPingPong12Symmetry(b *testing.B) {
+	benchSymmetryVerifyAllLarge(b, systems.PingPongPairs(12, false), verify.SymmetryOn)
+}
+
 // BenchmarkParallelExplorePhilosophers6 isolates bare LTS exploration
 // (no model checking) at worker counts 1 and GOMAXPROCS — the
 // level-synchronised BFS against the serial worklist engine.

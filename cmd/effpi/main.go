@@ -83,6 +83,11 @@ verify flags:
                  quotient of the state space (verdicts unchanged;
                  counterexamples lifted back to concrete runs and
                  replay-validated)
+  -symmetry MODE off | on — explore orbit representatives under the
+                 system's channel-bundle symmetry group (closed
+                 properties only; verdicts unchanged, counterexamples
+                 permutation-lifted to concrete runs and
+                 replay-validated)
   -width N       truncate printed witness states to N runes (default
                  100, 0 = full)
 
@@ -199,6 +204,7 @@ func cmdVerify(args []string) error {
 	maxStates := fs.Int("max", 0, "state bound (0 = default)")
 	early := fs.Bool("early", false, "early-exit mode: stop exploring as soon as a violation is found (on-the-fly checking; non-usage, deadlock-free and reactive)")
 	reduce := fs.String("reduce", "off", "state-space reduction before checking: off | strong (bisimulation quotient; verdicts unchanged, witnesses lifted and replay-validated)")
+	symmetry := fs.String("symmetry", "off", "exploration-time symmetry reduction: off | on (orbit representatives; verdicts unchanged, witnesses permutation-lifted and replay-validated)")
 	width := fs.Int("width", 100, "truncate printed witness states to this width (0 = full)")
 	src, err := loadSource(fs, args)
 	if err != nil {
@@ -212,9 +218,14 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
+	symMode, err := effpi.ParseSymmetry(*symmetry)
+	if err != nil {
+		return err
+	}
 	ws := effpi.NewWorkspace()
 	s, err := ws.NewSession(src, append(binds.options(),
-		effpi.WithMaxStates(*maxStates), effpi.WithEarlyExit(*early), effpi.WithReduction(reduction))...)
+		effpi.WithMaxStates(*maxStates), effpi.WithEarlyExit(*early),
+		effpi.WithReduction(reduction), effpi.WithSymmetry(symMode))...)
 	if err != nil {
 		return err
 	}
@@ -234,6 +245,10 @@ func cmdVerify(args []string) error {
 func printOutcome(o *effpi.Outcome, width int) {
 	fmt.Printf("property:  %s\n", o.Property)
 	fmt.Printf("verdict:   %v\n", o.Holds)
+	if o.StatesExplored > 0 && o.StatesExplored < o.States {
+		fmt.Printf("symmetry:  %d orbit representatives cover %d states (%.1f×)\n",
+			o.StatesExplored, o.States, float64(o.States)/float64(o.StatesExplored))
+	}
 	if o.EarlyExit {
 		fmt.Printf("states:    %d discovered, %d expanded (early exit; product %d, automaton %d)\n",
 			o.States, o.Expanded, o.ProductStates, o.AutomatonStates)

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	effpid [-addr :8080] [-timeout 30s] [-max-timeout 5m]
-//	       [-max N] [-par N] [-cache-budget N]
+//	       [-max N] [-par N] [-cache-budget N] [-pprof]
 //
 // Endpoints:
 //
@@ -21,6 +21,9 @@
 //	                  counterexample lasso.
 //	GET  /healthz     liveness
 //	GET  /metrics     expvar counters + workspace cache stats (JSON)
+//	GET  /debug/pprof/*  Go runtime profiles — only with the -pprof flag
+//	                  (profiling endpoints expose internals; opt in on
+//	                  instances you control)
 //
 // Requests are cancellable: each runs under a deadline (its "timeout_ms",
 // capped by -max-timeout, defaulting to -timeout), and a dropped client
@@ -49,6 +52,7 @@ func main() {
 	maxStates := flag.Int("max", 0, "default exploration state bound (0 = engine default)")
 	par := flag.Int("par", 0, "default exploration workers (0 = GOMAXPROCS)")
 	cacheBudget := flag.Int("cache-budget", 0, "workspace memo budget (0 = default, <0 = unlimited)")
+	pprof := flag.Bool("pprof", false, "expose Go runtime profiling under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	ws := effpi.NewWorkspace(effpi.WithCacheBudget(*cacheBudget))
@@ -57,6 +61,7 @@ func main() {
 		maxTimeout:     *maxTimeout,
 		maxStates:      *maxStates,
 		parallelism:    *par,
+		pprof:          *pprof,
 	})
 
 	httpSrv := &http.Server{

@@ -408,6 +408,133 @@ func TestReductionRequestRejectsUnknownMode(t *testing.T) {
 	}
 }
 
+// TestSymmetryRequest: a symmetric benchmark row verified with
+// "symmetry": "on" keeps every verdict and concrete state count of the
+// reference run, reports the orbit collapse in states_explored and
+// orbit_ratio (states_explored ≤ states, orbit_ratio ≥ 1), carries
+// replay-validated lifted witnesses on FAILs, and feeds the /metrics
+// orbit accounting.
+func TestSymmetryRequest(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	body := func(symmetry string) string {
+		return fmt.Sprintf(`{
+			"system": "Ping-pong (6 pairs)",
+			"symmetry": %q
+		}`, symmetry)
+	}
+	code, base := postVerify(t, ts, body("off"))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, base)
+	}
+	code, sym := postVerify(t, ts, body("on"))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, sym)
+	}
+	type result struct {
+		Kind           string             `json:"kind"`
+		Holds          bool               `json:"holds"`
+		States         int                `json:"states"`
+		StatesExplored int                `json:"states_explored"`
+		OrbitRatio     float64            `json:"orbit_ratio"`
+		Witness        *effpi.WitnessJSON `json:"witness"`
+	}
+	var baseResp, symResp struct {
+		Results []result `json:"results"`
+	}
+	if err := json.Unmarshal(base, &baseResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(sym, &symResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(symResp.Results) != len(baseResp.Results) || len(symResp.Results) == 0 {
+		t.Fatalf("result counts differ: %d vs %d", len(symResp.Results), len(baseResp.Results))
+	}
+	for i, r := range symResp.Results {
+		b := baseResp.Results[i]
+		if r.Holds != b.Holds || r.States != b.States {
+			t.Errorf("%s: symmetric verdict/states (%v,%d) differ from reference (%v,%d)", r.Kind, r.Holds, r.States, b.Holds, b.States)
+		}
+		if b.StatesExplored != 0 {
+			t.Errorf("%s: reference result carries states_explored=%d", b.Kind, b.StatesExplored)
+		}
+		if r.StatesExplored <= 0 || r.StatesExplored > r.States {
+			t.Errorf("%s: states_explored=%d out of range (states %d)", r.Kind, r.StatesExplored, r.States)
+		}
+		if r.OrbitRatio < 1 {
+			t.Errorf("%s: orbit_ratio=%v, want >= 1", r.Kind, r.OrbitRatio)
+		}
+		if !r.Holds && r.Kind != effpi.EventualOutput.String() && (r.Witness == nil || !r.Witness.Replayed) {
+			t.Errorf("%s: symmetric FAIL without replay-validated witness", r.Kind)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics map[string]float64
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics["symmetric_properties_total"] <= 0 {
+		t.Errorf("symmetric_properties_total = %v, want > 0", metrics["symmetric_properties_total"])
+	}
+	if metrics["orbit_ratio"] <= 1 {
+		t.Errorf("orbit_ratio = %v, want > 1 after a collapsed row", metrics["orbit_ratio"])
+	}
+	if metrics["symmetry_states_covered_total"] < metrics["symmetry_states_explored_total"] {
+		t.Errorf("cumulative covered states %v < explored %v", metrics["symmetry_states_covered_total"], metrics["symmetry_states_explored_total"])
+	}
+}
+
+// TestSymmetryRequestRejectsUnknownMode: an unknown symmetry name is a
+// stable 400 naming the valid values.
+func TestSymmetryRequestRejectsUnknownMode(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	code, buf := postVerify(t, ts, `{"system": "Dining philos. (4, deadlock)", "symmetry": "orbit"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", code, buf)
+	}
+	if !bytes.Contains(buf, []byte(`"kind": "bad-request"`)) {
+		t.Errorf("error kind not bad-request: %s", buf)
+	}
+	for _, want := range []string{"orbit", "off", "on"} {
+		if !bytes.Contains(buf, []byte(want)) {
+			t.Errorf("error does not mention %q: %s", want, buf)
+		}
+	}
+}
+
+// TestPprofGating: the profiling endpoints exist only behind the -pprof
+// flag — a default server 404s them, an opted-in one serves the index.
+func TestPprofGating(t *testing.T) {
+	off := testServer(t, serverConfig{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+
+	on := testServer(t, serverConfig{pprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", resp.StatusCode)
+	}
+	if !bytes.Contains(buf, []byte("goroutine")) {
+		t.Errorf("pprof index does not list profiles: %.200s", buf)
+	}
+}
+
 func TestEarlyExitRequest(t *testing.T) {
 	ts := testServer(t, serverConfig{})
 	code, buf := postVerify(t, ts, `{

@@ -26,6 +26,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -42,6 +43,7 @@ type server struct {
 	maxTimeout     time.Duration // hard cap on requested timeouts
 	maxStates      int           // default exploration bound
 	parallelism    int           // default worker count (0 = GOMAXPROCS)
+	pprof          bool          // serve /debug/pprof/ (opt-in)
 
 	start   time.Time
 	metrics *expvar.Map
@@ -51,6 +53,10 @@ type server struct {
 	// stage, and the cumulative concrete/quotient state counts they saw —
 	// /metrics derives the fleet-wide reduction ratio from the pair.
 	reducedProps, reducedStatesFull, reducedStatesQuotient *expvar.Int
+	// Symmetry accounting: how many properties were checked on orbit
+	// representatives, and the cumulative covered/explored state counts —
+	// /metrics derives the fleet-wide orbit ratio from the pair.
+	symmetricProps, symmetryStatesCovered, symmetryStatesExplored *expvar.Int
 }
 
 type serverConfig struct {
@@ -58,6 +64,11 @@ type serverConfig struct {
 	maxTimeout     time.Duration
 	maxStates      int
 	parallelism    int
+	// pprof exposes the Go runtime profiling endpoints under
+	// /debug/pprof/. Off by default: the profiles leak goroutine stacks
+	// and heap contents, which a verification service should not serve
+	// unless its operator asked for them.
+	pprof bool
 }
 
 func newServer(ws *effpi.Workspace, cfg serverConfig) *server {
@@ -67,6 +78,7 @@ func newServer(ws *effpi.Workspace, cfg serverConfig) *server {
 		maxTimeout:     cfg.maxTimeout,
 		maxStates:      cfg.maxStates,
 		parallelism:    cfg.parallelism,
+		pprof:          cfg.pprof,
 		start:          time.Now(),
 		metrics:        new(expvar.Map).Init(),
 	}
@@ -84,6 +96,9 @@ func newServer(ws *effpi.Workspace, cfg serverConfig) *server {
 	s.reducedProps = newInt("reduced_properties_total")
 	s.reducedStatesFull = newInt("reduction_states_full_total")
 	s.reducedStatesQuotient = newInt("reduction_states_reduced_total")
+	s.symmetricProps = newInt("symmetric_properties_total")
+	s.symmetryStatesCovered = newInt("symmetry_states_covered_total")
+	s.symmetryStatesExplored = newInt("symmetry_states_explored_total")
 	return s
 }
 
@@ -92,6 +107,16 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.pprof {
+		// Explicit registrations rather than net/http/pprof's package
+		// side effect: the server never serves http.DefaultServeMux, so
+		// the profiles exist only when the operator opted in.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -118,6 +143,11 @@ type verifyRequest struct {
 	// or "strong" (bisimulation quotienting; verdicts identical, FAIL
 	// witnesses lifted to concrete runs and replay-validated).
 	Reduction string `json:"reduction,omitempty"`
+	// Symmetry selects exploration-time symmetry reduction: "off"
+	// (default) or "on" (orbit representatives under the system's
+	// channel-bundle symmetry group; verdicts identical, FAIL witnesses
+	// permutation-lifted to concrete runs and replay-validated).
+	Symmetry string `json:"symmetry,omitempty"`
 	// TimeoutMS caps this request's wall-clock (0 = server default;
 	// capped by the server's -max-timeout).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -161,6 +191,16 @@ type resultJSON struct {
 	// e.g. reduction off, ev-usage, a trivially-true formula, or an
 	// early-exit search).
 	StatesReduced int `json:"states_reduced,omitempty"`
+	// StatesExplored is the number of states the engine actually visited
+	// when exploration-time symmetry reduction was in effect: orbit
+	// representatives, each standing for a whole equivalence class of the
+	// States count above. Absent (0) when it equals States — i.e. no
+	// symmetry was requested or none was found.
+	StatesExplored int `json:"states_explored,omitempty"`
+	// OrbitRatio is States / StatesExplored (≥ 1), the per-property
+	// collapse factor of the symmetry mode; absent when no symmetry
+	// engaged.
+	OrbitRatio float64 `json:"orbit_ratio,omitempty"`
 	// Expanded is set under early exit: how many of the discovered
 	// states were materialised before the search concluded.
 	Expanded        int     `json:"expanded,omitempty"`
@@ -212,6 +252,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		ratio = float64(s.reducedStatesFull.Value()) / float64(q)
 	}
 	fmt.Fprintf(&b, ",%q: %.3f", "reduction_ratio", ratio)
+	// Derived gauge: fleet-wide orbit collapse factor across every
+	// symmetric property so far (1.0 until symmetry has engaged).
+	orbit := 1.0
+	if e := s.symmetryStatesExplored.Value(); e > 0 {
+		orbit = float64(s.symmetryStatesCovered.Value()) / float64(e)
+	}
+	fmt.Fprintf(&b, ",%q: %.3f", "orbit_ratio", orbit)
 	fmt.Fprintf(&b, ",%q: %d", "cache_caches", st.Caches)
 	fmt.Fprintf(&b, ",%q: %d", "cache_memos", st.Memos)
 	fmt.Fprintf(&b, ",%q: %d", "cache_evictions", st.Evictions)
@@ -276,11 +323,19 @@ func (s *server) verify(ctx context.Context, req *verifyRequest) (*verifyRespons
 			return nil, http.StatusBadRequest, "bad-request", err
 		}
 	}
+	symmetry := effpi.SymmetryOff
+	if req.Symmetry != "" {
+		var err error
+		if symmetry, err = effpi.ParseSymmetry(req.Symmetry); err != nil {
+			return nil, http.StatusBadRequest, "bad-request", err
+		}
+	}
 	opts := []effpi.Option{
 		effpi.WithMaxStates(pick(req.MaxStates, s.maxStates)),
 		effpi.WithParallelism(pick(req.Parallelism, s.parallelism)),
 		effpi.WithEarlyExit(req.EarlyExit),
 		effpi.WithReduction(reduction),
+		effpi.WithSymmetry(symmetry),
 	}
 
 	var (
@@ -355,6 +410,13 @@ func (s *server) verify(ctx context.Context, req *verifyRequest) (*verifyRespons
 			s.reducedProps.Add(1)
 			s.reducedStatesFull.Add(int64(o.States))
 			s.reducedStatesQuotient.Add(int64(o.ReducedStates))
+		}
+		if o.StatesExplored > 0 && o.StatesExplored < o.States {
+			res.StatesExplored = o.StatesExplored
+			res.OrbitRatio = float64(o.States) / float64(o.StatesExplored)
+			s.symmetricProps.Add(1)
+			s.symmetryStatesCovered.Add(int64(o.States))
+			s.symmetryStatesExplored.Add(int64(o.StatesExplored))
 		}
 		if o.Holds {
 			s.pass.Add(1)

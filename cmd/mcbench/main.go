@@ -13,6 +13,7 @@
 //
 //	mcbench [-suite all|payment|philos|pingpong|ring|large] [-reps N]
 //	        [-max N] [-skip-slow] [-shared] [-par N] [-props a,b] [-json PATH]
+//	        [-reduce] [-symmetry] [-cpuprofile PATH] [-memprofile PATH]
 //
 // With -json PATH the results are also written as machine-readable JSON
 // (one object per row with per-property verdicts and timing stats), the
@@ -31,6 +32,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"effpi"
@@ -44,59 +46,124 @@ func main() {
 	shared := flag.Bool("shared", false, "share one workspace cache across a row's properties (the VerifyAll production path) instead of timing each property cold")
 	par := flag.Int("par", 0, "BFS workers per exploration: 0 = GOMAXPROCS, 1 = the serial engine (cap total CPU with GOMAXPROCS)")
 	reduce := flag.Bool("reduce", false, "check every property on the strong-bisimulation quotient of its state space (verdicts unchanged; rows gain states_full/states_reduced columns)")
+	symmetry := flag.Bool("symmetry", false, "explore orbit representatives under each system's channel-bundle symmetry group (verdicts unchanged; rows gain states_explored/orbit_ratio columns)")
 	propFilter := flag.String("props", "", "comma-separated property kinds to run (default: all six Fig. 9 columns)")
 	jsonPath := flag.String("json", "", "write machine-readable results to PATH")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to PATH")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the sweep) to PATH")
 	flag.Parse()
 
-	rows := selectRows(*suite)
-	if len(rows) == 0 {
-		fmt.Fprintf(os.Stderr, "mcbench: unknown suite %q\n", *suite)
-		os.Exit(2)
-	}
-
-	kinds, err := parseKindFilter(*propFilter)
+	// Profile teardown must run on every exit path, and main exits via
+	// os.Exit (which skips defers) — so the sweep lives in run() and the
+	// teardown happens here, between run returning and the process dying.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
 		os.Exit(2)
 	}
+	code := run(*suite, *reps, *maxStates, *skipSlow, *shared, *par, *reduce, *symmetry, *propFilter, *jsonPath)
+	stopProfiles()
+	os.Exit(code)
+}
+
+// startProfiles begins CPU profiling and/or arranges a heap profile,
+// returning the teardown to run after the sweep. A nil-safe no-op
+// teardown comes back when neither path is set.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var stopCPU func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mcbench: writing heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// run executes the sweep and returns the process exit code.
+func run(suite string, reps, maxStates int, skipSlow, shared bool, par int, reduce, symmetry bool, propFilter, jsonPath string) int {
+	rows := selectRows(suite)
+	if len(rows) == 0 {
+		fmt.Fprintf(os.Stderr, "mcbench: unknown suite %q\n", suite)
+		return 2
+	}
+
+	kinds, err := parseKindFilter(propFilter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+		return 2
+	}
 
 	reduction := effpi.ReduceOff
-	if *reduce {
+	if reduce {
 		reduction = effpi.ReduceStrong
+	}
+	symMode := effpi.SymmetryOff
+	if symmetry {
+		symMode = effpi.SymmetryOn
 	}
 	report := &jsonReport{
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Parallelism: *par,
-		Reps:        *reps,
-		SharedCache: *shared,
+		Parallelism: par,
+		Reps:        reps,
+		SharedCache: shared,
 		Reduction:   reduction.String(),
+		Symmetry:    symMode.String(),
 	}
 
 	statesHeader := "states"
-	if *reduce {
+	switch {
+	case reduce:
 		statesHeader = "states full→reduced"
+	case symmetry:
+		statesHeader = "states full→explored"
 	}
 	fmt.Printf("%-34s %19s  %s\n", "system", statesHeader, strings.Join(propHeaders(kinds), "  "))
 	mismatches := 0
 	for _, s := range rows {
-		if *skipSlow && isSlow(s.Name) {
+		if skipSlow && isSlow(s.Name) {
 			continue
 		}
-		row, bad := runRow(s, *reps, *maxStates, *shared, *par, reduction, kinds)
+		row, bad := runRow(s, reps, maxStates, shared, par, reduction, symMode, kinds)
 		report.Rows = append(report.Rows, row)
 		mismatches += bad
 	}
 
-	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, report); err != nil {
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, report); err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if mismatches > 0 {
 		fmt.Fprintf(os.Stderr, "mcbench: %d verdicts differ from Fig. 9\n", mismatches)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // parseKindFilter resolves the -props flag through the shared property
@@ -194,8 +261,12 @@ type jsonReport struct {
 	// Reduction is the state-space reduction the run checked under
 	// ("off" or "strong"); with "strong" every row carries the
 	// states_full / states_reduced pair and their ratio.
-	Reduction string    `json:"reduction"`
-	Rows      []jsonRow `json:"rows"`
+	Reduction string `json:"reduction"`
+	// Symmetry is the exploration-time symmetry mode the run used ("off"
+	// or "on"); with "on" every row carries states_explored and
+	// orbit_ratio.
+	Symmetry string    `json:"symmetry"`
+	Rows     []jsonRow `json:"rows"`
 }
 
 type jsonRow struct {
@@ -208,9 +279,15 @@ type jsonRow struct {
 	// observation classes, so quotient sizes differ per column).
 	// ReductionRatio is StatesFull / StatesReduced — the row's
 	// states-checked shrink factor.
-	StatesFull     int        `json:"states_full,omitempty"`
-	StatesReduced  int        `json:"states_reduced,omitempty"`
-	ReductionRatio float64    `json:"reduction_ratio,omitempty"`
+	StatesFull     int     `json:"states_full,omitempty"`
+	StatesReduced  int     `json:"states_reduced,omitempty"`
+	ReductionRatio float64 `json:"reduction_ratio,omitempty"`
+	// StatesExplored is the orbit-representative count the engine visited
+	// under -symmetry (equal to States when the row has no non-trivial
+	// symmetry group); OrbitRatio is States / StatesExplored — the row's
+	// exploration collapse factor.
+	StatesExplored int        `json:"states_explored,omitempty"`
+	OrbitRatio     float64    `json:"orbit_ratio,omitempty"`
 	Properties     []jsonProp `json:"properties"`
 }
 
@@ -239,7 +316,7 @@ type jsonProp struct {
 // With shared, one workspace serves the whole row, so later properties
 // reuse earlier per-component work through its cache; without it every
 // repetition runs in a fresh workspace (timed cold).
-func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, reduction effpi.Reduction, kinds map[effpi.Kind]bool) (jsonRow, int) {
+func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, reduction effpi.Reduction, symmetry effpi.SymmetryMode, kinds map[effpi.Kind]bool) (jsonRow, int) {
 	ctx := context.Background()
 	row := jsonRow{System: s.Name}
 	cells := make([]string, 0, len(s.Props))
@@ -255,7 +332,7 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, red
 		}
 		return ws.NewSessionFromType(s.Env, s.Type,
 			effpi.WithMaxStates(maxStates), effpi.WithParallelism(par),
-			effpi.WithReduction(reduction))
+			effpi.WithReduction(reduction), effpi.WithSymmetry(symmetry))
 	}
 	for _, prop := range s.Props {
 		if !keepProp(kinds, prop) {
@@ -280,6 +357,9 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, red
 			jp.Holds = last.Holds
 			jp.StatesReduced = last.ReducedStates
 			row.States = last.States
+			if symmetry != effpi.SymmetryOff {
+				row.StatesExplored = last.StatesExplored
+			}
 			times = append(times, last.Duration.Seconds())
 		}
 		if failed {
@@ -318,11 +398,16 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, red
 		row.Properties = append(row.Properties, jp)
 	}
 	statesCell := fmt.Sprintf("%19d", row.States)
+	if symmetry != effpi.SymmetryOff && row.StatesExplored > 0 {
+		row.OrbitRatio = float64(row.States) / float64(row.StatesExplored)
+	}
 	if reduction != effpi.ReduceOff && row.StatesReduced > 0 {
 		// Rows where no property ran the Reduce stage (e.g. -props
 		// ev-usage) keep the plain state count instead of a 0\u21920 cell.
 		row.ReductionRatio = float64(row.StatesFull) / float64(row.StatesReduced)
 		statesCell = fmt.Sprintf("%10d\u2192%-8d", row.StatesFull, row.StatesReduced)
+	} else if row.OrbitRatio > 0 {
+		statesCell = fmt.Sprintf("%10d\u2192%-8d", row.States, row.StatesExplored)
 	}
 	fmt.Printf("%-34s %s  %s\n", s.Name, statesCell, strings.Join(cells, "  "))
 	return row, mismatches

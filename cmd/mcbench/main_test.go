@@ -16,7 +16,7 @@ func TestRunRowAttachesReplayedWitnesses(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark row not found")
 	}
-	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceOff, nil)
+	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceOff, effpi.SymmetryOff, nil)
 	if mismatches != 0 {
 		t.Fatalf("unexpected verdict mismatches: %d", mismatches)
 	}
@@ -66,7 +66,7 @@ func TestRunRowReduced(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark row not found")
 	}
-	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceStrong, nil)
+	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceStrong, effpi.SymmetryOff, nil)
 	if mismatches != 0 {
 		t.Fatalf("unexpected verdict mismatches under -reduce: %d", mismatches)
 	}
@@ -115,6 +115,45 @@ func TestRunRowReduced(t *testing.T) {
 	}
 }
 
+// TestRunRowSymmetry: under -symmetry a ping-pong row (interchangeable
+// pairs) carries the states_explored / orbit_ratio pair with an actual
+// collapse, verdicts still match Fig. 9, and failing properties still
+// serialise replay-validated witnesses (now produced by the permutation
+// lift).
+func TestRunRowSymmetry(t *testing.T) {
+	s, ok := effpi.BenchSystemByName("Ping-pong (6 pairs)")
+	if !ok {
+		t.Fatal("benchmark row not found")
+	}
+	row, mismatches := runRow(s, 1, 1<<20, true, 1, effpi.ReduceOff, effpi.SymmetryOn, nil)
+	if mismatches != 0 {
+		t.Fatalf("unexpected verdict mismatches under -symmetry: %d", mismatches)
+	}
+	if row.StatesExplored <= 0 || row.StatesExplored >= row.States {
+		t.Fatalf("states_explored=%d, want a real collapse of the %d-state row", row.StatesExplored, row.States)
+	}
+	if want := float64(row.States) / float64(row.StatesExplored); row.OrbitRatio != want {
+		t.Errorf("orbit_ratio=%v, want %v", row.OrbitRatio, want)
+	}
+	sawWitness := false
+	for _, p := range row.Properties {
+		kind, err := effpi.ParseKind(p.Kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Holds || kind == effpi.EventualOutput {
+			continue
+		}
+		if p.Witness == nil || !p.Witness.Replayed {
+			t.Fatalf("%s: symmetric FAIL without replay-validated witness", p.Kind)
+		}
+		sawWitness = true
+	}
+	if !sawWitness {
+		t.Fatal("symmetric row produced no witnesses")
+	}
+}
+
 // TestPropFilter: the -props flag runs through the façade's shared kind
 // parser and filters the row's columns.
 func TestPropFilter(t *testing.T) {
@@ -137,7 +176,7 @@ func TestPropFilter(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark row not found")
 	}
-	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceOff, kinds)
+	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceOff, effpi.SymmetryOff, kinds)
 	if mismatches != 0 {
 		t.Fatalf("unexpected verdict mismatches: %d", mismatches)
 	}

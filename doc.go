@@ -8,7 +8,8 @@
 // memoised transition semantics, with a size-bounded eviction policy); a
 // Session binds one program or type to a workspace and is configured
 // with functional options (WithMaxStates, WithParallelism,
-// WithEarlyExit, WithReduction, WithClosed, WithProgress, …):
+// WithEarlyExit, WithReduction, WithSymmetry, WithClosed, WithProgress,
+// …):
 //
 //	ws := effpi.NewWorkspace()
 //	s, err := ws.NewSession(src, effpi.WithBind("c", "Chan[Int]"))
@@ -46,4 +47,20 @@
 // replay oracle before it is returned, and Outcome.ReducedStates
 // reports the block count actually checked (symmetric systems shrink by
 // orders of magnitude; see DESIGN.md §reduction).
+//
+// Symmetry reduction: WithSymmetry(SymmetryOn) — "-symmetry on" in
+// effpi verify, "-symmetry" in mcbench, "symmetry": "on" in effpid
+// requests — shrinks the *exploration* itself: closed systems are
+// analysed for interchangeable channel bundles and the BFS
+// canonicalises every successor to an orbit representative under the
+// detected permutation group, so symmetric interleavings are never
+// materialised (Outcome.StatesExplored representatives cover
+// Outcome.States concrete states; the 12-pair ping-pong row explores
+// 234 in place of 531 441). Every orbit edge records its
+// canonicalising permutation; a FAIL's orbit counterexample is
+// rewritten into a concrete run by composing those permutations and
+// re-validated by the replay oracle before it is returned. Symmetry
+// composes with WithEarlyExit and WithReduction, and falls back to the
+// concrete pipeline for open (non-Closed) properties; see DESIGN.md
+// §symmetry.
 package effpi

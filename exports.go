@@ -42,6 +42,9 @@ type (
 	BenchSystem = systems.System
 	// Reduction selects the state-space reduction stage (WithReduction).
 	Reduction = verify.Reduction
+	// SymmetryMode selects exploration-time symmetry reduction
+	// (WithSymmetry).
+	SymmetryMode = verify.SymmetryMode
 )
 
 // The six property schemas of Fig. 7.
@@ -64,12 +67,26 @@ const (
 	ReduceStrong = verify.ReduceStrong
 )
 
+// The symmetry modes of WithSymmetry.
+const (
+	// SymmetryOff explores the concrete state space (the default).
+	SymmetryOff = verify.SymmetryOff
+	// SymmetryOn explores orbit representatives under the system's
+	// channel-bundle automorphism group, with permutation-tracked,
+	// replay-validated witness lifting on every FAIL.
+	SymmetryOn = verify.SymmetryOn
+)
+
 // AllKinds lists the six schemas in the column order of Fig. 9.
 func AllKinds() []Kind { return verify.AllKinds() }
 
 // ParseReduction resolves a reduction mode name ("off", "strong") as
 // used by CLI flags and the effpid request field.
 func ParseReduction(name string) (Reduction, error) { return verify.ParseReduction(name) }
+
+// ParseSymmetry resolves a symmetry mode name ("off", "on") as used by
+// CLI flags and the effpid request field.
+func ParseSymmetry(name string) (SymmetryMode, error) { return verify.ParseSymmetry(name) }
 
 // Replay re-validates a FAIL outcome by machine-checking its witness
 // against the explored LTS and a freshly re-translated property

@@ -519,3 +519,54 @@ func TestWithReduction(t *testing.T) {
 		t.Error("WithReduction must reject unknown modes")
 	}
 }
+
+// TestWithSymmetry: the session-level symmetry option explores orbit
+// representatives — verdicts, concrete States counts and witness replays
+// identical to the reference session on a symmetric benchmark row,
+// StatesExplored strictly below States (the ping-pong pairs are
+// interchangeable), and the option rejects unknown modes.
+func TestWithSymmetry(t *testing.T) {
+	ctx := context.Background()
+	sys, ok := BenchSystemByName("Ping-pong (6 pairs)")
+	if !ok {
+		t.Fatal("benchmark row not found")
+	}
+	run := func(opts ...Option) []*Outcome {
+		t.Helper()
+		sess, err := NewWorkspace().NewSessionFromType(sys.Env, sys.Type, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := sess.VerifyAll(ctx, sys.Props...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	base := run()
+	sym := run(WithSymmetry(SymmetryOn))
+	collapsed := false
+	for i := range base {
+		if sym[i].Holds != base[i].Holds || sym[i].States != base[i].States {
+			t.Errorf("%s: symmetric (%v,%d) vs reference (%v,%d)", base[i].Property,
+				sym[i].Holds, sym[i].States, base[i].Holds, base[i].States)
+		}
+		if base[i].StatesExplored != base[i].States {
+			t.Errorf("%s: reference outcome explored %d of %d states", base[i].Property, base[i].StatesExplored, base[i].States)
+		}
+		if sym[i].StatesExplored < sym[i].States {
+			collapsed = true
+		}
+		if !sym[i].Holds && sym[i].Property.Kind != EventualOutput {
+			if err := Replay(sym[i]); err != nil {
+				t.Errorf("%s: lifted witness does not replay through the façade: %v", base[i].Property, err)
+			}
+		}
+	}
+	if !collapsed {
+		t.Error("no property explored fewer states than the concrete space — symmetry never engaged")
+	}
+	if _, err := NewWorkspace().NewSessionFromType(sys.Env, sys.Type, WithSymmetry(SymmetryMode(99))); err == nil {
+		t.Error("WithSymmetry must reject unknown modes")
+	}
+}

@@ -77,6 +77,10 @@ func (x *Incremental) Err() error { return x.err }
 // StateType returns the representative type of a discovered state.
 func (x *Incremental) StateType(s int) types.Type { return x.b.l.States[s] }
 
+// StateComps returns the rank-sorted component multiset of a discovered
+// state. The slice is owned by the explorer; callers must not mutate it.
+func (x *Incremental) StateComps(s int) []types.ID { return x.b.stateComps[s] }
+
 // Succ returns the outgoing edges of state s, expanding it on first
 // request. Expansion registers s's successor states (growing Len) and
 // completes the run of edge-less states with ✔/⊠ exactly like Explore.
@@ -132,10 +136,22 @@ func (x *Incremental) Snapshot() *LTS {
 		States:    append([]types.Type{}, x.b.l.States...),
 		Labels:    append([]typelts.Label{}, x.b.l.Labels...),
 	}
+	var sym *SymInfo
+	if src := x.b.l.Sym; src != nil {
+		sym = &SymInfo{
+			S:          src.S,
+			RootPerm:   src.RootPerm,
+			OrbitSizes: append([]int64{}, src.OrbitSizes...),
+		}
+		l.Sym = sym
+	}
 	l.start = make([]int32, 1, len(l.States)+1)
 	for s := range l.States {
 		if s < len(x.lo) && x.lo[s] >= 0 {
 			l.edges = append(l.edges, x.b.l.edges[x.lo[s]:x.hi[s]]...)
+			if sym != nil {
+				sym.edgePerms = append(sym.edgePerms, x.b.l.Sym.edgePerms[x.lo[s]:x.hi[s]]...)
+			}
 		}
 		l.start = append(l.start, int32(len(l.edges)))
 	}

@@ -61,6 +61,54 @@ type LTS struct {
 	// whole-space analyses are meaningless on it. Runs that only visit
 	// expanded states — counterexample witnesses — replay fine.
 	Partial bool
+	// Sym is the symmetry bookkeeping of a symmetric exploration
+	// (Options.Symmetry): the group, the root permutation, the per-edge
+	// permutations and the per-state orbit sizes. Nil for plain
+	// explorations.
+	Sym *SymInfo
+}
+
+// SymInfo records the bookkeeping of a symmetric exploration. States of
+// the owning LTS are orbit representatives; every edge carries the
+// permutation that mapped its raw successor onto the canonical one, so
+// counterexamples can be lifted back to concrete runs.
+type SymInfo struct {
+	// S is the group the exploration canonicalised under.
+	S *Symmetry
+	// RootPerm maps the caller's initial state onto the canonical root:
+	// States[Initial] = RootPerm(init).
+	RootPerm int32
+	// edgePerms[k] is the permutation π of edge k: the raw successor u
+	// of the edge's source representative satisfies dst = π(u). Aligned
+	// with the LTS's flat edge array.
+	edgePerms []int32
+	// OrbitSizes[s] is |orbit(s)| (1 when the canonicaliser fell back to
+	// the identity for lack of residence info). Aligned with States.
+	OrbitSizes []int64
+}
+
+// EdgePerm returns the permutation recorded for the k-th outgoing edge
+// of state s (the identity, 0, when the LTS was explored without
+// symmetry).
+func (l *LTS) EdgePerm(s, k int) int32 {
+	if l.Sym == nil {
+		return 0
+	}
+	return l.Sym.edgePerms[int(l.start[s])+k]
+}
+
+// Covered returns the number of concrete states the LTS represents: the
+// state count itself for plain explorations, the sum of orbit sizes
+// (saturating) for symmetric ones.
+func (l *LTS) Covered() int64 {
+	if l.Sym == nil {
+		return int64(len(l.States))
+	}
+	var sum int64
+	for _, o := range l.Sym.OrbitSizes {
+		sum = satAdd(sum, o)
+	}
+	return sum
 }
 
 // Options configures exploration.
@@ -78,6 +126,17 @@ type Options struct {
 	// running state and edge counts. It is always called from the
 	// exploration's merge (single-threaded) side, never concurrently.
 	Progress func(p Progress)
+	// Symmetry, when non-nil, canonicalises every registered state to
+	// its orbit representative under the given channel-permutation group
+	// (see DetectSymmetry), recording the applied permutation per edge
+	// in LTS.Sym. It is honoured only for the explorations its
+	// soundness argument covers — closed (no observable set),
+	// witness-only, over the same interner the group was detected with —
+	// and silently ignored otherwise. Canonicalisation runs on the
+	// single-threaded registration side of every engine, so the parallel
+	// determinism contract is preserved: the symmetric LTS is
+	// byte-identical at any worker count.
+	Symmetry *Symmetry
 }
 
 // Progress is a snapshot of a running exploration, delivered through
@@ -170,8 +229,23 @@ func prepBuilder(ctx context.Context, sem *typelts.Semantics, init types.Type, o
 	b := newBuilder(sem, maxStates)
 	b.ctx = ctx
 	b.progress = opts.Progress
+	if s := opts.Symmetry; s != nil && len(sem.Observable) == 0 && sem.WitnessOnly && s.in == sem.Cache.Interner() {
+		b.sym = s
+		b.l.Sym = &SymInfo{S: s}
+	}
 	root := sem.InternLeaves(init)
 	b.orderComps(root)
+	if b.sym != nil {
+		canon, perm := b.sym.canonicalise(root)
+		b.l.Sym.RootPerm = perm
+		if perm != 0 {
+			// The canonical root is a different state; its representative
+			// type is materialised from the interner.
+			root = canon
+			b.orderComps(root)
+			init = nil
+		}
+	}
 	b.internState(root, init)
 	return b
 }
@@ -211,6 +285,11 @@ type builder struct {
 	// non-nil, receives periodic Progress snapshots (see Options).
 	ctx      context.Context
 	progress func(Progress)
+
+	// sym, when non-nil, canonicalises every registered successor to its
+	// orbit representative (see Options.Symmetry); l.Sym records the
+	// per-edge permutations and per-state orbit sizes alongside.
+	sym *Symmetry
 
 	// Per-state edge dedup: linear scan while the out-degree is small,
 	// switching to a map once it crosses dedupThreshold (high-out-degree
@@ -285,6 +364,9 @@ func (b *builder) internState(comps []types.ID, rep types.Type) int32 {
 	}
 	b.l.States = append(b.l.States, rep)
 	b.stateComps = append(b.stateComps, comps)
+	if b.sym != nil {
+		b.l.Sym.OrbitSizes = append(b.l.Sym.OrbitSizes, b.sym.orbitSize(comps))
+	}
 	return s
 }
 
@@ -302,7 +384,12 @@ func (b *builder) internLabel(key typelts.LabelKey, lab typelts.Label) int32 {
 func (b *builder) beginState() { b.dedupActive = false }
 
 // addEdge appends (lid → dst) unless the current state already has it.
-func (b *builder) addEdge(from int32, lid, dst int32) {
+// perm is the symmetry permutation recorded for the edge (0 = identity;
+// always 0 without symmetry). When a duplicate (label, dst) pair is
+// dropped, the first recorded permutation stands — any recorded
+// permutation maps the canonical destination back to *a* raw successor
+// of the source under that label, which is all the lift needs.
+func (b *builder) addEdge(from int32, lid, dst, perm int32) {
 	e := Edge{Label: lid, Dst: dst}
 	if !b.dedupActive {
 		seg := b.l.edges[from:]
@@ -311,7 +398,7 @@ func (b *builder) addEdge(from int32, lid, dst int32) {
 				return
 			}
 		}
-		b.l.edges = append(b.l.edges, e)
+		b.appendEdge(e, perm)
 		if len(seg)+1 >= dedupThreshold {
 			b.dedupActive = true
 			if b.dedup == nil {
@@ -329,18 +416,47 @@ func (b *builder) addEdge(from int32, lid, dst int32) {
 		return
 	}
 	b.dedup[e] = struct{}{}
+	b.appendEdge(e, perm)
+}
+
+// appendEdge grows the flat edge array, keeping the per-edge
+// permutation array aligned when symmetry is active.
+func (b *builder) appendEdge(e Edge, perm int32) {
 	b.l.edges = append(b.l.edges, e)
+	if b.sym != nil {
+		b.l.Sym.edgePerms = append(b.l.Sym.edgePerms, perm)
+	}
 }
 
 // applyStep splices a successor multiset together (dropping the acting
-// positions i and j), orders it by builder rank, registers it, and
-// appends the edge.
+// positions i and j) and registers the resulting edge.
 func (b *builder) applyStep(from int32, comps []types.ID, i, j int, st typelts.CompStep) {
-	succ := spliceSucc(comps, i, j, st.Next)
+	b.register(from, spliceSucc(comps, i, j, st.Next), st.Key, st.Label)
+}
+
+// register is the shared successor-registration path of all three
+// engines (serial loop, parallel merge, incremental expansion): order
+// the multiset by builder rank, canonicalise it to its orbit
+// representative when symmetry is active, intern state and label, and
+// splice the edge — recording the canonicalisation permutation
+// alongside. Everything order-sensitive (ranks, state numbers, label
+// indices, permutation table indices) is assigned here, on the
+// single-threaded side, which is what keeps the parallel engine
+// byte-deterministic with symmetry on.
+func (b *builder) register(from int32, succ []types.ID, key typelts.LabelKey, lab typelts.Label) {
 	b.orderComps(succ)
+	var perm int32
+	if b.sym != nil {
+		var canon []types.ID
+		canon, perm = b.sym.canonicalise(succ)
+		if perm != 0 {
+			succ = canon
+			b.orderComps(succ)
+		}
+	}
 	dst := b.internState(succ, nil)
-	lid := b.internLabel(st.Key, st.Label)
-	b.addEdge(from, lid, dst)
+	lid := b.internLabel(key, lab)
+	b.addEdge(from, lid, dst, perm)
 }
 
 // spliceSucc builds the successor multiset: comps without positions i
@@ -366,7 +482,7 @@ func (b *builder) completeRun(next int, from int32) {
 		if len(b.stateComps[next]) == 0 {
 			lab = typelts.Done{}
 		}
-		b.l.edges = append(b.l.edges, Edge{Label: b.internLabel(b.sem.Cache.LabelKeyOf(lab), lab), Dst: int32(next)})
+		b.appendEdge(Edge{Label: b.internLabel(b.sem.Cache.LabelKeyOf(lab), lab), Dst: int32(next)}, 0)
 	}
 }
 

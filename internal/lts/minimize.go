@@ -29,6 +29,8 @@ import (
 	"context"
 	"fmt"
 	"slices"
+
+	"effpi/internal/types"
 )
 
 // Quotient is an LTS quotiented by the coarsest partition stable under
@@ -517,3 +519,29 @@ func (q *Quotient) fingerprint() string {
 // Fingerprint is the exported determinism fingerprint of the quotient
 // (see fingerprint); tests outside the package compare it byte for byte.
 func (q *Quotient) Fingerprint() string { return q.fingerprint() }
+
+// QuotientLTS materialises a quotient as a standalone LTS: blocks
+// become states (represented by their Rep's type), and the quotient CSR
+// becomes the edge array. Labels are shared with the full LTS — quotient
+// edges already carry concrete label indices — so formulas compiled over
+// the full alphabet apply unchanged, and a second Minimize over a
+// coarser class vector yields a quotient-of-quotient (used by
+// VerifyAll's cross-property refinement reuse: refine once over the
+// join of all properties' classes, then project each property's
+// quotient from the joint one).
+func QuotientLTS(q *Quotient) *LTS {
+	nb := q.NumBlocks()
+	l := &LTS{
+		Initial:   q.InitialBlock(),
+		Labels:    q.Full.Labels,
+		Truncated: q.Full.Truncated,
+		States:    make([]types.Type, nb),
+	}
+	l.start = make([]int32, 1, nb+1)
+	for b := 0; b < nb; b++ {
+		l.States[b] = q.Full.States[q.Rep[b]]
+		l.edges = append(l.edges, q.Out(b)...)
+		l.start = append(l.start, int32(len(l.edges)))
+	}
+	return l
+}

@@ -90,13 +90,11 @@ func (b *builder) exploreParallel(par int) error {
 			from := b.l.start[next]
 			b.beginState()
 			for _, p := range props[i] {
-				// Rank-order the successor multiset before registering —
-				// the same sequence applyStep performs on the serial path,
-				// so the two engines build identical states and edges.
-				b.orderComps(p.succ)
-				dst := b.internState(p.succ, nil)
-				lid := b.internLabel(p.key, p.lab)
-				b.addEdge(from, lid, dst)
+				// register performs the same rank-order → canonicalise →
+				// intern → splice sequence applyStep runs on the serial
+				// path, so the two engines build identical states and
+				// edges (symmetric or not).
+				b.register(from, p.succ, p.key, p.lab)
 			}
 			b.finishState(next, from)
 			props[i] = nil

@@ -341,7 +341,7 @@ func TestAddEdgeDedupHighDegree(t *testing.T) {
 	for round := 0; round < 2; round++ { // second round: all duplicates
 		for k := 0; k < total; k++ {
 			lab := typelts.Output{Subject: types.Var{Name: fmt.Sprintf("v%d", k)}, Payload: types.Str{}}
-			b.addEdge(from, b.internLabel(sem.Cache.LabelKeyOf(lab), lab), 0)
+			b.addEdge(from, b.internLabel(sem.Cache.LabelKeyOf(lab), lab), 0, 0)
 		}
 	}
 	if got := len(b.l.edges); got != total {

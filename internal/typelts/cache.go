@@ -209,6 +209,12 @@ func (c *Cache) Memos() int {
 // Env returns the environment the cache was built for.
 func (c *Cache) Env() *types.Env { return c.env }
 
+// WitnessOnly reports whether the cache was built for witness-only
+// early input (see Semantics.WitnessOnly). Symmetry detection
+// (lts.DetectSymmetry) requires it: its confinement argument relies on
+// environment-variable input instances subsuming the anonymous one.
+func (c *Cache) WitnessOnly() bool { return c.witnessOnly }
+
 // compatible reports whether the cache may serve entries for s: same
 // environment and early-input mode.
 func (c *Cache) compatible(s *Semantics) bool {

@@ -47,14 +47,15 @@ func (r Reduction) String() string {
 }
 
 // ParseReduction resolves a reduction name ("off", "strong") as used by
-// CLI flags and service request fields.
+// CLI flags and service request fields. Unknown names report the valid
+// values.
 func ParseReduction(name string) (Reduction, error) {
 	for r, n := range reductionNames {
 		if n == name {
 			return r, nil
 		}
 	}
-	return ReduceOff, fmt.Errorf("verify: unknown reduction %q (want off or strong)", name)
+	return ReduceOff, fmt.Errorf("verify: unknown reduction %q (valid values: %s)", name, validModeNames(reductionNames))
 }
 
 // checkReduced runs the Reduce → Check stages for one compiled formula:

@@ -1,0 +1,402 @@
+package verify
+
+// Exploration-time symmetry reduction (Request.Symmetry): the verifier
+// detects the channel-bundle permutation group of a closed system
+// (lts.DetectSymmetry, pinning every channel the property observes),
+// explores the orbit LTS instead of the concrete one, and — on FAIL —
+// lifts the orbit counterexample back to a concrete run by composing the
+// permutations recorded on the orbit edges, re-validating the result
+// with the PR 3 replay oracle. A lift that fails to produce a violating
+// concrete run is an internal error, never a verdict.
+//
+// Soundness of the orbit check: the group G is an automorphism group of
+// the concrete LTS (every π ∈ G maps reachable states to reachable
+// states and edges to edges with π-renamed labels), and G fixes every
+// channel the property mentions, so the property — read as the
+// conjunction over its whole G-closed payload alphabet — is G-invariant.
+// Checking a G-invariant linear-time property on the orbit quotient is
+// then equivalent to checking it on the concrete system (the classical
+// symmetry-reduction argument of Emerson–Sistla). The lift below turns
+// that equivalence into machine-checked evidence for every FAIL.
+//
+// Cross-property quotient reuse (jointQuotient): VerifyAll refines the
+// group's LTS once, over the product of every property's observation-
+// class vector, and each property then minimises the (small) joint
+// quotient instead of the full LTS. Quotient-of-quotient by coarser
+// classes equals the direct quotient, so verdicts, block counts and
+// witnesses are unchanged — only the per-property refinement cost drops
+// from O(concrete edges) to O(joint edges).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"effpi/internal/lts"
+	"effpi/internal/mucalc"
+	"effpi/internal/typelts"
+	"effpi/internal/types"
+)
+
+// SymmetryMode selects exploration-time symmetry reduction.
+type SymmetryMode int
+
+const (
+	// SymmetryOff explores the concrete state space (the reference
+	// pipeline).
+	SymmetryOff SymmetryMode = iota
+	// SymmetryOn canonicalises every explored state to its orbit
+	// representative under the system's channel-bundle permutation group
+	// (lts.DetectSymmetry), pinning the property's channels. Verdicts are
+	// identical to SymmetryOff; every FAIL's witness is lifted to a
+	// concrete run and re-validated by Replay. The mode only engages for
+	// closed properties of systems with detectable symmetry — otherwise
+	// the exploration silently runs concrete, byte-identical to
+	// SymmetryOff.
+	SymmetryOn
+)
+
+var symmetryNames = map[SymmetryMode]string{
+	SymmetryOff: "off",
+	SymmetryOn:  "on",
+}
+
+func (s SymmetryMode) String() string {
+	if n, ok := symmetryNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("SymmetryMode(%d)", int(s))
+}
+
+// ParseSymmetry resolves a symmetry mode name ("off", "on") as used by
+// CLI flags and service request fields. Unknown names report the valid
+// values.
+func ParseSymmetry(name string) (SymmetryMode, error) {
+	for s, n := range symmetryNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return SymmetryOff, fmt.Errorf("verify: unknown symmetry mode %q (valid values: %s)", name, validModeNames(symmetryNames))
+}
+
+// validModeNames renders a mode-name map as a sorted, comma-separated
+// list for error messages (shared by ParseSymmetry and ParseReduction).
+func validModeNames[M comparable](m map[M]string) string {
+	names := make([]string, 0, len(m))
+	for _, n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// pinnedChannels lists the channels a property observes — probe
+// channels, From and To — which symmetry detection must never permute.
+func pinnedChannels(p Property) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(x string) {
+		if x != "" && !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, c := range p.Channels {
+		add(c)
+	}
+	add(p.From)
+	add(p.To)
+	return out
+}
+
+// batchPinnedChannels is the union of pinnedChannels over a property
+// batch: VerifyAll shares one orbit exploration across every property of
+// an observable-set group, so the group must fix every channel any of
+// them observes.
+func batchPinnedChannels(props []Property) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range props {
+		for _, c := range pinnedChannels(p) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// internMultiset interns a component multiset's identity: ID-sorted
+// InternPar over a scratch copy (InternPar sorts in place, and callers'
+// slices are rank-sorted and must stay that way).
+func internMultiset(in *types.Interner, comps []types.ID) types.ID {
+	scratch := append(make([]types.ID, 0, len(comps)), comps...)
+	return in.InternPar(scratch)
+}
+
+// orbitStep is one resolved transition of an orbit-LTS lasso: the edge
+// plus the canonicalisation permutation recorded for it.
+type orbitStep struct {
+	from, to int
+	lab      int32
+	perm     int32
+}
+
+// resolveOrbitSteps maps a witness segment onto orbit edges. Edge dedup
+// keeps one edge per (label, destination) pair, so the lookup is
+// unambiguous; the permutation found maps the canonical destination back
+// to *a* raw successor of the source, which is all the lift needs.
+func resolveOrbitSteps(m *lts.LTS, states []int, labels []int32) ([]orbitStep, error) {
+	steps := make([]orbitStep, 0, len(labels))
+	for i, lab := range labels {
+		from, to := states[i], states[i+1]
+		found := false
+		for k, e := range m.Out(from) {
+			if e.Label == lab && int(e.Dst) == to {
+				steps = append(steps, orbitStep{from: from, to: to, lab: lab, perm: m.EdgePerm(from, k)})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("witness step %d→%d (label %d) is not an edge of the orbit LTS", from, to, lab)
+		}
+	}
+	return steps, nil
+}
+
+// liftSymmetric rewrites a FAIL outcome found on an orbit LTS into
+// concrete terms: a concrete lasso, the concrete fragment it runs over
+// (Outcome.WitnessLTS), and — for enumerated-alphabet formulas — the
+// property recompiled over that fragment, so Replay can re-validate the
+// verdict on concrete semantics.
+//
+// The lift walks a fresh symmetry-free incremental exploration of the
+// same type over the same interner, tracking the accumulated permutation
+// ρ that maps the current orbit representative onto the current concrete
+// state: ρ₀ inverts the root canonicalisation, each orbit edge with
+// recorded permutation π contributes the concrete label ρ(label) and
+// updates ρ ← ρ∘π⁻¹. The orbit cycle is unrolled until the concrete walk
+// revisits a cycle-head state, which the permutation algebra bounds by
+// the order of the cycle's composed permutation δ (ρ at the k-th head is
+// ρ₀∘δᵏ, and δ has finite order).
+func liftSymmetric(ctx context.Context, req Request, sem *typelts.Semantics, m *lts.LTS, out *Outcome) error {
+	sym := m.Sym.S
+	raw := out.Witness.Raw
+	if !sem.HasCompatibleCache() || !sym.SameInterner(sem.Cache.Interner()) {
+		return fmt.Errorf("the outcome's symmetry group was detected over a different transition cache")
+	}
+	in := sem.Cache.Interner()
+
+	stem, err := resolveOrbitSteps(m, raw.StemStates, raw.StemLabels)
+	if err != nil {
+		return err
+	}
+	cyc, err := resolveOrbitSteps(m, raw.CycleStates, raw.CycleLabels)
+	if err != nil {
+		return err
+	}
+	if len(cyc) == 0 {
+		return fmt.Errorf("orbit witness has an empty cycle")
+	}
+
+	inc := lts.NewIncrementalContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates})
+	rho := sym.Invert(m.Sym.RootPerm)
+	cur := inc.Initial()
+	lifted := &mucalc.Witness{StemStates: []int{cur}}
+
+	// step advances the concrete walk along one orbit step: the concrete
+	// label is ρ(label), the expected concrete successor is
+	// (ρ∘π⁻¹)(canonical destination), matched among the concrete edges by
+	// label key and interned multiset identity.
+	step := func(st orbitStep) error {
+		next := sym.Compose(rho, sym.Invert(st.perm))
+		lab := sym.PermuteLabel(rho, m.Labels[st.lab])
+		dstComps := sem.InternLeaves(m.States[st.to])
+		expComps, ok := sym.PermuteComps(next, dstComps)
+		if !ok {
+			return fmt.Errorf("orbit state %d has components the group cannot place", st.to)
+		}
+		want := internMultiset(in, expComps)
+		wantKey := lab.Key()
+		edges, err := inc.Succ(cur)
+		if err != nil {
+			return err
+		}
+		for _, e := range edges {
+			if inc.Labels()[e.Label].Key() == wantKey && internMultiset(in, inc.StateComps(int(e.Dst))) == want {
+				lifted.StemLabels = append(lifted.StemLabels, e.Label)
+				cur = int(e.Dst)
+				lifted.StemStates = append(lifted.StemStates, cur)
+				rho = next
+				return nil
+			}
+		}
+		return fmt.Errorf("concrete state %d has no successor matching lifted label %s", cur, wantKey)
+	}
+
+	for _, st := range stem {
+		if err := step(st); err != nil {
+			return err
+		}
+	}
+
+	// δ is the permutation one cycle unrolling composes onto ρ; its order
+	// bounds the number of unrollings before a concrete head repeats.
+	delta := int32(0)
+	for _, st := range cyc {
+		delta = sym.Compose(delta, sym.Invert(st.perm))
+	}
+	ord := 1
+	for d := delta; d != 0; d = sym.Compose(d, delta) {
+		ord++
+		if ord > 1<<20 {
+			return fmt.Errorf("cycle permutation order exceeds 2^20 — group bookkeeping is inconsistent")
+		}
+	}
+
+	firstSeen := map[int]int{}
+	for iter := 0; iter <= ord; iter++ {
+		if at, ok := firstSeen[cur]; ok {
+			cut := len(stem) + at*len(cyc)
+			w := &mucalc.Witness{
+				StemStates:  lifted.StemStates[:cut+1],
+				StemLabels:  lifted.StemLabels[:cut],
+				CycleStates: lifted.StemStates[cut:],
+				CycleLabels: lifted.StemLabels[cut:],
+			}
+			return finishLift(req, inc, w, out)
+		}
+		firstSeen[cur] = iter
+		for _, st := range cyc {
+			if err := step(st); err != nil {
+				return err
+			}
+		}
+	}
+	return fmt.Errorf("concrete cycle did not close within %d unrollings (order of δ) — group bookkeeping is inconsistent", ord)
+}
+
+// finishLift installs the lifted lasso on the outcome: the concrete
+// fragment snapshot becomes WitnessLTS, the witness and counterexample
+// are re-decoded against it, and enumerated-alphabet formulas are
+// recompiled over the fragment (whose alphabet contains every lifted
+// label) so the replay oracle's ¬ϕ automaton reads the concrete labels.
+// Symbolic (early-exit) formulas evaluate labels directly and need no
+// recompilation.
+func finishLift(req Request, inc *lts.Incremental, w *mucalc.Witness, out *Outcome) error {
+	wl := inc.Snapshot()
+	out.WitnessLTS = wl
+	out.Witness = DecodeWitness(wl, w)
+	out.Counterexample = w.Trace(wl.Labels)
+	if !out.EarlyExit {
+		phi, err := Compile(req.Env, wl, req.Property)
+		if err != nil {
+			return fmt.Errorf("recompiling the property over the lifted fragment: %w", err)
+		}
+		out.Formula = phi
+	}
+	return nil
+}
+
+// jointQuotient is the once-per-group joint refinement VerifyAll shares
+// across the properties of one observable-set group: the partition of
+// the explored LTS under the product of every property's observation
+// classes, plus its projected LTS (lts.QuotientLTS) for the per-property
+// second-stage minimisations to run on.
+type jointQuotient struct {
+	q *lts.Quotient
+	l *lts.LTS
+}
+
+// buildJoint compiles every LTL property of a group over the explored
+// LTS, joins their observation-class vectors and refines once. It
+// returns nil — each property then refines the full LTS itself, exactly
+// as without reuse — when fewer than two properties contribute a
+// non-trivial class vector (no sharing to be had) or any compilation
+// fails (the failing property will surface its own error).
+func buildJoint(ctx context.Context, env *types.Env, m *lts.LTS, props []Property) *jointQuotient {
+	var vecs [][]int32
+	for _, p := range props {
+		if p.Kind == EventualOutput {
+			continue
+		}
+		phi, err := Compile(env, m, p)
+		if err != nil {
+			return nil
+		}
+		if mucalc.TriviallyTrue(phi) {
+			continue
+		}
+		classes, _ := mucalc.LabelClasses(m.Labels, phi)
+		vecs = append(vecs, classes)
+	}
+	if len(vecs) < 2 {
+		return nil
+	}
+	joint := vecs[0]
+	for _, v := range vecs[1:] {
+		joint = combineClasses(joint, v)
+	}
+	q, err := lts.MinimizeContext(ctx, m, joint)
+	if err != nil {
+		return nil
+	}
+	return &jointQuotient{q: q, l: lts.QuotientLTS(q)}
+}
+
+// combineClasses intersects two per-label class vectors into the dense
+// product partition, numbering the pairs in first-encounter label order
+// so the result is deterministic.
+func combineClasses(a, b []int32) []int32 {
+	seen := map[[2]int32]int32{}
+	out := make([]int32, len(a))
+	for i := range a {
+		k := [2]int32{a[i], b[i]}
+		id, ok := seen[k]
+		if !ok {
+			id = int32(len(seen))
+			seen[k] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// checkReducedJoint is checkReduced on a shared joint quotient: the
+// property minimises the joint LTS (states = joint blocks, labels =
+// concrete label indices) instead of the full one, and a FAIL witness is
+// lifted in two stages — property quotient → joint blocks, then joint
+// blocks → concrete states — before the caller re-validates it with the
+// replay oracle. Quotient-of-quotient by the property's (coarser)
+// classes equals the direct quotient, so verdicts and block counts match
+// checkReduced exactly.
+func checkReducedJoint(ctx context.Context, m *lts.LTS, j *jointQuotient, phi mucalc.Formula, out *Outcome) (mucalc.Result, error) {
+	if mucalc.TriviallyTrue(phi) {
+		return mucalc.CheckContext(ctx, m, phi)
+	}
+	classes, _ := mucalc.LabelClasses(j.l.Labels, phi)
+	q2, err := lts.MinimizeContext(ctx, j.l, classes)
+	if err != nil {
+		return mucalc.Result{}, err
+	}
+	out.ReducedStates = q2.NumBlocks()
+	res, err := mucalc.CheckModelContext(ctx, mucalc.QuotientModel(q2), phi)
+	if err != nil || res.Holds {
+		return res, err
+	}
+	w2, err := liftWitness(q2, res.Witness)
+	if err != nil {
+		return res, fmt.Errorf("verify: lifting the joint-quotient counterexample to joint blocks: %w", err)
+	}
+	w1, err := liftWitness(j.q, w2)
+	if err != nil {
+		return res, fmt.Errorf("verify: lifting the joint-block counterexample to concrete states: %w", err)
+	}
+	res.Witness = w1
+	res.Counterexample = w1.Trace(m.Labels)
+	return res, nil
+}

@@ -144,6 +144,23 @@ type Request struct {
 	// EarlyExit request that takes the on-the-fly path skips the stage
 	// too (on-the-fly quotienting is future work; see ROADMAP).
 	Reduction Reduction
+	// Symmetry selects exploration-time symmetry reduction (see
+	// SymmetryMode): with SymmetryOn, a closed property of a system with
+	// detectable channel-bundle symmetry explores the orbit LTS — often
+	// exponentially smaller — and every FAIL's witness is lifted back to
+	// a concrete run and re-validated by Replay. Verdicts are identical
+	// to SymmetryOff. Ignored when Reuse is set (the reused LTS carries
+	// its own symmetry bookkeeping, which the FAIL lift honours).
+	Symmetry SymmetryMode
+	// symPinned extends the pinned channel set of symmetry detection
+	// beyond the property's own channels. VerifyAll sets it to the batch
+	// union so one orbit exploration is sound for every property sharing
+	// it.
+	symPinned []string
+	// joint, when non-nil, is the shared cross-property joint quotient of
+	// the reused LTS (see buildJoint); a ReduceStrong check then refines
+	// the joint quotient instead of the full LTS.
+	joint *jointQuotient
 	// EarlyExit selects on-the-fly checking: the property's formula is
 	// compiled symbolically (alphabet-independent action-set predicates),
 	// and the nested DFS drives an lts.Incremental that materialises
@@ -172,8 +189,17 @@ type Outcome struct {
 	Holds bool
 	// Formula is the compiled right-column formula.
 	Formula mucalc.Formula
-	// States is the size of the (Y-limited, run-completed) type LTS.
+	// States is the size of the (Y-limited, run-completed) type LTS: the
+	// number of concrete states the verdict covers. Under symmetry
+	// reduction it is the sum of orbit sizes (saturating at MaxInt64 —
+	// then reported as the int cap), so it equals what a concrete
+	// exploration would have visited; StatesExplored is what was actually
+	// explored.
 	States int
+	// StatesExplored is the number of states the exploration materialised
+	// — orbit representatives under symmetry reduction, otherwise equal
+	// to States. The symmetry win is States / StatesExplored.
+	StatesExplored int
 	// ReducedStates is the number of quotient blocks the checker actually
 	// ran on when a Reduce stage was applied (0 = no reduction stage; the
 	// reduction ratio is States / ReducedStates).
@@ -194,6 +220,13 @@ type Outcome struct {
 	// EarlyExit it is the explored fragment (lts.LTS.Partial) and must not
 	// be reused.
 	LTS *lts.LTS
+	// WitnessLTS, when the outcome is a symmetric FAIL, is the concrete
+	// fragment the lifted witness runs over (the orbit LTS's states and
+	// labels are canonical representatives, so the witness cannot
+	// validate against LTS). Replay validates against it when set; the
+	// outcome's Formula is then the property recompiled over its
+	// alphabet.
+	WitnessLTS *lts.LTS
 	// EarlyExit reports that the on-the-fly engine produced this outcome:
 	// States counts discovered states only, and Expanded of them were
 	// materialised before the search concluded.
@@ -231,25 +264,37 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 	}
 	sem := &typelts.Semantics{Env: req.Env, Observable: obs, WitnessOnly: true, Cache: req.Cache}
 
+	// Symmetry detection must run over the exploration's own interner:
+	// pin a compatible cache on the semantics first, so prepBuilder does
+	// not clone a private one behind the group's back.
+	var sym *lts.Symmetry
+	if req.Symmetry == SymmetryOn && len(obs) == 0 && req.Reuse == nil {
+		if !sem.HasCompatibleCache() {
+			sem.Cache = typelts.NewCache(req.Env, true)
+		}
+		sym = lts.DetectSymmetry(sem.Cache, req.Type, append(pinnedChannels(req.Property), req.symPinned...))
+	}
+
 	if req.EarlyExit && req.Reuse == nil {
 		if phi, conjuncts, ok := compileSymbolic(req.Env, req.Property); ok {
-			return verifyOnTheFly(ctx, req, sem, phi, conjuncts, start)
+			return verifyOnTheFly(ctx, req, sem, sym, phi, conjuncts, start)
 		}
 	}
 
 	m := req.Reuse
 	if m == nil {
 		var err error
-		m, err = lts.ExploreContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Parallelism: req.Parallelism, Progress: req.Progress})
+		m, err = lts.ExploreContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Parallelism: req.Parallelism, Progress: req.Progress, Symmetry: sym})
 		if err != nil {
 			return nil, err
 		}
 	}
 
 	out := &Outcome{
-		Property: req.Property,
-		States:   m.Len(),
-		LTS:      m,
+		Property:       req.Property,
+		States:         int(m.Covered()),
+		StatesExplored: m.Len(),
+		LTS:            m,
 	}
 
 	if req.Property.Kind == EventualOutput {
@@ -266,7 +311,11 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 	}
 	var res mucalc.Result
 	if req.Reduction == ReduceStrong {
-		res, err = checkReduced(ctx, m, phi, out)
+		if req.joint != nil {
+			res, err = checkReducedJoint(ctx, m, req.joint, phi, out)
+		} else {
+			res, err = checkReduced(ctx, m, phi, out)
+		}
 	} else {
 		res, err = mucalc.CheckContext(ctx, m, phi)
 	}
@@ -280,12 +329,23 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 	out.Counterexample = res.Counterexample
 	out.Witness = DecodeWitness(m, res.Witness)
 	out.Duration = time.Since(start)
-	if !out.Holds && req.Reduction == ReduceStrong {
-		// The witness was found on the quotient and lifted; a reduced
-		// FAIL is only reported once the existing replay oracle confirms
-		// the lift produced a genuine concrete violation.
-		if err := Replay(out); err != nil {
-			return nil, fmt.Errorf("verify: reduction produced an invalid counterexample lift: %w", err)
+	if !out.Holds {
+		symmetric := m.Sym != nil && out.Witness != nil
+		if symmetric {
+			// The witness runs over orbit representatives; rewrite it as
+			// a concrete run before validation.
+			if err := liftSymmetric(ctx, req, sem, m, out); err != nil {
+				return nil, fmt.Errorf("verify: symmetry produced an invalid counterexample lift: %w", err)
+			}
+		}
+		if req.Reduction == ReduceStrong || symmetric {
+			// The witness was found on a quotient (blocks, orbits or
+			// both) and lifted; a reduced FAIL is only reported once the
+			// existing replay oracle confirms the lift produced a genuine
+			// concrete violation.
+			if err := Replay(out); err != nil {
+				return nil, fmt.Errorf("verify: reduction produced an invalid counterexample lift: %w", err)
+			}
 		}
 	}
 	return out, nil
@@ -300,8 +360,8 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 // would force exhaustive exploration) are never started. Verdicts equal
 // the full pipeline's: the symbolic sets agree with the enumerated ones
 // on every label, and conjunction short-circuiting preserves T |= ϕ1∧ϕ2.
-func verifyOnTheFly(ctx context.Context, req Request, sem *typelts.Semantics, phi mucalc.Formula, conjuncts []mucalc.Formula, start time.Time) (*Outcome, error) {
-	inc := lts.NewIncrementalContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Progress: req.Progress})
+func verifyOnTheFly(ctx context.Context, req Request, sem *typelts.Semantics, sym *lts.Symmetry, phi mucalc.Formula, conjuncts []mucalc.Formula, start time.Time) (*Outcome, error) {
+	inc := lts.NewIncrementalContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Progress: req.Progress, Symmetry: sym})
 	out := &Outcome{
 		Property:  req.Property,
 		Holds:     true,
@@ -323,12 +383,25 @@ func verifyOnTheFly(ctx context.Context, req Request, sem *typelts.Semantics, ph
 		}
 	}
 	m := inc.Snapshot()
-	out.States = m.Len()
+	out.States = int(m.Covered())
+	out.StatesExplored = m.Len()
 	out.LTS = m
 	out.Expanded = inc.Expanded()
 	if !out.Holds {
 		out.Counterexample = failed.Counterexample
 		out.Witness = DecodeWitness(m, failed.Witness)
+		if m.Sym != nil && out.Witness != nil {
+			// Symbolic formulas read labels directly, so the lift needs no
+			// recompilation — but the witness must still become a concrete
+			// run, validated by the replay oracle like every other
+			// symmetric FAIL.
+			if err := liftSymmetric(ctx, req, sem, m, out); err != nil {
+				return nil, fmt.Errorf("verify: symmetry produced an invalid counterexample lift: %w", err)
+			}
+			if err := Replay(out); err != nil {
+				return nil, fmt.Errorf("verify: reduction produced an invalid counterexample lift: %w", err)
+			}
+		}
 	}
 	out.Duration = time.Since(start)
 	return out, nil
@@ -352,8 +425,17 @@ type AllOptions struct {
 	// MaxStates bounds each LTS exploration (0 = lts.DefaultMaxStates).
 	MaxStates int
 	// Reduction selects the Reduce stage for every property of the batch
-	// (see Request.Reduction).
+	// (see Request.Reduction). Under VerifyAll the refinement runs once
+	// per observable-set group, over the join of every property's
+	// observation classes, and each property then minimises the shared
+	// joint quotient (see buildJoint) — same verdicts, block counts and
+	// witnesses, less repeated work.
 	Reduction Reduction
+	// Symmetry selects exploration-time symmetry reduction for every
+	// property of the batch (see Request.Symmetry). The orbit exploration
+	// is shared per group, pinning the union of every property's
+	// channels, so one exploration is sound for all of them.
+	Symmetry SymmetryMode
 	// Cache, when non-nil, is the shared transition cache every
 	// exploration runs on, letting a long-lived owner (the public
 	// package's Workspace) reuse per-component work across whole
@@ -443,15 +525,27 @@ func VerifyAllContext(ctx context.Context, env *types.Env, t types.Type, props [
 
 	// One exploration per distinct observable set, all concurrent, all
 	// sharing the transition cache (so groups still reuse each other's
-	// per-component work even though their Y-limitations differ).
+	// per-component work even though their Y-limitations differ). The
+	// group goroutine also prepares the shared per-group artifacts the
+	// property checks consume: the symmetry group (closed groups only —
+	// at most one group qualifies, so the single-exploration discipline
+	// of lts.Symmetry holds) and the joint quotient.
 	shared := opts.Cache
 	if shared == nil {
 		shared = typelts.NewCache(env, true)
 	}
+	batchPinned := batchPinnedChannels(props)
+	groupProps := map[string][]Property{}
+	for i, p := range props {
+		if propErrs[i] == nil {
+			groupProps[keys[i]] = append(groupProps[keys[i]], p)
+		}
+	}
 	type exploration struct {
-		done chan struct{}
-		lts  *lts.LTS
-		err  error
+		done  chan struct{}
+		lts   *lts.LTS
+		joint *jointQuotient
+		err   error
 	}
 	groups := map[string]*exploration{}
 	for i := range props {
@@ -463,11 +557,18 @@ func VerifyAllContext(ctx context.Context, env *types.Env, t types.Type, props [
 		}
 		g := &exploration{done: make(chan struct{})}
 		groups[keys[i]] = g
-		go func(obs map[string]bool, g *exploration) {
+		go func(obs map[string]bool, key string, g *exploration) {
 			defer close(g.done)
 			sem := &typelts.Semantics{Env: env, Observable: obs, WitnessOnly: true, Cache: shared}
-			g.lts, g.err = lts.ExploreContext(ctx, sem, t, lts.Options{MaxStates: opts.MaxStates, Parallelism: par, Progress: opts.Progress})
-		}(obsSets[i], g)
+			var sym *lts.Symmetry
+			if opts.Symmetry == SymmetryOn && len(obs) == 0 {
+				sym = lts.DetectSymmetry(shared, t, batchPinned)
+			}
+			g.lts, g.err = lts.ExploreContext(ctx, sem, t, lts.Options{MaxStates: opts.MaxStates, Parallelism: par, Progress: opts.Progress, Symmetry: sym})
+			if g.err == nil && opts.Reduction == ReduceStrong {
+				g.joint = buildJoint(ctx, env, g.lts, groupProps[key])
+			}
+		}(obsSets[i], keys[i], g)
 	}
 
 	// Property checks: one goroutine each, blocking on its group's LTS.
@@ -493,7 +594,8 @@ func VerifyAllContext(ctx context.Context, env *types.Env, t types.Type, props [
 			o, err := VerifyContext(ctx, Request{
 				Env: env, Type: t, Property: props[i],
 				MaxStates: opts.MaxStates, Reuse: g.lts, Cache: shared, Parallelism: par,
-				Reduction: opts.Reduction,
+				Reduction: opts.Reduction, Symmetry: opts.Symmetry,
+				symPinned: batchPinned, joint: g.joint,
 			})
 			if err != nil {
 				propErrs[i] = err
@@ -518,28 +620,77 @@ func VerifyAllContext(ctx context.Context, env *types.Env, t types.Type, props [
 
 // verifyAllSerial is the reference single-threaded pipeline (and the
 // baseline the parallel engine is measured against): one property after
-// another, LTS reuse by observable-set key, one shared cache.
+// another, LTS reuse by observable-set key, one shared cache. Group
+// explorations run at the first property of each key — with the same
+// shared symmetry group and joint quotient the concurrent pipeline
+// prepares — so outcomes (verdicts, state counts, witnesses) are
+// byte-identical at any AllOptions.Parallelism.
 func verifyAllSerial(ctx context.Context, env *types.Env, t types.Type, props []Property, opts AllOptions) ([]*Outcome, error) {
 	outcomes := make([]*Outcome, 0, len(props))
-	ltsCache := map[string]*lts.LTS{}
 	shared := opts.Cache
 	if shared == nil {
 		shared = typelts.NewCache(env, true)
 	}
-	for _, p := range props {
+	batchPinned := batchPinnedChannels(props)
+
+	// First pass: group the properties by observable set, deferring
+	// ObservablesFor errors so the input-order error contract holds.
+	keys := make([]string, len(props))
+	obsSets := make([]map[string]bool, len(props))
+	propErrs := make([]error, len(props))
+	groupProps := map[string][]Property{}
+	for i, p := range props {
 		obs, err := ObservablesFor(env, p)
 		if err != nil {
-			return outcomes, fmt.Errorf("%s: %w", p, err)
+			propErrs[i] = err
+			continue
 		}
 		sorted := append([]string{}, obs...)
 		sort.Strings(sorted)
-		key := strings.Join(sorted, ",")
-		req := Request{Env: env, Type: t, Property: p, MaxStates: opts.MaxStates, Reuse: ltsCache[key], Cache: shared, Parallelism: 1, Progress: opts.Progress, Reduction: opts.Reduction}
+		keys[i] = strings.Join(sorted, ",")
+		set := make(map[string]bool, len(obs))
+		for _, x := range obs {
+			set[x] = true
+		}
+		obsSets[i] = set
+		groupProps[keys[i]] = append(groupProps[keys[i]], p)
+	}
+
+	ltsCache := map[string]*lts.LTS{}
+	joints := map[string]*jointQuotient{}
+	for i, p := range props {
+		if propErrs[i] != nil {
+			return outcomes, fmt.Errorf("%s: %w", p, propErrs[i])
+		}
+		key := keys[i]
+		if _, ok := ltsCache[key]; !ok {
+			if err := Admissible(env, t); err != nil {
+				return outcomes, fmt.Errorf("%s: %w", p, err)
+			}
+			sem := &typelts.Semantics{Env: env, Observable: obsSets[i], WitnessOnly: true, Cache: shared}
+			var sym *lts.Symmetry
+			if opts.Symmetry == SymmetryOn && len(obsSets[i]) == 0 {
+				sym = lts.DetectSymmetry(shared, t, batchPinned)
+			}
+			m, err := lts.ExploreContext(ctx, sem, t, lts.Options{MaxStates: opts.MaxStates, Parallelism: 1, Progress: opts.Progress, Symmetry: sym})
+			if err != nil {
+				return outcomes, fmt.Errorf("%s: %w", p, err)
+			}
+			ltsCache[key] = m
+			if opts.Reduction == ReduceStrong {
+				joints[key] = buildJoint(ctx, env, m, groupProps[key])
+			}
+		}
+		req := Request{
+			Env: env, Type: t, Property: p, MaxStates: opts.MaxStates,
+			Reuse: ltsCache[key], Cache: shared, Parallelism: 1,
+			Progress: opts.Progress, Reduction: opts.Reduction,
+			Symmetry: opts.Symmetry, symPinned: batchPinned, joint: joints[key],
+		}
 		o, err := VerifyContext(ctx, req)
 		if err != nil {
 			return outcomes, fmt.Errorf("%s: %w", p, err)
 		}
-		ltsCache[key] = o.LTS
 		outcomes = append(outcomes, o)
 	}
 	return outcomes, nil

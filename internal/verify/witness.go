@@ -131,16 +131,22 @@ func Replay(o *Outcome) error {
 	if o.Witness == nil || o.Witness.Raw == nil {
 		return fmt.Errorf("verify: %s failed but no witness was recorded", o.Property)
 	}
-	if o.LTS == nil {
+	// A symmetric FAIL's witness is a concrete run over the lifted
+	// fragment, not over the orbit LTS the verdict was computed on.
+	m := o.LTS
+	if o.WitnessLTS != nil {
+		m = o.WitnessLTS
+	}
+	if m == nil {
 		return fmt.Errorf("verify: %s: outcome carries no LTS to replay against", o.Property)
 	}
 	if o.Formula == nil {
 		return fmt.Errorf("verify: %s: outcome carries no formula to replay against", o.Property)
 	}
-	if err := o.Witness.Raw.Validate(mucalc.LTSModel(o.LTS)); err != nil {
+	if err := o.Witness.Raw.Validate(mucalc.LTSModel(m)); err != nil {
 		return fmt.Errorf("verify: %s: witness is not a run of the LTS: %w", o.Property, err)
 	}
-	tr := o.Witness.Raw.Trace(o.LTS.Labels)
+	tr := o.Witness.Raw.Trace(m.Labels)
 	ba := mucalc.Translate(mucalc.Not{F: mucalc.Simplify(o.Formula)})
 	if !ba.AcceptsLasso(tr.Prefix, tr.Cycle) {
 		return fmt.Errorf("verify: %s: witness run does not violate the property (¬ϕ automaton rejects its label word)", o.Property)

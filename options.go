@@ -14,6 +14,7 @@ type sessionOptions struct {
 	parallelism int
 	earlyExit   bool
 	reduction   Reduction
+	symmetry    SymmetryMode
 	// closed, when non-nil, overrides Property.Closed on every property
 	// the session verifies.
 	closed   *bool
@@ -80,6 +81,30 @@ func WithReduction(r Reduction) Option {
 			return fmt.Errorf("effpi: unknown reduction %v", r)
 		}
 		o.reduction = r
+		return nil
+	}
+}
+
+// WithSymmetry selects exploration-time symmetry reduction (SymmetryOn):
+// states are canonicalised to orbit representatives of the system's
+// channel-bundle automorphism group (interchangeable replicas of one
+// component shape), so n interchangeable processes cost the engine a
+// phase-count state space instead of a phase-vector one — the n-pair
+// ping-pong benchmarks drop from 3^n states to O(n²). Verdicts, the
+// concrete Outcome.States count, and witness replays are identical to
+// SymmetryOff (the default); Outcome.StatesExplored reports the orbit
+// representatives actually explored, and every failing property's
+// counterexample is lifted through the recorded permutations back to a
+// concrete run and machine-re-checked by the replay oracle before it is
+// returned. The mode engages only for closed properties (an empty
+// observable set) on systems with a non-trivial symmetry group; it is a
+// sound no-op everywhere else.
+func WithSymmetry(m SymmetryMode) Option {
+	return func(o *sessionOptions) error {
+		if m != SymmetryOff && m != SymmetryOn {
+			return fmt.Errorf("effpi: unknown symmetry mode %v", m)
+		}
+		o.symmetry = m
 		return nil
 	}
 }

@@ -128,7 +128,7 @@ func (s *Session) Verify(ctx context.Context, prop Property) (*Outcome, error) {
 	o, err := verify.VerifyContext(ctx, verify.Request{
 		Env: s.env, Type: t, Property: prop,
 		MaxStates: s.opt.maxStates, Parallelism: s.opt.parallelism,
-		EarlyExit: s.opt.earlyExit, Reduction: s.opt.reduction, Cache: s.cache,
+		EarlyExit: s.opt.earlyExit, Reduction: s.opt.reduction, Symmetry: s.opt.symmetry, Cache: s.cache,
 		Progress: s.progressHook(&prop),
 	})
 	s.ws.sweep()
@@ -166,6 +166,7 @@ func (s *Session) VerifyAll(ctx context.Context, props ...Property) ([]*Outcome,
 		MaxStates:   s.opt.maxStates,
 		Parallelism: s.opt.parallelism,
 		Reduction:   s.opt.reduction,
+		Symmetry:    s.opt.symmetry,
 		Cache:       s.cache,
 		Progress:    s.progressHook(nil),
 	})
@@ -192,7 +193,7 @@ func (s *Session) verifyAllEarlyExit(ctx context.Context, t Type, props []Proper
 	for _, p := range props {
 		o, err := verify.VerifyContext(ctx, verify.Request{
 			Env: s.env, Type: t, Property: p,
-			MaxStates: s.opt.maxStates, EarlyExit: true, Reduction: s.opt.reduction, Cache: s.cache,
+			MaxStates: s.opt.maxStates, EarlyExit: true, Reduction: s.opt.reduction, Symmetry: s.opt.symmetry, Cache: s.cache,
 			Progress: s.progressHook(&p),
 		})
 		if err != nil {
