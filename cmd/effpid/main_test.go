@@ -22,8 +22,23 @@ func testServer(t *testing.T, cfg serverConfig) *httptest.Server {
 	}
 	srv := newServer(effpi.NewWorkspace(), cfg)
 	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(srv.Close)
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// testServerWithSrv is testServer when the test also needs the server
+// (to override the engine's execute hook or read its counters).
+func testServerWithSrv(t *testing.T, cfg serverConfig) (*httptest.Server, *server) {
+	t.Helper()
+	if cfg.defaultTimeout == 0 {
+		cfg.defaultTimeout = 30 * time.Second
+	}
+	srv := newServer(effpi.NewWorkspace(), cfg)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(ts.Close)
+	return ts, srv
 }
 
 func postVerify(t *testing.T, ts *httptest.Server, body string) (int, []byte) {

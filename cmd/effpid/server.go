@@ -3,11 +3,18 @@ package main
 // HTTP layer of effpid: one long-lived effpi.Workspace serves every
 // request, so concurrent and repeated verifications share the interner
 // and transition memos (with the workspace's eviction budget keeping the
-// resident more bounded). The handler set is deliberately small:
+// resident set bounded). Every verification is admitted through the job
+// engine (jobs.go): a bounded queue drained by a fixed worker pool, so
+// load beyond capacity is rejected fast (429 + Retry-After) instead of
+// oversubscribing the box. The handler set:
 //
-//	POST /v1/verify   verify properties of a program or benchmark system
-//	GET  /healthz     liveness probe
-//	GET  /metrics     expvar counters + workspace cache stats (JSON)
+//	POST   /v1/verify     verify and wait (admitted through the queue)
+//	POST   /v1/jobs       submit an async verification job (202 + id)
+//	GET    /v1/jobs/{id}  job state, queue position, progress, result
+//	DELETE /v1/jobs/{id}  cancel (dequeue-before-start included)
+//	GET    /healthz       liveness probe (always 200 while serving)
+//	GET    /readyz        readiness: 503 while saturated or draining
+//	GET    /metrics       expvar counters + workspace cache stats (JSON)
 //
 // Verdicts and witnesses are schedule-independent: the engine guarantees
 // byte-identical results at any parallelism and under any interleaving
@@ -25,23 +32,28 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
-	"strings"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"time"
 
 	"effpi"
 )
 
-// server carries the shared workspace, the per-request limits, and the
-// expvar counter set. Counters live in an unregistered expvar.Map so
-// multiple servers (tests) can coexist in one process.
+// server carries the shared workspace, the job engine, the per-request
+// limits, and the expvar counter set. Counters live in an unregistered
+// expvar.Map so multiple servers (tests) can coexist in one process.
 type server struct {
-	ws *effpi.Workspace
+	ws     *effpi.Workspace
+	engine *jobEngine
 
 	defaultTimeout time.Duration // applied when a request names none
 	maxTimeout     time.Duration // hard cap on requested timeouts
 	maxStates      int           // default exploration bound
+	maxStatesCap   int           // admission cap on requested bounds (0 = none)
 	parallelism    int           // default worker count (0 = GOMAXPROCS)
 	pprof          bool          // serve /debug/pprof/ (opt-in)
 
@@ -57,13 +69,38 @@ type server struct {
 	// representatives, and the cumulative covered/explored state counts —
 	// /metrics derives the fleet-wide orbit ratio from the pair.
 	symmetricProps, symmetryStatesCovered, symmetryStatesExplored *expvar.Int
+	// Admission and job-engine accounting: submissions admitted,
+	// rejections (queue full), the last Retry-After handed out, the
+	// queue's high-water occupancy, and terminal job counts by outcome.
+	submitted, rejections, retryAfter, queueHighWater *expvar.Int
+	jobsDone, jobsFailed, jobsCancelled               *expvar.Int
+	// Containment accounting: panics recovered inside job execution
+	// (panics_total) and inside HTTP handlers (http_panics_total), plus
+	// JSON encode failures that would otherwise vanish silently.
+	jobPanics, httpPanics, encodeFailures *expvar.Int
+	// latency holds the per-outcome coarse latency histograms; buckets
+	// are registered in the metrics map as latency_<outcome>_le_<N>ms.
+	latency map[string]*latencyHist
 }
 
 type serverConfig struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	maxStates      int
-	parallelism    int
+	// maxStatesCap rejects, at admission, requests asking for a larger
+	// exploration bound than the operator allows (0 = no cap).
+	maxStatesCap int
+	parallelism  int
+	// workers is the job engine's pool size (0 = GOMAXPROCS): the
+	// maximum number of concurrently running verifications.
+	workers int
+	// queueDepth bounds the admission queue (0 = 64): requests beyond
+	// workers+queueDepth are rejected with 429.
+	queueDepth int
+	// retain / retainTTL bound the completed-job store (0 = 256 jobs,
+	// 15 minutes).
+	retain    int
+	retainTTL time.Duration
 	// pprof exposes the Go runtime profiling endpoints under
 	// /debug/pprof/. Off by default: the profiles leak goroutine stacks
 	// and heap contents, which a verification service should not serve
@@ -71,16 +108,52 @@ type serverConfig struct {
 	pprof bool
 }
 
+// latencyBucketMS are the coarse per-outcome latency histogram bounds.
+var latencyBucketMS = []int{1, 5, 25, 100, 500, 2500, 10000}
+
+// latencyHist is one outcome's histogram: cumulative "≤ bound" buckets,
+// an overflow bucket, and a count, all living in the metrics map.
+type latencyHist struct {
+	le    []*expvar.Int
+	gt    *expvar.Int
+	count *expvar.Int
+}
+
+func (h *latencyHist) observe(ms float64) {
+	h.count.Add(1)
+	for i, bound := range latencyBucketMS {
+		if ms <= float64(bound) {
+			h.le[i].Add(1)
+			return
+		}
+	}
+	h.gt.Add(1)
+}
+
 func newServer(ws *effpi.Workspace, cfg serverConfig) *server {
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = 64
+	}
+	if cfg.retain <= 0 {
+		cfg.retain = 256
+	}
+	if cfg.retainTTL <= 0 {
+		cfg.retainTTL = 15 * time.Minute
+	}
 	s := &server{
 		ws:             ws,
 		defaultTimeout: cfg.defaultTimeout,
 		maxTimeout:     cfg.maxTimeout,
 		maxStates:      cfg.maxStates,
+		maxStatesCap:   cfg.maxStatesCap,
 		parallelism:    cfg.parallelism,
 		pprof:          cfg.pprof,
 		start:          time.Now(),
 		metrics:        new(expvar.Map).Init(),
+		latency:        make(map[string]*latencyHist),
 	}
 	newInt := func(name string) *expvar.Int {
 		v := new(expvar.Int)
@@ -99,13 +172,62 @@ func newServer(ws *effpi.Workspace, cfg serverConfig) *server {
 	s.symmetricProps = newInt("symmetric_properties_total")
 	s.symmetryStatesCovered = newInt("symmetry_states_covered_total")
 	s.symmetryStatesExplored = newInt("symmetry_states_explored_total")
+	s.submitted = newInt("jobs_submitted_total")
+	s.rejections = newInt("rejections_total")
+	s.retryAfter = newInt("retry_after_seconds")
+	s.queueHighWater = newInt("queue_high_water")
+	s.jobsDone = newInt("jobs_done_total")
+	s.jobsFailed = newInt("jobs_failed_total")
+	s.jobsCancelled = newInt("jobs_cancelled_total")
+	s.jobPanics = newInt("panics_total")
+	s.httpPanics = newInt("http_panics_total")
+	s.encodeFailures = newInt("encode_failures_total")
+	for _, outcome := range []string{jobDone.String(), jobFailed.String(), jobCancelled.String()} {
+		h := &latencyHist{
+			gt:    newInt(fmt.Sprintf("latency_%s_gt_%dms", outcome, latencyBucketMS[len(latencyBucketMS)-1])),
+			count: newInt("latency_" + outcome + "_count"),
+		}
+		for _, bound := range latencyBucketMS {
+			h.le = append(h.le, newInt(fmt.Sprintf("latency_%s_le_%dms", outcome, bound)))
+		}
+		s.latency[outcome] = h
+	}
+	s.engine = newJobEngine(s, cfg.workers, cfg.queueDepth, cfg.retain, cfg.retainTTL)
 	return s
+}
+
+// observeLatency records one terminal job's service time into its
+// outcome's histogram.
+func (s *server) observeLatency(outcome string, ms float64) {
+	if h, ok := s.latency[outcome]; ok {
+		h.observe(ms)
+	}
+}
+
+// Close drains the job engine (used by tests; main goes through drain
+// with its configured window).
+func (s *server) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.engine.Shutdown(ctx)
+}
+
+// drain runs graceful-shutdown v2: readiness flips to not-ready and
+// admission stops immediately, still-queued jobs are cancelled with a
+// clear error, and running jobs get ctx's window to finish before their
+// contexts are cancelled.
+func (s *server) drain(ctx context.Context) {
+	s.engine.Shutdown(ctx)
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.pprof {
 		// Explicit registrations rather than net/http/pprof's package
@@ -117,14 +239,40 @@ func (s *server) handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return s.recoverHTTP(mux)
+}
+
+// recoverHTTP is the panic containment middleware around every handler:
+// a panic anywhere in request handling (marshalling, a handler bug, an
+// engine path reached outside a job) becomes that request's 500 and a
+// counter increment, never a crashed listener. http.ErrAbortHandler is
+// net/http's own abort protocol and is re-raised.
+func (s *server) recoverHTTP(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.httpPanics.Add(1)
+			log.Printf("effpid: panic serving %s %s contained: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote headers this
+			// appends to a broken body, which the client detects via the
+			// truncated/invalid JSON.
+			s.writeError(w, http.StatusInternalServerError, "internal", errors.New("internal server error"))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // ---- wire shapes -----------------------------------------------------
 
-// verifyRequest is the POST /v1/verify body. Exactly one of Source
-// (an .epi program, typed under Binds) and System (a benchmark row name
-// from Fig. 9 / the large sweep) must be set.
+// verifyRequest is the POST /v1/verify and POST /v1/jobs body. Exactly
+// one of Source (an .epi program, typed under Binds) and System (a
+// benchmark row name from Fig. 9 / the large sweep) must be set.
 type verifyRequest struct {
 	Source string     `json:"source,omitempty"`
 	System string     `json:"system,omitempty"`
@@ -132,7 +280,8 @@ type verifyRequest struct {
 	// Properties to verify. A System request may omit them to run the
 	// row's own six Fig. 9 properties.
 	Properties []propJSON `json:"properties,omitempty"`
-	// MaxStates bounds each exploration (0 = server default).
+	// MaxStates bounds each exploration (0 = server default; values
+	// above the server's admission cap are rejected with 400).
 	MaxStates int `json:"max_states,omitempty"`
 	// Parallelism is the exploration worker count (0 = server default;
 	// verdicts are identical at any value).
@@ -148,8 +297,10 @@ type verifyRequest struct {
 	// channel-bundle symmetry group; verdicts identical, FAIL witnesses
 	// permutation-lifted to concrete runs and replay-validated).
 	Symmetry string `json:"symmetry,omitempty"`
-	// TimeoutMS caps this request's wall-clock (0 = server default;
-	// capped by the server's -max-timeout).
+	// TimeoutMS caps this request's service time (0 = server default;
+	// capped by the server's -max-timeout). The clock starts when the
+	// job starts running — queue wait is bounded by admission control,
+	// not by the deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
@@ -217,33 +368,60 @@ type resultJSON struct {
 type errorResponse struct {
 	Error string `json:"error"`
 	// Kind classifies the failure: bad-request, parse, type, bound,
-	// timeout, internal.
+	// timeout, saturated, draining, cancelled, not-found, internal.
 	Kind string `json:"kind"`
 }
 
 // ---- handlers --------------------------------------------------------
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"ok":        true,
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 	})
 }
 
+// handleReadyz is the readiness probe — deliberately distinct from
+// /healthz: a saturated or draining server is alive (keep it in the
+// process group) but should not receive new traffic (take it out of the
+// load balancer).
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	queued, running, depth, capacity, draining := s.engine.counts()
+	ready := !draining && depth < capacity
+	body := map[string]any{
+		"ready":          ready,
+		"queue_depth":    depth,
+		"queue_capacity": capacity,
+		"jobs_queued":    queued,
+		"jobs_running":   running,
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+		if draining {
+			body["reason"] = "draining"
+		} else {
+			body["reason"] = "saturated"
+		}
+	}
+	s.writeJSON(w, status, body)
+}
+
 // handleMetrics serves the expvar counters plus point-in-time workspace
-// gauges as one flat JSON object.
+// and queue gauges as one flat JSON object, built by marshalling a map
+// (sorted keys) — never by hand-assembling JSON text.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.ws.CacheStats()
-	w.Header().Set("Content-Type", "application/json")
-	var b strings.Builder
-	b.WriteString("{")
-	first := true
+	queued, running, depth, capacity, draining := s.engine.counts()
+	out := make(map[string]any, 64)
 	s.metrics.Do(func(kv expvar.KeyValue) {
-		if !first {
-			b.WriteString(",")
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			out[kv.Key] = v.Value()
+			return
 		}
-		first = false
-		fmt.Fprintf(&b, "%q: %s", kv.Key, kv.Value.String())
+		// Every metric today is an *expvar.Int; a future non-Int var
+		// still round-trips through its JSON representation.
+		out[kv.Key] = json.RawMessage(kv.Value.String())
 	})
 	// Derived gauge: fleet-wide states-checked shrink factor across every
 	// reduced property so far (1.0 until a reduction has run).
@@ -251,44 +429,65 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if q := s.reducedStatesQuotient.Value(); q > 0 {
 		ratio = float64(s.reducedStatesFull.Value()) / float64(q)
 	}
-	fmt.Fprintf(&b, ",%q: %.3f", "reduction_ratio", ratio)
+	out["reduction_ratio"] = ratio
 	// Derived gauge: fleet-wide orbit collapse factor across every
 	// symmetric property so far (1.0 until symmetry has engaged).
 	orbit := 1.0
 	if e := s.symmetryStatesExplored.Value(); e > 0 {
 		orbit = float64(s.symmetryStatesCovered.Value()) / float64(e)
 	}
-	fmt.Fprintf(&b, ",%q: %.3f", "orbit_ratio", orbit)
-	fmt.Fprintf(&b, ",%q: %d", "cache_caches", st.Caches)
-	fmt.Fprintf(&b, ",%q: %d", "cache_memos", st.Memos)
-	fmt.Fprintf(&b, ",%q: %d", "cache_evictions", st.Evictions)
-	fmt.Fprintf(&b, ",%q: %d", "uptime_ms", time.Since(s.start).Milliseconds())
-	b.WriteString("}\n")
-	fmt.Fprint(w, b.String())
+	out["orbit_ratio"] = orbit
+	out["cache_caches"] = st.Caches
+	out["cache_memos"] = st.Memos
+	out["cache_evictions"] = st.Evictions
+	out["uptime_ms"] = time.Since(s.start).Milliseconds()
+	out["queue_depth"] = depth
+	out["queue_capacity"] = capacity
+	out["jobs_queued"] = queued
+	out["jobs_running"] = running
+	// ready as 0/1 keeps the document uniformly numeric.
+	ready := int64(1)
+	if draining || depth == capacity {
+		ready = 0
+	}
+	out["ready"] = ready
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		s.encodeFailures.Add(1)
+		log.Printf("effpid: encoding /metrics: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "internal", errors.New("encoding metrics"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(buf, '\n')); err != nil {
+		s.encodeFailures.Add(1)
+		log.Printf("effpid: writing /metrics: %v", err)
+	}
 }
 
-func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-	start := time.Now()
-
+// decodeVerifyRequest decodes and shape-validates a verification
+// request and resolves its effective deadline; admission-level cost
+// caps (max_states, timeout) are enforced here, before anything is
+// queued. On failure the error response has been written.
+func (s *server) decodeVerifyRequest(w http.ResponseWriter, r *http.Request) (*verifyRequest, time.Duration, bool) {
 	var req verifyRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("decoding request body: %w", err))
-		return
+		return nil, 0, false
 	}
 	if (req.Source == "") == (req.System == "") {
 		s.writeError(w, http.StatusBadRequest, "bad-request", errors.New("exactly one of \"source\" and \"system\" must be set"))
-		return
+		return nil, 0, false
 	}
-
-	// Per-request deadline: the requested timeout, capped; the server
-	// default otherwise. The request context also cancels on client
-	// disconnect, so an abandoned request stops exploring.
+	if s.maxStatesCap > 0 && req.MaxStates > s.maxStatesCap {
+		s.writeError(w, http.StatusBadRequest, "bad-request",
+			fmt.Errorf("max_states %d exceeds the server's cap of %d", req.MaxStates, s.maxStatesCap))
+		return nil, 0, false
+	}
 	timeout := s.defaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -296,26 +495,67 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if s.maxTimeout > 0 && timeout > s.maxTimeout {
 		timeout = s.maxTimeout
 	}
-	ctx := r.Context()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
+	return &req, timeout, true
+}
 
-	resp, status, kind, err := s.verify(ctx, &req)
-	if err != nil {
-		s.writeError(w, status, kind, err)
+// rejectSubmit maps an admission failure onto the wire: 429 with a
+// Retry-After header for saturation, 503 for a draining server.
+func (s *server) rejectSubmit(w http.ResponseWriter, err error) {
+	var sat *errSaturated
+	switch {
+	case errors.As(err, &sat):
+		w.Header().Set("Retry-After", strconv.Itoa(sat.RetryAfter))
+		s.writeError(w, http.StatusTooManyRequests, "saturated", err)
+	case errors.Is(err, errDraining):
+		s.writeError(w, http.StatusServiceUnavailable, "draining", err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "internal", err)
+	}
+}
+
+// handleVerify is the synchronous path, rebuilt as submit-and-wait
+// through the job queue: it shares one admission policy with the async
+// API, so a saturated server answers 429 here too instead of piling up
+// unbounded explorations.
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	start := time.Now()
+
+	req, timeout, ok := s.decodeVerifyRequest(w, r)
+	if !ok {
 		return
 	}
-	resp.DurationMS = float64(time.Since(start).Microseconds()) / 1000
-	writeJSON(w, http.StatusOK, resp)
+	// The job's base context is the request context: a dropped client
+	// cancels a running job and makes a queued one be skipped unstarted.
+	j, err := s.engine.submit(req, r.Context(), timeout)
+	if err != nil {
+		s.rejectSubmit(w, err)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gone; the engine observes the same context and winds
+		// the job down. Nothing useful can be written.
+		return
+	}
+	resp, status, kind, errMsg, state := s.engine.result(j)
+	if state == jobDone {
+		resp.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.writeError(w, status, kind, errors.New(errMsg))
 }
 
 // verify resolves the request into a session + property list, runs the
 // batch, and assembles the response. The returned status/kind classify
-// a non-nil error for the wire.
-func (s *server) verify(ctx context.Context, req *verifyRequest) (*verifyResponse, int, string, error) {
+// a non-nil error for the wire. progress, when non-nil, receives the
+// session's streaming events (the job engine feeds them into the job's
+// progress snapshot).
+func (s *server) verify(ctx context.Context, req *verifyRequest, progress func(effpi.Event)) (*verifyResponse, int, string, error) {
 	reduction := effpi.ReduceOff
 	if req.Reduction != "" {
 		var err error
@@ -336,6 +576,9 @@ func (s *server) verify(ctx context.Context, req *verifyRequest) (*verifyRespons
 		effpi.WithEarlyExit(req.EarlyExit),
 		effpi.WithReduction(reduction),
 		effpi.WithSymmetry(symmetry),
+	}
+	if progress != nil {
+		opts = append(opts, effpi.WithProgress(progress))
 	}
 
 	var (
@@ -457,15 +700,21 @@ func (s *server) classify(err error) (status int, kind string) {
 // failures_total covers every error kind exactly once.
 func (s *server) writeError(w http.ResponseWriter, status int, kind string, err error) {
 	s.failures.Add(1)
-	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+	s.writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as the response body. Encode failures cannot change
+// the already-written status, but they are no longer silent: each one is
+// logged and counted (encode_failures_total).
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.encodeFailures.Add(1)
+		log.Printf("effpid: encoding %T response: %v", v, err)
+	}
 }
 
 // pick returns the request value when set, the server default otherwise.

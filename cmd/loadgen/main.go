@@ -1,0 +1,343 @@
+// Command loadgen drives a running effpid instance with N concurrent
+// clients over a mixed workload of benchmark rows, and reports what the
+// admission-controlled server actually delivered: throughput, latency
+// percentiles (p50/p95/p99), and how much work was shed as 429s.
+//
+// It exists to answer the capacity question the unit tests can't: with
+// -workers W and -queue-depth D, what arrival rate does an instance
+// sustain before backpressure engages, and how sharp is the knee? Each
+// -clients level is measured independently (closed-loop: every client
+// issues its next request as soon as the previous one resolves), and
+// the combined report is written as JSON to -out.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 [-clients 4,16] [-duration 5s]
+//	        [-rows "Ring (10 elements); Ping-pong (6 pairs)"]
+//	        [-async-frac 0.25] [-timeout 60s] [-out BENCH_effpid.json]
+//
+// A request is "sync" (POST /v1/verify, latency = connection wait) or
+// "async" (POST /v1/jobs then poll to a terminal state, latency =
+// submit-to-terminal). -async-frac sets the async fraction; both paths
+// share the server's queue, so their admission behaviour is identical.
+//
+// On a 429 the client honours Retry-After before it retries — rejected
+// attempts are counted, not timed, so percentiles describe only the
+// work the server accepted.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type levelReport struct {
+	Clients int `json:"clients"`
+	// Requests counts resolved attempts: OK + Accepted + Rejected + Errors.
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	// Accepted counts async jobs that reached a terminal state other
+	// than done (cancelled/failed); done async jobs count as OK.
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	Errors   int `json:"errors"`
+	// ThroughputRPS is completed (OK) work per wall-clock second.
+	ThroughputRPS float64   `json:"throughput_rps"`
+	LatencyMS     latencyMS `json:"latency_ms"`
+	// RetryAfterMax is the largest Retry-After (seconds) the server
+	// advertised during this level; 0 when nothing was rejected.
+	RetryAfterMax int `json:"retry_after_max,omitempty"`
+}
+
+type latencyMS struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+type benchReport struct {
+	GeneratedBy     string        `json:"generated_by"`
+	URL             string        `json:"url"`
+	DurationSeconds float64       `json:"duration_seconds"`
+	AsyncFraction   float64       `json:"async_fraction"`
+	Rows            []string      `json:"rows"`
+	Levels          []levelReport `json:"levels"`
+}
+
+// jobView is the slice of the job API's response loadgen needs.
+type jobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+type config struct {
+	url       string
+	rows      []string
+	duration  time.Duration
+	asyncFrac float64
+	timeout   time.Duration
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "effpid base URL")
+	clients := flag.String("clients", "4,16", "comma-separated concurrency levels")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window per level")
+	rowsFlag := flag.String("rows", defaultRows, "semicolon-separated benchmark rows (mixed sizes; row names contain commas)")
+	asyncFrac := flag.Float64("async-frac", 0.25, "fraction of requests using the async job API")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	out := flag.String("out", "BENCH_effpid.json", "output report path (- for stdout)")
+	flag.Parse()
+
+	levels, err := parseLevels(*clients)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := config{
+		url:       strings.TrimRight(*url, "/"),
+		rows:      splitRows(*rowsFlag),
+		duration:  *duration,
+		asyncFrac: *asyncFrac,
+		timeout:   *timeout,
+	}
+
+	report := benchReport{
+		GeneratedBy:     "cmd/loadgen",
+		URL:             cfg.url,
+		DurationSeconds: cfg.duration.Seconds(),
+		AsyncFraction:   cfg.asyncFrac,
+		Rows:            cfg.rows,
+	}
+	for _, n := range levels {
+		fmt.Fprintf(os.Stderr, "loadgen: level %d clients, %s window\n", n, cfg.duration)
+		lv := runLevel(cfg, n)
+		fmt.Fprintf(os.Stderr, "loadgen:   %d ok, %d rejected, %.1f req/s, p50 %.1fms p95 %.1fms p99 %.1fms\n",
+			lv.OK, lv.Rejected, lv.ThroughputRPS, lv.LatencyMS.P50, lv.LatencyMS.P95, lv.LatencyMS.P99)
+		report.Levels = append(report.Levels, lv)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: encode report: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: report written to %s\n", *out)
+}
+
+// defaultRows mixes small, medium, and large state spaces so admission
+// sees heterogeneous service times — the regime Retry-After estimation
+// has to cope with.
+const defaultRows = "Dining philos. (4, deadlock); Ping-pong (6 pairs); Ring (10 elements); Dining philos. (5, no deadlock)"
+
+func parseLevels(s string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -clients entry %q", part)
+		}
+		levels = append(levels, n)
+	}
+	return levels, nil
+}
+
+// splitRows splits on semicolons: benchmark row names themselves
+// contain commas ("Dining philos. (4, deadlock)").
+func splitRows(s string) []string {
+	var rows []string
+	for _, part := range strings.Split(s, ";") {
+		if part = strings.TrimSpace(part); part != "" {
+			rows = append(rows, part)
+		}
+	}
+	return rows
+}
+
+// clientStats is one client's tally for a level.
+type clientStats struct {
+	ok, accepted, rejected, errors int
+	retryAfterMax                  int
+	latencies                      []time.Duration // of OK requests only
+}
+
+// runLevel runs n closed-loop clients for the configured window and
+// aggregates their tallies.
+func runLevel(cfg config, n int) levelReport {
+	httpClient := &http.Client{Timeout: cfg.timeout}
+	stop := time.Now().Add(cfg.duration)
+	stats := make([]clientStats, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			for time.Now().Before(stop) {
+				row := cfg.rows[rng.Intn(len(cfg.rows))]
+				async := rng.Float64() < cfg.asyncFrac
+				oneRequest(cfg, httpClient, row, async, &stats[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all clientStats
+	for _, s := range stats {
+		all.ok += s.ok
+		all.accepted += s.accepted
+		all.rejected += s.rejected
+		all.errors += s.errors
+		if s.retryAfterMax > all.retryAfterMax {
+			all.retryAfterMax = s.retryAfterMax
+		}
+		all.latencies = append(all.latencies, s.latencies...)
+	}
+	return levelReport{
+		Clients:       n,
+		Requests:      all.ok + all.accepted + all.rejected + all.errors,
+		OK:            all.ok,
+		Accepted:      all.accepted,
+		Rejected:      all.rejected,
+		Errors:        all.errors,
+		ThroughputRPS: float64(all.ok) / elapsed.Seconds(),
+		LatencyMS:     summarise(all.latencies),
+		RetryAfterMax: all.retryAfterMax,
+	}
+}
+
+// oneRequest issues a single sync or async verification and records the
+// outcome. 429s honour Retry-After (capped so a pessimistic estimate
+// can't stall the window) and are tallied as rejections.
+func oneRequest(cfg config, client *http.Client, row string, async bool, st *clientStats) {
+	body, _ := json.Marshal(map[string]string{"system": row})
+	path := "/v1/verify"
+	if async {
+		path = "/v1/jobs"
+	}
+	begin := time.Now()
+	resp, err := client.Post(cfg.url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.errors++
+		return
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		st.ok++
+		st.latencies = append(st.latencies, time.Since(begin))
+	case http.StatusAccepted:
+		var j jobView
+		if json.Unmarshal(payload, &j) != nil || j.ID == "" {
+			st.errors++
+			return
+		}
+		state, ok := pollToTerminal(cfg, client, j.ID)
+		if !ok {
+			st.errors++
+			return
+		}
+		if state == "done" {
+			st.ok++
+			st.latencies = append(st.latencies, time.Since(begin))
+		} else {
+			st.accepted++
+		}
+	case http.StatusTooManyRequests:
+		st.rejected++
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			if ra > st.retryAfterMax {
+				st.retryAfterMax = ra
+			}
+			wait := time.Duration(ra) * time.Second
+			if wait > 2*time.Second {
+				wait = 2 * time.Second
+			}
+			time.Sleep(wait)
+		}
+	default:
+		st.errors++
+	}
+}
+
+// pollToTerminal polls an async job until it leaves the queue/run
+// states, returning its terminal state.
+func pollToTerminal(cfg config, client *http.Client, id string) (string, bool) {
+	deadline := time.Now().Add(cfg.timeout)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(cfg.url + "/v1/jobs/" + id)
+		if err != nil {
+			return "", false
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", false
+		}
+		var j jobView
+		if json.Unmarshal(payload, &j) != nil {
+			return "", false
+		}
+		switch j.State {
+		case "done", "failed", "cancelled":
+			return j.State, true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return "", false
+}
+
+// summarise computes the latency percentiles of the accepted requests.
+func summarise(lat []time.Duration) latencyMS {
+	if len(lat) == 0 {
+		return latencyMS{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	pct := func(q float64) float64 {
+		i := int(q*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return ms(lat[i])
+	}
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	return latencyMS{
+		P50:  pct(0.50),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+		Mean: ms(sum / time.Duration(len(lat))),
+		Max:  ms(lat[len(lat)-1]),
+	}
+}

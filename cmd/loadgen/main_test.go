@@ -1,0 +1,163 @@
+package main
+
+// loadgen's measurement loop tested against a stub server that speaks
+// just enough of the effpid wire protocol: sync 200s with a fixed
+// service time, async 202 + poll-to-done, and deterministic 429s with
+// Retry-After once "saturated".
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubEffpid serves /v1/verify, /v1/jobs, /v1/jobs/{id} with canned
+// behaviour: every rejectEvery'th admission attempt is a 429.
+type stubEffpid struct {
+	mu          sync.Mutex
+	admissions  int
+	rejectEvery int // 0 = never reject
+	jobs        map[string]int
+	nextJob     int
+}
+
+func (s *stubEffpid) admit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.admissions++
+	return s.rejectEvery == 0 || s.admissions%s.rejectEvery != 0
+}
+
+func (s *stubEffpid) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
+		if !s.admit() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+		fmt.Fprint(w, `{"system": "stub", "duration_ms": 2}`)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if !s.admit() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		s.mu.Lock()
+		s.nextJob++
+		id := fmt.Sprintf("job-%d", s.nextJob)
+		s.jobs[id] = 0
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(jobView{ID: id, State: "queued"})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s.mu.Lock()
+		polls, ok := s.jobs[id]
+		if ok {
+			s.jobs[id]++
+		}
+		s.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		state := "running"
+		if polls >= 1 { // done on the second poll
+			state = "done"
+		}
+		json.NewEncoder(w).Encode(jobView{ID: id, State: state})
+	})
+	return mux
+}
+
+func stubConfig(url string, asyncFrac float64) config {
+	return config{
+		url:       url,
+		rows:      []string{"stub row"},
+		duration:  300 * time.Millisecond,
+		asyncFrac: asyncFrac,
+		timeout:   5 * time.Second,
+	}
+}
+
+func TestRunLevelSyncOnly(t *testing.T) {
+	stub := &stubEffpid{jobs: map[string]int{}}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	lv := runLevel(stubConfig(ts.URL, 0), 4)
+	if lv.Clients != 4 {
+		t.Errorf("clients = %d", lv.Clients)
+	}
+	if lv.OK == 0 || lv.Errors != 0 || lv.Rejected != 0 {
+		t.Errorf("level: %+v, want only OK outcomes", lv)
+	}
+	if lv.Requests != lv.OK {
+		t.Errorf("requests %d != ok %d", lv.Requests, lv.OK)
+	}
+	if lv.ThroughputRPS <= 0 {
+		t.Errorf("throughput %v", lv.ThroughputRPS)
+	}
+	l := lv.LatencyMS
+	if l.P50 <= 0 || l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+		t.Errorf("percentiles not monotone: %+v", l)
+	}
+}
+
+func TestRunLevelAsyncAndRejections(t *testing.T) {
+	stub := &stubEffpid{jobs: map[string]int{}, rejectEvery: 3}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	lv := runLevel(stubConfig(ts.URL, 1.0), 3)
+	if lv.OK == 0 {
+		t.Error("no async job completed")
+	}
+	if lv.Rejected == 0 {
+		t.Error("stub rejects every 3rd admission, but no 429 was tallied")
+	}
+	if lv.RetryAfterMax < 1 {
+		t.Errorf("retry_after_max = %d, want >= 1", lv.RetryAfterMax)
+	}
+	if lv.Errors != 0 {
+		t.Errorf("errors = %d: %+v", lv.Errors, lv)
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	if got := summarise(nil); got != (latencyMS{}) {
+		t.Errorf("empty summary: %+v", got)
+	}
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	got := summarise(lat)
+	if got.P50 != 50 || got.P95 != 95 || got.P99 != 99 || got.Max != 100 {
+		t.Errorf("percentiles of 1..100ms: %+v", got)
+	}
+	if got.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", got.Mean)
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	levels, err := parseLevels("4, 16")
+	if err != nil || len(levels) != 2 || levels[0] != 4 || levels[1] != 16 {
+		t.Errorf("parseLevels: %v, %v", levels, err)
+	}
+	if _, err := parseLevels("4,zero"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := parseLevels("0"); err == nil {
+		t.Error("zero level accepted")
+	}
+}

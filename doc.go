@@ -22,8 +22,13 @@
 // under internal/ (see DESIGN.md for the module map) and is not
 // importable — the façade re-exports everything the executables under
 // cmd/ (effpi, effpid, savina, mcbench) and external consumers need.
-// cmd/effpid serves this API over HTTP (POST /v1/verify) from one
-// long-lived shared workspace; see README.md for a curl example.
+// cmd/effpid serves this API over HTTP from one long-lived shared
+// workspace, behind an admission-controlled job queue: POST /v1/verify
+// (synchronous), POST /v1/jobs + GET/DELETE /v1/jobs/{id} (asynchronous
+// submit/poll/cancel), GET /healthz, GET /readyz, GET /metrics. A
+// saturated queue answers 429 with a Retry-After estimate; cmd/loadgen
+// measures the resulting throughput/latency/rejection envelope. See
+// README.md for a curl walkthrough.
 //
 // Reading counterexample output: a failing property is reported as a
 // lasso-shaped witness — a stem of transitions from the initial state
