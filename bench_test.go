@@ -382,3 +382,80 @@ func BenchmarkAblationSchedulerPolicies(b *testing.B) {
 		})
 	}
 }
+
+// --- Partial order: exploration-time ample-set pruning -----------------------
+//
+// The Serial/POR pairs time the whole VerifyAll pipeline under
+// partial-order reduction. The ping-pong pair is the showcase
+// (independent pairs collapse 3^n interleavings into one near-linear
+// corridor); the dining pairs are the honest negative result the
+// DESIGN.md §por documents: philosopher-to-philosopher token handover
+// makes every adjacent pair dependent, so the conflict graph is one
+// connected ring, ample sets barely prune (~1.0×), and the mode costs
+// real time — each eligible property explores its own barely-reduced
+// space instead of sharing the group's single exploration. The pairs
+// keep both behaviours pinned: a regression in either direction (lost
+// reduction on ping-pong, runaway overhead on dining) shows up here.
+
+// benchPORVerifyAll runs the full batch pipeline (exploration included,
+// fresh cache per iteration) under the given partial-order mode,
+// asserting every verdict against the row's expectations. With
+// eligibleOnly the row is cut down to the POR-eligible columns
+// (deadlock-free, no-usage, reactive), so the pair isolates the
+// reduction instead of being dominated by the full explorations the
+// ineligible schemas run either way.
+func benchPORVerifyAll(b *testing.B, s *systems.System, por verify.PartialOrderMode, eligibleOnly bool) {
+	props := s.Props
+	if eligibleOnly {
+		props = nil
+		for _, p := range s.Props {
+			switch p.Kind {
+			case verify.DeadlockFree, verify.NonUsage, verify.Reactive:
+				props = append(props, p)
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		outs, err := verify.VerifyAllWith(s.Env, s.Type, props, verify.AllOptions{PartialOrder: por})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			if want, ok := s.Expected[o.Property.Kind]; ok && o.Holds != want {
+				b.Fatalf("%s / %s: verdict %v, expected %v", s.Name, o.Property, o.Holds, want)
+			}
+		}
+	}
+}
+
+func benchPORVerifyAllLarge(b *testing.B, s *systems.System, por verify.PartialOrderMode, eligibleOnly bool) {
+	if testing.Short() {
+		b.Skip("large instance skipped in -short mode")
+	}
+	benchPORVerifyAll(b, s, por, eligibleOnly)
+}
+
+func BenchmarkPORVerifyAllPingPong10Serial(b *testing.B) {
+	benchPORVerifyAll(b, systems.PingPongPairs(10, false), verify.PartialOrderOff, true)
+}
+
+func BenchmarkPORVerifyAllPingPong10POR(b *testing.B) {
+	benchPORVerifyAll(b, systems.PingPongPairs(10, false), verify.PartialOrderOn, true)
+}
+
+func BenchmarkPORVerifyAllPhilosophers7Serial(b *testing.B) {
+	benchPORVerifyAllLarge(b, systems.DiningPhilosophers(7, false), verify.PartialOrderOff, false)
+}
+
+func BenchmarkPORVerifyAllPhilosophers7POR(b *testing.B) {
+	benchPORVerifyAllLarge(b, systems.DiningPhilosophers(7, false), verify.PartialOrderOn, false)
+}
+
+func BenchmarkPORVerifyAllPhilosophers8Serial(b *testing.B) {
+	benchPORVerifyAllLarge(b, systems.DiningPhilosophers(8, false), verify.PartialOrderOff, false)
+}
+
+func BenchmarkPORVerifyAllPhilosophers8POR(b *testing.B) {
+	benchPORVerifyAllLarge(b, systems.DiningPhilosophers(8, false), verify.PartialOrderOn, false)
+}

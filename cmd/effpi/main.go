@@ -88,6 +88,11 @@ verify flags:
                  properties only; verdicts unchanged, counterexamples
                  permutation-lifted to concrete runs and
                  replay-validated)
+  -por MODE      off | on — partial-order reduction: explore only an
+                 ample subset of each state's transitions (non-usage,
+                 deadlock-free and reactive; verdicts unchanged,
+                 counterexamples are concrete runs of the reduced
+                 space, replay-validated; yields to -symmetry)
   -width N       truncate printed witness states to N runes (default
                  100, 0 = full)
 
@@ -205,6 +210,7 @@ func cmdVerify(args []string) error {
 	early := fs.Bool("early", false, "early-exit mode: stop exploring as soon as a violation is found (on-the-fly checking; non-usage, deadlock-free and reactive)")
 	reduce := fs.String("reduce", "off", "state-space reduction before checking: off | strong (bisimulation quotient; verdicts unchanged, witnesses lifted and replay-validated)")
 	symmetry := fs.String("symmetry", "off", "exploration-time symmetry reduction: off | on (orbit representatives; verdicts unchanged, witnesses permutation-lifted and replay-validated)")
+	por := fs.String("por", "off", "exploration-time partial-order reduction: off | on (ample transition subsets; verdicts unchanged, witnesses replay-validated; yields to -symmetry)")
 	width := fs.Int("width", 100, "truncate printed witness states to this width (0 = full)")
 	src, err := loadSource(fs, args)
 	if err != nil {
@@ -222,10 +228,15 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
+	porMode, err := effpi.ParsePartialOrder(*por)
+	if err != nil {
+		return err
+	}
 	ws := effpi.NewWorkspace()
 	s, err := ws.NewSession(src, append(binds.options(),
 		effpi.WithMaxStates(*maxStates), effpi.WithEarlyExit(*early),
-		effpi.WithReduction(reduction), effpi.WithSymmetry(symMode))...)
+		effpi.WithReduction(reduction), effpi.WithSymmetry(symMode),
+		effpi.WithPartialOrder(porMode))...)
 	if err != nil {
 		return err
 	}
@@ -248,6 +259,9 @@ func printOutcome(o *effpi.Outcome, width int) {
 	if o.StatesExplored > 0 && o.StatesExplored < o.States {
 		fmt.Printf("symmetry:  %d orbit representatives cover %d states (%.1f×)\n",
 			o.StatesExplored, o.States, float64(o.States)/float64(o.StatesExplored))
+	}
+	if o.PartialOrder {
+		fmt.Printf("por:       ample-set reduction engaged (state counts are of the reduced space)\n")
 	}
 	if o.EarlyExit {
 		fmt.Printf("states:    %d discovered, %d expanded (early exit; product %d, automaton %d)\n",

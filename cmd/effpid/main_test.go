@@ -565,3 +565,157 @@ func TestEarlyExitRequest(t *testing.T) {
 		t.Errorf("early-exit outcome not marked in response: %s", buf)
 	}
 }
+
+// TestPartialOrderRequest: a "partial_order": "on" request explores
+// ample transition subsets — verdicts match the unreduced run, every
+// engaged result carries partial_order plus a states_explored count no
+// larger than the reference state space, a FAIL still carries a
+// replay-validated witness, and /metrics exposes the POR gauges.
+func TestPartialOrderRequest(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	body := func(mode string) string {
+		return fmt.Sprintf(`{
+			"system": "Ping-pong (6 pairs)",
+			"partial_order": %q
+		}`, mode)
+	}
+	code, base := postVerify(t, ts, body("off"))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, base)
+	}
+	code, por := postVerify(t, ts, body("on"))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, por)
+	}
+	type result struct {
+		Kind           string             `json:"kind"`
+		Holds          bool               `json:"holds"`
+		States         int                `json:"states"`
+		StatesExplored int                `json:"states_explored"`
+		PartialOrder   bool               `json:"partial_order"`
+		Witness        *effpi.WitnessJSON `json:"witness"`
+	}
+	var baseResp, porResp struct {
+		Results []result `json:"results"`
+	}
+	if err := json.Unmarshal(base, &baseResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(por, &porResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(porResp.Results) != len(baseResp.Results) || len(porResp.Results) == 0 {
+		t.Fatalf("result counts differ: %d vs %d", len(porResp.Results), len(baseResp.Results))
+	}
+	engaged := 0
+	for i, r := range porResp.Results {
+		b := baseResp.Results[i]
+		if r.Holds != b.Holds {
+			t.Errorf("%s: reduced verdict %v differs from reference %v", r.Kind, r.Holds, b.Holds)
+		}
+		if b.PartialOrder {
+			t.Errorf("%s: reference result carries partial_order", b.Kind)
+		}
+		if !r.PartialOrder {
+			if r.States != b.States {
+				t.Errorf("%s: disengaged result changed states %d -> %d", r.Kind, b.States, r.States)
+			}
+			continue
+		}
+		engaged++
+		if r.StatesExplored <= 0 || r.StatesExplored > b.States {
+			t.Errorf("%s: states_explored=%d out of range (reference states %d)", r.Kind, r.StatesExplored, b.States)
+		}
+		if r.States != r.StatesExplored {
+			t.Errorf("%s: POR states=%d != states_explored=%d (both count the reduced space)", r.Kind, r.States, r.StatesExplored)
+		}
+		if !r.Holds && r.Kind != effpi.EventualOutput.String() && (r.Witness == nil || !r.Witness.Replayed) {
+			t.Errorf("%s: reduced FAIL without replay-validated witness", r.Kind)
+		}
+	}
+	if engaged == 0 {
+		t.Fatal("no property engaged partial-order reduction on the ping-pong row")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics map[string]float64
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics["por_properties_total"] != float64(engaged) {
+		t.Errorf("por_properties_total = %v, want %d", metrics["por_properties_total"], engaged)
+	}
+	if metrics["por_states_explored_total"] <= 0 {
+		t.Errorf("por_states_explored_total = %v, want > 0", metrics["por_states_explored_total"])
+	}
+}
+
+// TestPartialOrderRequestRejectsUnknownMode: an unknown partial-order
+// name is a stable 400 naming the valid values.
+func TestPartialOrderRequestRejectsUnknownMode(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	code, buf := postVerify(t, ts, `{"system": "Dining philos. (4, deadlock)", "partial_order": "ample"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", code, buf)
+	}
+	if !bytes.Contains(buf, []byte(`"kind": "bad-request"`)) {
+		t.Errorf("error kind not bad-request: %s", buf)
+	}
+	for _, want := range []string{"ample", "off", "on"} {
+		if !bytes.Contains(buf, []byte(want)) {
+			t.Errorf("error does not mention %q: %s", want, buf)
+		}
+	}
+}
+
+// TestTrailingBytesRejected: a body holding a second JSON value after
+// the request object is malformed — both decode paths must 400 with
+// kind "parse" instead of silently discarding the trailing bytes.
+func TestTrailingBytesRejected(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	// The trailing-data check runs right after decoding, before row
+	// lookup — the first object only needs to decode, not to resolve.
+	bodies := []struct{ name, body string }{
+		{"second object", `{"system": "x"}{"system": "y"}`},
+		{"trailing scalar", `{"system": "x"} 42`},
+	}
+	for _, path := range []string{"/v1/verify", "/v1/jobs"} {
+		for _, tc := range bodies {
+			resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d, want 400 (%s)", path, tc.name, resp.StatusCode, buf)
+				continue
+			}
+			var e errorResponse
+			if err := json.Unmarshal(buf, &e); err != nil {
+				t.Errorf("%s %s: error body is not JSON: %s", path, tc.name, buf)
+				continue
+			}
+			if e.Kind != "parse" {
+				t.Errorf("%s %s: kind %q, want \"parse\"", path, tc.name, e.Kind)
+			}
+			if !strings.Contains(e.Error, "trailing") {
+				t.Errorf("%s %s: error %q does not mention trailing data", path, tc.name, e.Error)
+			}
+		}
+	}
+	// Trailing whitespace (a bare newline from curl and friends) is not
+	// a second value and must stay accepted.
+	code, buf := postVerify(t, ts,
+		"{\"source\": \"end\", \"properties\": [{\"kind\": \"deadlock-free\"}]}\n  ")
+	if code != http.StatusOK {
+		t.Errorf("trailing whitespace rejected: status %d (%s)", code, buf)
+	}
+}

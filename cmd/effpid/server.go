@@ -69,6 +69,11 @@ type server struct {
 	// representatives, and the cumulative covered/explored state counts —
 	// /metrics derives the fleet-wide orbit ratio from the pair.
 	symmetricProps, symmetryStatesCovered, symmetryStatesExplored *expvar.Int
+	// Partial-order accounting: how many properties ran on ample-set
+	// reduced state spaces, and the cumulative reduced state counts they
+	// explored (the full-space count is never computed under POR, so no
+	// ratio pair exists — the reduced total is the honest metric).
+	porProps, porStatesExplored *expvar.Int
 	// Admission and job-engine accounting: submissions admitted,
 	// rejections (queue full), the last Retry-After handed out, the
 	// queue's high-water occupancy, and terminal job counts by outcome.
@@ -172,6 +177,8 @@ func newServer(ws *effpi.Workspace, cfg serverConfig) *server {
 	s.symmetricProps = newInt("symmetric_properties_total")
 	s.symmetryStatesCovered = newInt("symmetry_states_covered_total")
 	s.symmetryStatesExplored = newInt("symmetry_states_explored_total")
+	s.porProps = newInt("por_properties_total")
+	s.porStatesExplored = newInt("por_states_explored_total")
 	s.submitted = newInt("jobs_submitted_total")
 	s.rejections = newInt("rejections_total")
 	s.retryAfter = newInt("retry_after_seconds")
@@ -297,6 +304,12 @@ type verifyRequest struct {
 	// channel-bundle symmetry group; verdicts identical, FAIL witnesses
 	// permutation-lifted to concrete runs and replay-validated).
 	Symmetry string `json:"symmetry,omitempty"`
+	// PartialOrder selects exploration-time partial-order reduction:
+	// "off" (default) or "on" (ample transition subsets from the type
+	// semantics' independence relation; verdicts identical, FAIL
+	// witnesses are concrete runs of the reduced space and
+	// replay-validated; yields to symmetry when both engage).
+	PartialOrder string `json:"partial_order,omitempty"`
 	// TimeoutMS caps this request's service time (0 = server default;
 	// capped by the server's -max-timeout). The clock starts when the
 	// job starts running — queue wait is bounded by admission control,
@@ -352,6 +365,10 @@ type resultJSON struct {
 	// collapse factor of the symmetry mode; absent when no symmetry
 	// engaged.
 	OrbitRatio float64 `json:"orbit_ratio,omitempty"`
+	// PartialOrder reports that ample-set partial-order reduction was in
+	// effect for this property: States and StatesExplored both count the
+	// reduced space (the full interleaving count is never computed).
+	PartialOrder bool `json:"partial_order,omitempty"`
 	// Expanded is set under early exit: how many of the discovered
 	// states were materialised before the search concluded.
 	Expanded        int     `json:"expanded,omitempty"`
@@ -479,6 +496,14 @@ func (s *server) decodeVerifyRequest(w http.ResponseWriter, r *http.Request) (*v
 		s.writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("decoding request body: %w", err))
 		return nil, 0, false
 	}
+	// One JSON value per request: a second value after the first
+	// ({"system":"x"}{"system":"y"}) is a malformed body, not two
+	// requests — without this check the trailing bytes were silently
+	// discarded.
+	if dec.More() {
+		s.writeError(w, http.StatusBadRequest, "parse", errors.New("request body has trailing data after the JSON object"))
+		return nil, 0, false
+	}
 	if (req.Source == "") == (req.System == "") {
 		s.writeError(w, http.StatusBadRequest, "bad-request", errors.New("exactly one of \"source\" and \"system\" must be set"))
 		return nil, 0, false
@@ -570,12 +595,20 @@ func (s *server) verify(ctx context.Context, req *verifyRequest, progress func(e
 			return nil, http.StatusBadRequest, "bad-request", err
 		}
 	}
+	partialOrder := effpi.PartialOrderOff
+	if req.PartialOrder != "" {
+		var err error
+		if partialOrder, err = effpi.ParsePartialOrder(req.PartialOrder); err != nil {
+			return nil, http.StatusBadRequest, "bad-request", err
+		}
+	}
 	opts := []effpi.Option{
 		effpi.WithMaxStates(pick(req.MaxStates, s.maxStates)),
 		effpi.WithParallelism(pick(req.Parallelism, s.parallelism)),
 		effpi.WithEarlyExit(req.EarlyExit),
 		effpi.WithReduction(reduction),
 		effpi.WithSymmetry(symmetry),
+		effpi.WithPartialOrder(partialOrder),
 	}
 	if progress != nil {
 		opts = append(opts, effpi.WithProgress(progress))
@@ -660,6 +693,12 @@ func (s *server) verify(ctx context.Context, req *verifyRequest, progress func(e
 			s.symmetricProps.Add(1)
 			s.symmetryStatesCovered.Add(int64(o.States))
 			s.symmetryStatesExplored.Add(int64(o.StatesExplored))
+		}
+		if o.PartialOrder {
+			res.PartialOrder = true
+			res.StatesExplored = o.StatesExplored
+			s.porProps.Add(1)
+			s.porStatesExplored.Add(int64(o.StatesExplored))
 		}
 		if o.Holds {
 			s.pass.Add(1)

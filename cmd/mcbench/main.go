@@ -13,7 +13,7 @@
 //
 //	mcbench [-suite all|payment|philos|pingpong|ring|large] [-reps N]
 //	        [-max N] [-skip-slow] [-shared] [-par N] [-props a,b] [-json PATH]
-//	        [-reduce] [-symmetry] [-cpuprofile PATH] [-memprofile PATH]
+//	        [-reduce] [-symmetry] [-por] [-cpuprofile PATH] [-memprofile PATH]
 //
 // With -json PATH the results are also written as machine-readable JSON
 // (one object per row with per-property verdicts and timing stats), the
@@ -47,6 +47,7 @@ func main() {
 	par := flag.Int("par", 0, "BFS workers per exploration: 0 = GOMAXPROCS, 1 = the serial engine (cap total CPU with GOMAXPROCS)")
 	reduce := flag.Bool("reduce", false, "check every property on the strong-bisimulation quotient of its state space (verdicts unchanged; rows gain states_full/states_reduced columns)")
 	symmetry := flag.Bool("symmetry", false, "explore orbit representatives under each system's channel-bundle symmetry group (verdicts unchanged; rows gain states_explored/orbit_ratio columns)")
+	por := flag.Bool("por", false, "explore ample transition subsets per state (partial-order reduction; verdicts unchanged, eligible properties gain partial_order/states_explored columns)")
 	propFilter := flag.String("props", "", "comma-separated property kinds to run (default: all six Fig. 9 columns)")
 	jsonPath := flag.String("json", "", "write machine-readable results to PATH")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to PATH")
@@ -61,7 +62,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
 		os.Exit(2)
 	}
-	code := run(*suite, *reps, *maxStates, *skipSlow, *shared, *par, *reduce, *symmetry, *propFilter, *jsonPath)
+	code := run(*suite, *reps, *maxStates, *skipSlow, *shared, *par, *reduce, *symmetry, *por, *propFilter, *jsonPath)
 	stopProfiles()
 	os.Exit(code)
 }
@@ -105,7 +106,7 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 }
 
 // run executes the sweep and returns the process exit code.
-func run(suite string, reps, maxStates int, skipSlow, shared bool, par int, reduce, symmetry bool, propFilter, jsonPath string) int {
+func run(suite string, reps, maxStates int, skipSlow, shared bool, par int, reduce, symmetry, por bool, propFilter, jsonPath string) int {
 	rows := selectRows(suite)
 	if len(rows) == 0 {
 		fmt.Fprintf(os.Stderr, "mcbench: unknown suite %q\n", suite)
@@ -126,13 +127,18 @@ func run(suite string, reps, maxStates int, skipSlow, shared bool, par int, redu
 	if symmetry {
 		symMode = effpi.SymmetryOn
 	}
+	porMode := effpi.PartialOrderOff
+	if por {
+		porMode = effpi.PartialOrderOn
+	}
 	report := &jsonReport{
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Parallelism: par,
-		Reps:        reps,
-		SharedCache: shared,
-		Reduction:   reduction.String(),
-		Symmetry:    symMode.String(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Parallelism:  par,
+		Reps:         reps,
+		SharedCache:  shared,
+		Reduction:    reduction.String(),
+		Symmetry:     symMode.String(),
+		PartialOrder: porMode.String(),
 	}
 
 	statesHeader := "states"
@@ -141,6 +147,8 @@ func run(suite string, reps, maxStates int, skipSlow, shared bool, par int, redu
 		statesHeader = "states full→reduced"
 	case symmetry:
 		statesHeader = "states full→explored"
+	case por:
+		statesHeader = "states full→ample"
 	}
 	fmt.Printf("%-34s %19s  %s\n", "system", statesHeader, strings.Join(propHeaders(kinds), "  "))
 	mismatches := 0
@@ -148,7 +156,7 @@ func run(suite string, reps, maxStates int, skipSlow, shared bool, par int, redu
 		if skipSlow && isSlow(s.Name) {
 			continue
 		}
-		row, bad := runRow(s, reps, maxStates, shared, par, reduction, symMode, kinds)
+		row, bad := runRow(s, reps, maxStates, shared, par, reduction, symMode, porMode, kinds)
 		report.Rows = append(report.Rows, row)
 		mismatches += bad
 	}
@@ -265,8 +273,12 @@ type jsonReport struct {
 	// Symmetry is the exploration-time symmetry mode the run used ("off"
 	// or "on"); with "on" every row carries states_explored and
 	// orbit_ratio.
-	Symmetry string    `json:"symmetry"`
-	Rows     []jsonRow `json:"rows"`
+	Symmetry string `json:"symmetry"`
+	// PartialOrder is the exploration-time partial-order mode the run
+	// used ("off" or "on"); with "on" every eligible property carries
+	// partial_order and its ample-set states_explored count.
+	PartialOrder string    `json:"partial_order,omitempty"`
+	Rows         []jsonRow `json:"rows"`
 }
 
 type jsonRow struct {
@@ -286,9 +298,15 @@ type jsonRow struct {
 	// under -symmetry (equal to States when the row has no non-trivial
 	// symmetry group); OrbitRatio is States / StatesExplored — the row's
 	// exploration collapse factor.
-	StatesExplored int        `json:"states_explored,omitempty"`
-	OrbitRatio     float64    `json:"orbit_ratio,omitempty"`
-	Properties     []jsonProp `json:"properties"`
+	StatesExplored int     `json:"states_explored,omitempty"`
+	OrbitRatio     float64 `json:"orbit_ratio,omitempty"`
+	// StatesAmple is the largest ample-set reduced state space any of the
+	// row's eligible properties explored under -por (each property prunes
+	// against its own visible-label set, so reduced sizes differ per
+	// column; the full interleaving count is never computed for them —
+	// States holds it only when an ineligible property ran full).
+	StatesAmple int        `json:"states_ample,omitempty"`
+	Properties  []jsonProp `json:"properties"`
 }
 
 type jsonProp struct {
@@ -298,12 +316,17 @@ type jsonProp struct {
 	// property was checked on under -reduce (0 = no Reduce stage ran,
 	// e.g. reduction off, the existential ev-usage schema, or a formula
 	// that simplifies to ⊤).
-	StatesReduced int     `json:"states_reduced,omitempty"`
-	Expected      *bool   `json:"expected,omitempty"`
-	Matches       bool    `json:"matches_expected"`
-	MeanSeconds   float64 `json:"mean_seconds"`
-	StddevSeconds float64 `json:"stddev_seconds"`
-	Error         string  `json:"error,omitempty"`
+	StatesReduced int `json:"states_reduced,omitempty"`
+	// PartialOrder reports that this property was checked on an ample-set
+	// reduced space under -por; StatesExplored is that reduced state
+	// count (the full interleaving count is never computed under POR).
+	PartialOrder   bool    `json:"partial_order,omitempty"`
+	StatesExplored int     `json:"states_explored,omitempty"`
+	Expected       *bool   `json:"expected,omitempty"`
+	Matches        bool    `json:"matches_expected"`
+	MeanSeconds    float64 `json:"mean_seconds"`
+	StddevSeconds  float64 `json:"stddev_seconds"`
+	Error          string  `json:"error,omitempty"`
 	// Witness is the counterexample lasso of a failing property,
 	// replay-validated (effpi.Replay) before it is written. ev-usage
 	// failures have none: the schema is existential.
@@ -316,7 +339,7 @@ type jsonProp struct {
 // With shared, one workspace serves the whole row, so later properties
 // reuse earlier per-component work through its cache; without it every
 // repetition runs in a fresh workspace (timed cold).
-func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, reduction effpi.Reduction, symmetry effpi.SymmetryMode, kinds map[effpi.Kind]bool) (jsonRow, int) {
+func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, reduction effpi.Reduction, symmetry effpi.SymmetryMode, por effpi.PartialOrderMode, kinds map[effpi.Kind]bool) (jsonRow, int) {
 	ctx := context.Background()
 	row := jsonRow{System: s.Name}
 	cells := make([]string, 0, len(s.Props))
@@ -332,7 +355,8 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, red
 		}
 		return ws.NewSessionFromType(s.Env, s.Type,
 			effpi.WithMaxStates(maxStates), effpi.WithParallelism(par),
-			effpi.WithReduction(reduction), effpi.WithSymmetry(symmetry))
+			effpi.WithReduction(reduction), effpi.WithSymmetry(symmetry),
+			effpi.WithPartialOrder(por))
 	}
 	for _, prop := range s.Props {
 		if !keepProp(kinds, prop) {
@@ -356,7 +380,18 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, red
 			}
 			jp.Holds = last.Holds
 			jp.StatesReduced = last.ReducedStates
-			row.States = last.States
+			if last.PartialOrder {
+				// Under POR, States and StatesExplored both count the
+				// reduced space — keep the row's full count from the
+				// ineligible properties (which still explore everything).
+				jp.PartialOrder = true
+				jp.StatesExplored = last.StatesExplored
+				if last.StatesExplored > row.StatesAmple {
+					row.StatesAmple = last.StatesExplored
+				}
+			} else {
+				row.States = last.States
+			}
 			if symmetry != effpi.SymmetryOff {
 				row.StatesExplored = last.StatesExplored
 			}
@@ -408,6 +443,8 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, red
 		statesCell = fmt.Sprintf("%10d\u2192%-8d", row.StatesFull, row.StatesReduced)
 	} else if row.OrbitRatio > 0 {
 		statesCell = fmt.Sprintf("%10d\u2192%-8d", row.States, row.StatesExplored)
+	} else if por != effpi.PartialOrderOff && row.StatesAmple > 0 {
+		statesCell = fmt.Sprintf("%10d\u2192%-8d", row.States, row.StatesAmple)
 	}
 	fmt.Printf("%-34s %s  %s\n", s.Name, statesCell, strings.Join(cells, "  "))
 	return row, mismatches

@@ -16,7 +16,7 @@ func TestRunRowAttachesReplayedWitnesses(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark row not found")
 	}
-	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceOff, effpi.SymmetryOff, nil)
+	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceOff, effpi.SymmetryOff, effpi.PartialOrderOff, nil)
 	if mismatches != 0 {
 		t.Fatalf("unexpected verdict mismatches: %d", mismatches)
 	}
@@ -66,7 +66,7 @@ func TestRunRowReduced(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark row not found")
 	}
-	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceStrong, effpi.SymmetryOff, nil)
+	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceStrong, effpi.SymmetryOff, effpi.PartialOrderOff, nil)
 	if mismatches != 0 {
 		t.Fatalf("unexpected verdict mismatches under -reduce: %d", mismatches)
 	}
@@ -125,7 +125,7 @@ func TestRunRowSymmetry(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark row not found")
 	}
-	row, mismatches := runRow(s, 1, 1<<20, true, 1, effpi.ReduceOff, effpi.SymmetryOn, nil)
+	row, mismatches := runRow(s, 1, 1<<20, true, 1, effpi.ReduceOff, effpi.SymmetryOn, effpi.PartialOrderOff, nil)
 	if mismatches != 0 {
 		t.Fatalf("unexpected verdict mismatches under -symmetry: %d", mismatches)
 	}
@@ -176,7 +176,7 @@ func TestPropFilter(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark row not found")
 	}
-	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceOff, effpi.SymmetryOff, kinds)
+	row, mismatches := runRow(s, 1, 1<<18, true, 1, effpi.ReduceOff, effpi.SymmetryOff, effpi.PartialOrderOff, kinds)
 	if mismatches != 0 {
 		t.Fatalf("unexpected verdict mismatches: %d", mismatches)
 	}
@@ -247,5 +247,49 @@ func TestSnapshotSchemaCompat(t *testing.T) {
 	}
 	if len(again.Rows) != len(report.Rows) {
 		t.Error("round-trip changed the row count")
+	}
+}
+
+// TestRunRowPartialOrder: a -por row keeps every verdict, marks the
+// eligible columns with partial_order plus their ample-set explored
+// counts (strictly smaller than the full ping-pong space), keeps the
+// full count from the ineligible columns, and still attaches
+// replay-validated witnesses to FAILs.
+func TestRunRowPartialOrder(t *testing.T) {
+	s, ok := effpi.BenchSystemByName("Ping-pong (6 pairs)")
+	if !ok {
+		t.Fatal("benchmark row not found")
+	}
+	row, mismatches := runRow(s, 1, 1<<20, true, 1, effpi.ReduceOff, effpi.SymmetryOff, effpi.PartialOrderOn, nil)
+	if mismatches != 0 {
+		t.Fatalf("unexpected verdict mismatches under -por: %d", mismatches)
+	}
+	if row.States <= 0 {
+		t.Fatalf("row lost its full state count: %d", row.States)
+	}
+	if row.StatesAmple <= 0 || row.StatesAmple >= row.States {
+		t.Fatalf("states_ample=%d, want a real reduction of the %d-state row", row.StatesAmple, row.States)
+	}
+	engaged := 0
+	for _, p := range row.Properties {
+		kind, err := effpi.ParseKind(p.Kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.PartialOrder {
+			engaged++
+			if p.StatesExplored <= 0 || p.StatesExplored > row.StatesAmple {
+				t.Errorf("%s: states_explored=%d out of range (row ample max %d)", p.Kind, p.StatesExplored, row.StatesAmple)
+			}
+		}
+		if p.Holds || kind == effpi.EventualOutput {
+			continue
+		}
+		if p.Witness == nil || !p.Witness.Replayed {
+			t.Fatalf("%s: FAIL without replay-validated witness under -por", p.Kind)
+		}
+	}
+	if engaged == 0 {
+		t.Fatal("no column engaged partial-order reduction on the ping-pong row")
 	}
 }

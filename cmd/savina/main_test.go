@@ -31,6 +31,49 @@ func TestSmokeOneBenchmarkOneEngine(t *testing.T) {
 	runPoint(b, engines[0], 10, 1, true)
 }
 
+// TestSmokeAllBenchmarksAllEngines: every wired Fig. 8 benchmark
+// against every engine, with the exact per-size message count pinned —
+// a drifting workload (lost messages, a changed round structure, an
+// engine that drops work) fails here instead of silently skewing the
+// next paper regeneration. The counts are the benchmarks' contracts:
+// chameneos processes two messages per meeting request, counting the n
+// increments plus the final retrieve, fjc one message per spawned
+// actor, fjt and pingpong 100 rounds per size unit, ring 10 full trips
+// of n hops, and streamring 10·n messages through each of min(16, n)
+// pipeline stages.
+func TestSmokeAllBenchmarksAllEngines(t *testing.T) {
+	expected := map[string]func(n int64) int64{
+		"chameneos":  func(n int64) int64 { return 2 * n },
+		"counting":   func(n int64) int64 { return n + 1 },
+		"fjc":        func(n int64) int64 { return n },
+		"fjt":        func(n int64) int64 { return 100 * n },
+		"pingpong":   func(n int64) int64 { return 100 * n },
+		"ring":       func(n int64) int64 { return 10 * n },
+		"streamring": func(n int64) int64 { return min(16, n) * 10 * n },
+	}
+	benches := savina.All()
+	if len(benches) != len(expected) {
+		t.Fatalf("%d wired benchmarks but %d pinned expectations — pin the new row here", len(benches), len(expected))
+	}
+	for _, b := range benches {
+		want, ok := expected[b.Name]
+		if !ok {
+			t.Fatalf("benchmark %q has no pinned message count", b.Name)
+		}
+		for _, engineName := range []string{"default", "fsm", "goroutine"} {
+			engines, err := selectEngines(engineName, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const size = 10
+			res := b.Run(engines[0], size)
+			if w := want(size); res.Messages != w {
+				t.Errorf("%s/%s: %d messages, want %d", b.Name, engineName, res.Messages, w)
+			}
+		}
+	}
+}
+
 func TestSelectEngines(t *testing.T) {
 	all, err := selectEngines("all", 0)
 	if err != nil || len(all) != 3 {

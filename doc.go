@@ -8,8 +8,8 @@
 // memoised transition semantics, with a size-bounded eviction policy); a
 // Session binds one program or type to a workspace and is configured
 // with functional options (WithMaxStates, WithParallelism,
-// WithEarlyExit, WithReduction, WithSymmetry, WithClosed, WithProgress,
-// …):
+// WithEarlyExit, WithReduction, WithSymmetry, WithPartialOrder,
+// WithClosed, WithProgress, …):
 //
 //	ws := effpi.NewWorkspace()
 //	s, err := ws.NewSession(src, effpi.WithBind("c", "Chan[Int]"))
@@ -68,4 +68,21 @@
 // composes with WithEarlyExit and WithReduction, and falls back to the
 // concrete pipeline for open (non-Closed) properties; see DESIGN.md
 // §symmetry.
+//
+// Partial-order reduction: WithPartialOrder(PartialOrderOn) — "-por on"
+// in effpi verify, "-por" in mcbench, "partial_order": "on" in effpid
+// requests — prunes the exploration along the other axis: per state the
+// engine registers only an ample subset of the enabled transitions
+// (computed from the independence of their participating components,
+// with the property's visible actions protected), so commuting
+// interleavings of independent components are explored in one canonical
+// order and the dropped diamond states are never materialised. Ample
+// sets only drop edges, so a FAIL's counterexample is already a
+// concrete run — it is re-validated by the replay oracle before it is
+// returned, no lifting needed; Outcome.States and
+// Outcome.StatesExplored both count the reduced space. The mode engages
+// for the deadlock-free, no-usage and reactive schemas and yields to
+// WithSymmetry when a symmetry group is detected; see DESIGN.md
+// §partial-order for the ample conditions and the Dining-shaped
+// negative result.
 package effpi

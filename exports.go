@@ -45,6 +45,9 @@ type (
 	// SymmetryMode selects exploration-time symmetry reduction
 	// (WithSymmetry).
 	SymmetryMode = verify.SymmetryMode
+	// PartialOrderMode selects exploration-time partial-order reduction
+	// (WithPartialOrder).
+	PartialOrderMode = verify.PartialOrderMode
 )
 
 // The six property schemas of Fig. 7.
@@ -77,6 +80,16 @@ const (
 	SymmetryOn = verify.SymmetryOn
 )
 
+// The partial-order modes of WithPartialOrder.
+const (
+	// PartialOrderOff explores every enabled transition (the default).
+	PartialOrderOff = verify.PartialOrderOff
+	// PartialOrderOn explores an ample subset of each state's enabled
+	// transitions; FAIL witnesses are concrete runs of the reduced
+	// edge-subset, re-validated by the replay oracle.
+	PartialOrderOn = verify.PartialOrderOn
+)
+
 // AllKinds lists the six schemas in the column order of Fig. 9.
 func AllKinds() []Kind { return verify.AllKinds() }
 
@@ -87,6 +100,10 @@ func ParseReduction(name string) (Reduction, error) { return verify.ParseReducti
 // ParseSymmetry resolves a symmetry mode name ("off", "on") as used by
 // CLI flags and the effpid request field.
 func ParseSymmetry(name string) (SymmetryMode, error) { return verify.ParseSymmetry(name) }
+
+// ParsePartialOrder resolves a partial-order mode name ("off", "on") as
+// used by CLI flags and the effpid request field.
+func ParsePartialOrder(name string) (PartialOrderMode, error) { return verify.ParsePartialOrder(name) }
 
 // Replay re-validates a FAIL outcome by machine-checking its witness
 // against the explored LTS and a freshly re-translated property

@@ -570,3 +570,56 @@ func TestWithSymmetry(t *testing.T) {
 		t.Error("WithSymmetry must reject unknown modes")
 	}
 }
+
+// TestWithPartialOrder: the session-level partial-order option explores
+// ample subsets — verdicts identical to the reference session on a
+// loosely-coupled benchmark row, StatesExplored strictly below the
+// reference States for the eligible schemas, witness replays intact, and
+// the option rejects unknown modes.
+func TestWithPartialOrder(t *testing.T) {
+	ctx := context.Background()
+	sys, ok := BenchSystemByName("Ping-pong (6 pairs)")
+	if !ok {
+		t.Fatal("benchmark row not found")
+	}
+	run := func(opts ...Option) []*Outcome {
+		t.Helper()
+		sess, err := NewWorkspace().NewSessionFromType(sys.Env, sys.Type, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := sess.VerifyAll(ctx, sys.Props...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	base := run()
+	red := run(WithPartialOrder(PartialOrderOn))
+	reduced := false
+	for i := range base {
+		if red[i].Holds != base[i].Holds {
+			t.Errorf("%s: reduced verdict %v, reference %v", base[i].Property, red[i].Holds, base[i].Holds)
+		}
+		if red[i].StatesExplored > base[i].States {
+			t.Errorf("%s: explored %d states, full space has %d", base[i].Property, red[i].StatesExplored, base[i].States)
+		}
+		if red[i].PartialOrder && red[i].StatesExplored < base[i].States {
+			reduced = true
+		}
+		if !red[i].PartialOrder && red[i].States != base[i].States {
+			t.Errorf("%s: disengaged mode changed States %d -> %d", base[i].Property, base[i].States, red[i].States)
+		}
+		if !red[i].Holds && red[i].PartialOrder {
+			if err := Replay(red[i]); err != nil {
+				t.Errorf("%s: reduced witness does not replay through the façade: %v", base[i].Property, err)
+			}
+		}
+	}
+	if !reduced {
+		t.Error("no property explored fewer states than the concrete space — partial order never engaged")
+	}
+	if _, err := NewWorkspace().NewSessionFromType(sys.Env, sys.Type, WithPartialOrder(PartialOrderMode(99))); err == nil {
+		t.Error("WithPartialOrder must reject unknown modes")
+	}
+}

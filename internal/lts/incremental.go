@@ -54,7 +54,16 @@ func NewIncremental(sem *typelts.Semantics, init types.Type, opts Options) *Incr
 // their cached edges, so the explored fragment stays internally
 // consistent.
 func NewIncrementalContext(ctx context.Context, sem *typelts.Semantics, init types.Type, opts Options) *Incremental {
-	return &Incremental{b: prepBuilder(ctx, sem, init, opts), lo: []int32{-1}, hi: []int32{-1}}
+	x := &Incremental{b: prepBuilder(ctx, sem, init, opts), lo: []int32{-1}, hi: []int32{-1}}
+	if x.b.por != nil {
+		// The incremental engine expands states in checker-driven DFS
+		// order, not state-number order, so the cycle proviso's
+		// "already decided" predicate is the expansion map itself.
+		x.b.porExpanded = func(s int32) bool {
+			return int(s) < len(x.lo) && x.lo[s] >= 0
+		}
+	}
+	return x
 }
 
 // Initial is the initial state index (always 0).
@@ -88,7 +97,10 @@ func (x *Incremental) StateComps(s int) []types.ID { return x.b.stateComps[s] }
 // explored so far is no longer extended.
 func (x *Incremental) Succ(s int) ([]Edge, error) {
 	if s < len(x.lo) && x.lo[s] >= 0 {
-		return x.b.l.edges[x.lo[s]:x.hi[s]], nil
+		// Three-index slice: the flat edge array is shared by every
+		// expanded state, so a caller append must reallocate instead of
+		// overwriting a neighbour's edges.
+		return x.b.l.edges[x.lo[s]:x.hi[s]:x.hi[s]], nil
 	}
 	if x.err != nil {
 		return nil, x.err
@@ -104,15 +116,17 @@ func (x *Incremental) Succ(s int) ([]Edge, error) {
 	}
 	from := int32(len(x.b.l.edges))
 	x.b.beginState()
+	x.b.porCur = int32(s)
 	x.b.expandInto(from, x.b.stateComps[s])
 	x.b.completeRun(s, from)
 	x.grow() // expansion may have discovered new states
-	x.lo[s], x.hi[s] = from, int32(len(x.b.l.edges))
+	hi := int32(len(x.b.l.edges))
+	x.lo[s], x.hi[s] = from, hi
 	x.expanded++
 	if x.expanded%progressStride == 0 {
 		x.b.report(x.expanded)
 	}
-	return x.b.l.edges[from:], nil
+	return x.b.l.edges[from:hi:hi], nil
 }
 
 // grow pads the extent arrays to cover newly discovered states.

@@ -137,6 +137,16 @@ type Options struct {
 	// determinism contract is preserved: the symmetric LTS is
 	// byte-identical at any worker count.
 	Symmetry *Symmetry
+	// PartialOrder, when non-nil, enables exploration-time partial-order
+	// reduction (see por.go): each expanded state registers an ample
+	// subset of its enabled transitions instead of all of them, sound
+	// for properties that only observe the labels PartialOrder.Visible
+	// reports. Ample selection runs on the single-threaded registration
+	// side of every engine, so the reduced LTS is byte-identical at any
+	// worker count. Ignored when Symmetry is active: orbit
+	// canonicalisation assumes every successor is registered, so
+	// symmetry takes precedence.
+	PartialOrder *POR
 }
 
 // Progress is a snapshot of a running exploration, delivered through
@@ -233,6 +243,14 @@ func prepBuilder(ctx context.Context, sem *typelts.Semantics, init types.Type, o
 		b.sym = s
 		b.l.Sym = &SymInfo{S: s}
 	}
+	if por := opts.PartialOrder; por != nil && b.sym == nil {
+		b.por = newPORState(por, b.sem)
+		// Default proviso predicate: the serial and parallel engines
+		// make ample decisions in state-number order, so a state is
+		// decided iff its number precedes the current one. The
+		// incremental engine overrides this with its own expansion map.
+		b.porExpanded = func(s int32) bool { return s < b.porCur }
+	}
 	root := sem.InternLeaves(init)
 	b.orderComps(root)
 	if b.sym != nil {
@@ -290,6 +308,17 @@ type builder struct {
 	// orbit representative (see Options.Symmetry); l.Sym records the
 	// per-edge permutations and per-state orbit sizes alongside.
 	sym *Symmetry
+
+	// por, when non-nil, filters every expansion through the ample-set
+	// computation (see por.go). Mutually exclusive with sym. porCur is
+	// the state whose expansion is being decided; porExpanded reports
+	// whether a state's own ample decision was already made — the cycle
+	// proviso's notion of "closes a cycle". Both are maintained by the
+	// driving engine (state-number order for the serial and parallel
+	// engines, expansion order for the incremental one).
+	por         *porState
+	porCur      int32
+	porExpanded func(int32) bool
 
 	// Per-state edge dedup: linear scan while the out-degree is small,
 	// switching to a map once it crosses dedupThreshold (high-out-degree
@@ -499,6 +528,12 @@ func (b *builder) finishState(next int, from int32) {
 // the canonical per-state edge order shared by the serial, parallel and
 // incremental engines.
 func (b *builder) expandInto(from int32, comps []types.ID) {
+	if b.por != nil {
+		// POR needs the whole proposal list (participants included)
+		// before registering anything, so it can select an ample subset.
+		b.registerPOR(from, comps, expandState(b.sem, comps))
+		return
+	}
 	sem := b.sem
 	// Interleaving: each component may act on its own (Y-limited).
 	for i := range comps {
@@ -561,6 +596,7 @@ func (b *builder) exploreSerial() error {
 		}
 		from := b.l.start[next]
 		b.beginState()
+		b.porCur = int32(next)
 		b.expandInto(from, b.stateComps[next])
 		b.finishState(next, from)
 	}
@@ -614,7 +650,11 @@ func (l *LTS) Out(s int) []Edge {
 	if s+1 >= len(l.start) {
 		return nil
 	}
-	return l.edges[l.start[s]:l.start[s+1]]
+	// Three-index slice: the flat edge array is shared by every state, so
+	// a caller append must reallocate instead of overwriting a
+	// neighbouring state's edges.
+	hi := l.start[s+1]
+	return l.edges[l.start[s]:hi:hi]
 }
 
 // LabelOf resolves an edge's label index to the label itself.

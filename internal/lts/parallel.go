@@ -41,6 +41,11 @@ type proposal struct {
 	succ []types.ID
 	key  typelts.LabelKey
 	lab  typelts.Label
+	// i and j are the acting positions in the parent's component
+	// multiset (j is -1 for an interleaving step). The ample-set
+	// computation of partial-order reduction derives its independence
+	// relation from them; plain registration ignores them.
+	i, j int32
 }
 
 // minParallelFrontier is the frontier size below which a level is
@@ -89,12 +94,22 @@ func (b *builder) exploreParallel(par int) error {
 			}
 			from := b.l.start[next]
 			b.beginState()
-			for _, p := range props[i] {
-				// register performs the same rank-order → canonicalise →
-				// intern → splice sequence applyStep runs on the serial
-				// path, so the two engines build identical states and
-				// edges (symmetric or not).
-				b.register(from, p.succ, p.key, p.lab)
+			if b.por != nil {
+				// Ample selection runs here, on the single-threaded
+				// merge side, in deterministic (parent, edge-order)
+				// order — exactly where the serial engine runs it — so
+				// the reduced LTS stays byte-identical at any worker
+				// count.
+				b.porCur = int32(next)
+				b.registerPOR(from, b.stateComps[next], props[i])
+			} else {
+				for _, p := range props[i] {
+					// register performs the same rank-order →
+					// canonicalise → intern → splice sequence applyStep
+					// runs on the serial path, so the two engines build
+					// identical states and edges (symmetric or not).
+					b.register(from, p.succ, p.key, p.lab)
+				}
 			}
 			b.finishState(next, from)
 			props[i] = nil
@@ -165,7 +180,7 @@ func expandState(sem *typelts.Semantics, comps []types.ID) []proposal {
 			if !sem.KeepLabel(st.Label) {
 				continue
 			}
-			out = append(out, proposal{succ: spliceSucc(comps, i, -1, st.Next), key: st.Key, lab: st.Label})
+			out = append(out, proposal{succ: spliceSucc(comps, i, -1, st.Next), key: st.Key, lab: st.Label, i: int32(i), j: -1})
 		}
 	}
 	for i := range comps {
@@ -174,7 +189,7 @@ func expandState(sem *typelts.Semantics, comps []types.ID) []proposal {
 				continue
 			}
 			for _, st := range sem.SyncSteps(comps[i], comps[j]) {
-				out = append(out, proposal{succ: spliceSucc(comps, i, j, st.Next), key: st.Key, lab: st.Label})
+				out = append(out, proposal{succ: spliceSucc(comps, i, j, st.Next), key: st.Key, lab: st.Label, i: int32(i), j: int32(j)})
 			}
 		}
 	}

@@ -152,6 +152,20 @@ type Request struct {
 	// to SymmetryOff. Ignored when Reuse is set (the reused LTS carries
 	// its own symmetry bookkeeping, which the FAIL lift honours).
 	Symmetry SymmetryMode
+	// PartialOrder selects exploration-time partial-order reduction (see
+	// PartialOrderMode): with PartialOrderOn, an eligible property
+	// (NonUsage, DeadlockFree, Reactive) explores only an ample subset of
+	// each state's enabled transitions, computed from the independence
+	// relation of the type semantics with the property's visible labels
+	// excluded (lts.POR). Verdicts are identical to PartialOrderOff, and
+	// every FAIL's witness — already a concrete run, since ample sets only
+	// drop edges — is re-validated by Replay before the outcome returns.
+	// Ignored when Reuse is set (the reused LTS is already explored), for
+	// the non-eligible schemas, and when symmetry reduction claims the
+	// exploration: symmetry wins, because the orbit construction must see
+	// every concrete successor (the two exploration-time reductions do
+	// not stack; see DESIGN.md §por).
+	PartialOrder PartialOrderMode
 	// symPinned extends the pinned channel set of symmetry detection
 	// beyond the property's own channels. VerifyAll sets it to the batch
 	// union so one orbit exploration is sound for every property sharing
@@ -232,6 +246,14 @@ type Outcome struct {
 	// materialised before the search concluded.
 	EarlyExit bool
 	Expanded  int
+	// PartialOrder reports that the exploration ran under partial-order
+	// reduction: States and StatesExplored count the ample-reduced state
+	// space — a subset of the full one, whose size is never computed —
+	// and a FAIL witness is a concrete run of that subset, validated by
+	// Replay. False when the request's PartialOrderOn silently disengaged
+	// (non-eligible schema, Reuse, or symmetry reduction taking
+	// precedence).
+	PartialOrder bool
 }
 
 // Verify runs the full pipeline for one property.
@@ -275,16 +297,25 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 		sym = lts.DetectSymmetry(sem.Cache, req.Type, append(pinnedChannels(req.Property), req.symPinned...))
 	}
 
+	// Partial-order reduction engages only when the exploration is ours to
+	// reduce (no Reuse) and symmetry has not claimed it: the orbit
+	// construction canonicalises over every concrete successor, so a
+	// detected group wins and POR silently disengages.
+	var por *lts.POR
+	if req.PartialOrder == PartialOrderOn && req.Reuse == nil && sym == nil && porEligible(req.Property.Kind) {
+		por = porFilter(req.Env, req.Property)
+	}
+
 	if req.EarlyExit && req.Reuse == nil {
 		if phi, conjuncts, ok := compileSymbolic(req.Env, req.Property); ok {
-			return verifyOnTheFly(ctx, req, sem, sym, phi, conjuncts, start)
+			return verifyOnTheFly(ctx, req, sem, sym, por, phi, conjuncts, start)
 		}
 	}
 
 	m := req.Reuse
 	if m == nil {
 		var err error
-		m, err = lts.ExploreContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Parallelism: req.Parallelism, Progress: req.Progress, Symmetry: sym})
+		m, err = lts.ExploreContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Parallelism: req.Parallelism, Progress: req.Progress, Symmetry: sym, PartialOrder: por})
 		if err != nil {
 			return nil, err
 		}
@@ -295,6 +326,7 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 		States:         int(m.Covered()),
 		StatesExplored: m.Len(),
 		LTS:            m,
+		PartialOrder:   por != nil,
 	}
 
 	if req.Property.Kind == EventualOutput {
@@ -338,11 +370,12 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 				return nil, fmt.Errorf("verify: symmetry produced an invalid counterexample lift: %w", err)
 			}
 		}
-		if req.Reduction == ReduceStrong || symmetric {
-			// The witness was found on a quotient (blocks, orbits or
-			// both) and lifted; a reduced FAIL is only reported once the
-			// existing replay oracle confirms the lift produced a genuine
-			// concrete violation.
+		if req.Reduction == ReduceStrong || symmetric || out.PartialOrder {
+			// The witness was found on a reduced space — a quotient
+			// (blocks, orbits or both, lifted above) or an ample-reduced
+			// edge-subset (already a concrete run, no lift needed) — so
+			// the FAIL is only reported once the existing replay oracle
+			// confirms a genuine concrete violation.
 			if err := Replay(out); err != nil {
 				return nil, fmt.Errorf("verify: reduction produced an invalid counterexample lift: %w", err)
 			}
@@ -360,13 +393,14 @@ func VerifyContext(ctx context.Context, req Request) (*Outcome, error) {
 // would force exhaustive exploration) are never started. Verdicts equal
 // the full pipeline's: the symbolic sets agree with the enumerated ones
 // on every label, and conjunction short-circuiting preserves T |= ϕ1∧ϕ2.
-func verifyOnTheFly(ctx context.Context, req Request, sem *typelts.Semantics, sym *lts.Symmetry, phi mucalc.Formula, conjuncts []mucalc.Formula, start time.Time) (*Outcome, error) {
-	inc := lts.NewIncrementalContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Progress: req.Progress, Symmetry: sym})
+func verifyOnTheFly(ctx context.Context, req Request, sem *typelts.Semantics, sym *lts.Symmetry, por *lts.POR, phi mucalc.Formula, conjuncts []mucalc.Formula, start time.Time) (*Outcome, error) {
+	inc := lts.NewIncrementalContext(ctx, sem, req.Type, lts.Options{MaxStates: req.MaxStates, Progress: req.Progress, Symmetry: sym, PartialOrder: por})
 	out := &Outcome{
-		Property:  req.Property,
-		Holds:     true,
-		Formula:   phi,
-		EarlyExit: true,
+		Property:     req.Property,
+		Holds:        true,
+		Formula:      phi,
+		EarlyExit:    true,
+		PartialOrder: por != nil,
 	}
 	var failed mucalc.Result
 	for _, c := range conjuncts {
@@ -400,6 +434,13 @@ func verifyOnTheFly(ctx context.Context, req Request, sem *typelts.Semantics, sy
 			}
 			if err := Replay(out); err != nil {
 				return nil, fmt.Errorf("verify: reduction produced an invalid counterexample lift: %w", err)
+			}
+		} else if out.PartialOrder {
+			// The ample-reduced fragment is an edge-subset of the full
+			// space, so the witness is already a concrete run; validate it
+			// directly before reporting the FAIL.
+			if err := Replay(out); err != nil {
+				return nil, fmt.Errorf("verify: partial-order reduction produced an invalid counterexample: %w", err)
 			}
 		}
 	}
@@ -436,6 +477,16 @@ type AllOptions struct {
 	// is shared per group, pinning the union of every property's
 	// channels, so one exploration is sound for all of them.
 	Symmetry SymmetryMode
+	// PartialOrder selects exploration-time partial-order reduction for
+	// every property of the batch (see Request.PartialOrder). Because the
+	// visible-label set is per property, an eligible property cannot
+	// reuse the group exploration: it explores its own ample-reduced LTS
+	// over the shared transition cache, and group explorations only run
+	// for the properties that still need the full space. When symmetry
+	// reduction is also on and a group is detected for the closed
+	// properties, symmetry wins and those properties fall back to the
+	// shared orbit exploration (same precedence as Request.PartialOrder).
+	PartialOrder PartialOrderMode
 	// Cache, when non-nil, is the shared transition cache every
 	// exploration runs on, letting a long-lived owner (the public
 	// package's Workspace) reuse per-component work across whole
@@ -535,9 +586,13 @@ func VerifyAllContext(ctx context.Context, env *types.Env, t types.Type, props [
 		shared = typelts.NewCache(env, true)
 	}
 	batchPinned := batchPinnedChannels(props)
+	porProp := porProps(shared, t, props, obsSets, propErrs, opts)
+	// Properties taking the partial-order path explore their own reduced
+	// LTS inside VerifyContext, so they neither join nor force a group
+	// exploration (and the joint quotient is built without them).
 	groupProps := map[string][]Property{}
 	for i, p := range props {
-		if propErrs[i] == nil {
+		if propErrs[i] == nil && !porProp[i] {
 			groupProps[keys[i]] = append(groupProps[keys[i]], p)
 		}
 	}
@@ -549,7 +604,7 @@ func VerifyAllContext(ctx context.Context, env *types.Env, t types.Type, props [
 	}
 	groups := map[string]*exploration{}
 	for i := range props {
-		if propErrs[i] != nil {
+		if propErrs[i] != nil || porProp[i] {
 			continue
 		}
 		if _, ok := groups[keys[i]]; ok {
@@ -585,17 +640,28 @@ func VerifyAllContext(ctx context.Context, env *types.Env, t types.Type, props [
 		go func(i int) {
 			defer func() { done <- struct{}{} }()
 			start := time.Now()
-			g := groups[keys[i]]
-			<-g.done
-			if g.err != nil {
-				propErrs[i] = g.err
-				return
+			var reuse *lts.LTS
+			var joint *jointQuotient
+			porMode := PartialOrderOff
+			if porProp[i] {
+				// Per-property ample exploration (shared cache, no group
+				// LTS): the reduced space depends on the property's own
+				// visible-label set.
+				porMode = PartialOrderOn
+			} else {
+				g := groups[keys[i]]
+				<-g.done
+				if g.err != nil {
+					propErrs[i] = g.err
+					return
+				}
+				reuse, joint = g.lts, g.joint
 			}
 			o, err := VerifyContext(ctx, Request{
 				Env: env, Type: t, Property: props[i],
-				MaxStates: opts.MaxStates, Reuse: g.lts, Cache: shared, Parallelism: par,
-				Reduction: opts.Reduction, Symmetry: opts.Symmetry,
-				symPinned: batchPinned, joint: g.joint,
+				MaxStates: opts.MaxStates, Reuse: reuse, Cache: shared, Parallelism: par,
+				Reduction: opts.Reduction, Symmetry: opts.Symmetry, PartialOrder: porMode,
+				symPinned: batchPinned, joint: joint,
 			})
 			if err != nil {
 				propErrs[i] = err
@@ -638,7 +704,6 @@ func verifyAllSerial(ctx context.Context, env *types.Env, t types.Type, props []
 	keys := make([]string, len(props))
 	obsSets := make([]map[string]bool, len(props))
 	propErrs := make([]error, len(props))
-	groupProps := map[string][]Property{}
 	for i, p := range props {
 		obs, err := ObservablesFor(env, p)
 		if err != nil {
@@ -653,7 +718,13 @@ func verifyAllSerial(ctx context.Context, env *types.Env, t types.Type, props []
 			set[x] = true
 		}
 		obsSets[i] = set
-		groupProps[keys[i]] = append(groupProps[keys[i]], p)
+	}
+	porProp := porProps(shared, t, props, obsSets, propErrs, opts)
+	groupProps := map[string][]Property{}
+	for i, p := range props {
+		if propErrs[i] == nil && !porProp[i] {
+			groupProps[keys[i]] = append(groupProps[keys[i]], p)
+		}
 	}
 
 	ltsCache := map[string]*lts.LTS{}
@@ -661,6 +732,22 @@ func verifyAllSerial(ctx context.Context, env *types.Env, t types.Type, props []
 	for i, p := range props {
 		if propErrs[i] != nil {
 			return outcomes, fmt.Errorf("%s: %w", p, propErrs[i])
+		}
+		if porProp[i] {
+			// Per-property ample exploration, mirroring the concurrent
+			// pipeline's partial-order branch (shared cache, no group LTS,
+			// no joint quotient).
+			o, err := VerifyContext(ctx, Request{
+				Env: env, Type: t, Property: p, MaxStates: opts.MaxStates,
+				Cache: shared, Parallelism: 1, Progress: opts.Progress,
+				Reduction: opts.Reduction, Symmetry: opts.Symmetry,
+				PartialOrder: PartialOrderOn, symPinned: batchPinned,
+			})
+			if err != nil {
+				return outcomes, fmt.Errorf("%s: %w", p, err)
+			}
+			outcomes = append(outcomes, o)
+			continue
 		}
 		key := keys[i]
 		if _, ok := ltsCache[key]; !ok {

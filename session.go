@@ -128,7 +128,8 @@ func (s *Session) Verify(ctx context.Context, prop Property) (*Outcome, error) {
 	o, err := verify.VerifyContext(ctx, verify.Request{
 		Env: s.env, Type: t, Property: prop,
 		MaxStates: s.opt.maxStates, Parallelism: s.opt.parallelism,
-		EarlyExit: s.opt.earlyExit, Reduction: s.opt.reduction, Symmetry: s.opt.symmetry, Cache: s.cache,
+		EarlyExit: s.opt.earlyExit, Reduction: s.opt.reduction, Symmetry: s.opt.symmetry,
+		PartialOrder: s.opt.partialOrder, Cache: s.cache,
 		Progress: s.progressHook(&prop),
 	})
 	s.ws.sweep()
@@ -163,12 +164,13 @@ func (s *Session) VerifyAll(ctx context.Context, props ...Property) ([]*Outcome,
 		return s.verifyAllEarlyExit(ctx, t, applied)
 	}
 	outs, err := verify.VerifyAllContext(ctx, s.env, t, applied, verify.AllOptions{
-		MaxStates:   s.opt.maxStates,
-		Parallelism: s.opt.parallelism,
-		Reduction:   s.opt.reduction,
-		Symmetry:    s.opt.symmetry,
-		Cache:       s.cache,
-		Progress:    s.progressHook(nil),
+		MaxStates:    s.opt.maxStates,
+		Parallelism:  s.opt.parallelism,
+		Reduction:    s.opt.reduction,
+		Symmetry:     s.opt.symmetry,
+		PartialOrder: s.opt.partialOrder,
+		Cache:        s.cache,
+		Progress:     s.progressHook(nil),
 	})
 	s.ws.sweep()
 	if err != nil {
@@ -193,7 +195,8 @@ func (s *Session) verifyAllEarlyExit(ctx context.Context, t Type, props []Proper
 	for _, p := range props {
 		o, err := verify.VerifyContext(ctx, verify.Request{
 			Env: s.env, Type: t, Property: p,
-			MaxStates: s.opt.maxStates, EarlyExit: true, Reduction: s.opt.reduction, Symmetry: s.opt.symmetry, Cache: s.cache,
+			MaxStates: s.opt.maxStates, EarlyExit: true, Reduction: s.opt.reduction, Symmetry: s.opt.symmetry,
+			PartialOrder: s.opt.partialOrder, Cache: s.cache,
 			Progress: s.progressHook(&p),
 		})
 		if err != nil {
