@@ -12,6 +12,8 @@
 //	effpi check  [-bind x=TYPE]... FILE
 //	effpi run    [-steps N] FILE
 //	effpi verify [-bind x=TYPE]... -prop KIND [-channels a,b] [-from x] [-to y] [-open] FILE
+//	effpi verify [-prop KIND] [flags] ./PKG/...   (static extraction from Go source)
+//	effpi lint   [./PKG/...]
 //	effpi lts    [-bind x=TYPE]... [-dot] [-max N] FILE
 package main
 
@@ -38,6 +40,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "lint":
+		err = cmdLint(os.Args[2:])
 	case "lts":
 		err = cmdLTS(os.Args[2:])
 	case "trace":
@@ -65,7 +69,12 @@ commands:
   run     execute a program under the operational semantics
   trace   print the program's reduction sequence step by step
   bisim   decide strong bisimilarity of two programs' types
-  verify  model-check a Fig. 7 property of the program's type
+  verify  model-check a Fig. 7 property of the program's type; given a
+          Go package directory (or ./... pattern) instead of a .epi
+          file, statically extract the protocol from the Go source
+          first — FAIL witnesses then carry file:line positions
+  lint    run the Go-source extractor for diagnostics only (exit 1 on
+          any finding); also available standalone as cmd/effpilint
   lts     explore and print the type-level transition system
 
 common flags:
@@ -212,12 +221,8 @@ func cmdVerify(args []string) error {
 	symmetry := fs.String("symmetry", "off", "exploration-time symmetry reduction: off | on (orbit representatives; verdicts unchanged, witnesses permutation-lifted and replay-validated)")
 	por := fs.String("por", "off", "exploration-time partial-order reduction: off | on (ample transition subsets; verdicts unchanged, witnesses replay-validated; yields to -symmetry)")
 	width := fs.Int("width", 100, "truncate printed witness states to this width (0 = full)")
-	src, err := loadSource(fs, args)
-	if err != nil {
-		return err
-	}
-	prop, err := effpi.PropertyFromFlags(*propName, *channels, *from, *to, !*open)
-	if err != nil {
+	pkgMode := fs.Bool("pkg", false, "treat arguments as Go package directories and statically extract the protocol (implied by a directory or ./... argument)")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reduction, err := effpi.ParseReduction(*reduce)
@@ -232,11 +237,28 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	ws := effpi.NewWorkspace()
-	s, err := ws.NewSession(src, append(binds.options(),
+	opts := []effpi.Option{
 		effpi.WithMaxStates(*maxStates), effpi.WithEarlyExit(*early),
 		effpi.WithReduction(reduction), effpi.WithSymmetry(symMode),
-		effpi.WithPartialOrder(porMode))...)
+		effpi.WithPartialOrder(porMode),
+	}
+	if *pkgMode || argsArePackages(fs.Args()) {
+		return verifyPackages(fs.Args(), *propName, *channels, *from, *to, *open, *width, opts)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one input file")
+	}
+	srcBytes, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	src := string(srcBytes)
+	prop, err := effpi.PropertyFromFlags(*propName, *channels, *from, *to, !*open)
+	if err != nil {
+		return err
+	}
+	ws := effpi.NewWorkspace()
+	s, err := ws.NewSession(src, append(binds.options(), opts...)...)
 	if err != nil {
 		return err
 	}
@@ -253,7 +275,124 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
+// argsArePackages reports whether the positional arguments name Go
+// package directories (a `...` pattern or an existing directory) rather
+// than a .epi source file.
+func argsArePackages(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	for _, a := range args {
+		if strings.Contains(a, "...") {
+			return true
+		}
+		if st, err := os.Stat(a); err == nil && st.IsDir() {
+			return true
+		}
+	}
+	return false
+}
+
+// verifyPackages is the package mode of `effpi verify`: statically
+// extract every protocol entry under the argument patterns, then
+// model-check each one. Without -prop, deadlock-freedom of the closed
+// composition is checked. FAIL witnesses are annotated with the source
+// positions of the extracted actions; any FAIL, refused entry, or lint
+// finding exits non-zero.
+func verifyPackages(patterns []string, propName, channels, from, to string, open bool, width int, opts []effpi.Option) error {
+	if propName == "" {
+		propName = "deadlock-free"
+	}
+	prop, err := effpi.PropertyFromFlags(propName, channels, from, to, !open)
+	if err != nil {
+		return err
+	}
+	res, err := effpi.FromPackages(".", patterns...)
+	if err != nil {
+		return err
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(res.Systems) == 0 {
+		return fmt.Errorf("no protocol entries extracted (want func Name() runtime.Proc)")
+	}
+	ws := effpi.NewWorkspace()
+	failed := res.HasFatal()
+	for _, sys := range res.Systems {
+		fmt.Printf("== %s (%s)\n", sys.Name, sys.Pos)
+		s, err := ws.NewSessionFromGo(sys, opts...)
+		if err != nil {
+			return err
+		}
+		outcome, err := s.Verify(context.Background(), prop)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sys.Name, err)
+		}
+		printMappedOutcome(outcome, sys.Map, width)
+		if !outcome.Holds {
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("verification failed (counterexamples or refused entries above)")
+	}
+	return nil
+}
+
+// cmdLint runs the extractor for its diagnostics only: `effpi lint` is
+// the in-CLI flavour of cmd/effpilint. Exit status 1 on any finding.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	patterns := fs.Args()
+	res, err := effpi.FromPackages(".", patterns...)
+	if err != nil {
+		return err
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(d)
+	}
+	if len(res.Diagnostics) > 0 {
+		return fmt.Errorf("%d extraction finding(s)", len(res.Diagnostics))
+	}
+	fmt.Printf("%d protocol entries extracted cleanly\n", len(res.Systems))
+	return nil
+}
+
+// printMappedOutcome is printOutcome with source-annotated witnesses.
+func printMappedOutcome(o *effpi.Outcome, sm *effpi.SourceMap, width int) {
+	printOutcomeHeader(o)
+	if o.Witness != nil {
+		replayed := "replay-validated"
+		if err := effpi.Replay(o); err != nil {
+			replayed = fmt.Sprintf("REPLAY FAILED: %v", err)
+		}
+		fmt.Printf("violating run (lasso, %s):\n%s", replayed, effpi.RenderWitnessWithSource(o, sm, width))
+	} else if !o.Holds && o.Property.Kind == effpi.EventualOutput {
+		fmt.Printf("no single-run witness: ev-usage is existential (no run reaches the output)\n")
+	}
+}
+
 func printOutcome(o *effpi.Outcome, width int) {
+	printOutcomeHeader(o)
+	if o.Witness != nil {
+		replayed := "replay-validated"
+		if err := effpi.Replay(o); err != nil {
+			replayed = fmt.Sprintf("REPLAY FAILED: %v", err)
+		}
+		fmt.Printf("violating run (lasso, %s):\n%s", replayed, o.Witness.Render(width))
+	} else if o.Counterexample != nil {
+		fmt.Printf("violating run (lasso):\n  prefix: %v\n  cycle:  %v\n",
+			o.Counterexample.Prefix, o.Counterexample.Cycle)
+	} else if !o.Holds && o.Property.Kind == effpi.EventualOutput {
+		fmt.Printf("no single-run witness: ev-usage is existential (no run reaches the output)\n")
+	}
+}
+
+func printOutcomeHeader(o *effpi.Outcome) {
 	fmt.Printf("property:  %s\n", o.Property)
 	fmt.Printf("verdict:   %v\n", o.Holds)
 	if o.StatesExplored > 0 && o.StatesExplored < o.States {
@@ -275,18 +414,6 @@ func printOutcome(o *effpi.Outcome, width int) {
 	fmt.Printf("time:      %s\n", o.Duration)
 	if o.Formula != nil {
 		fmt.Printf("formula:   %s\n", o.Formula)
-	}
-	if o.Witness != nil {
-		replayed := "replay-validated"
-		if err := effpi.Replay(o); err != nil {
-			replayed = fmt.Sprintf("REPLAY FAILED: %v", err)
-		}
-		fmt.Printf("violating run (lasso, %s):\n%s", replayed, o.Witness.Render(width))
-	} else if o.Counterexample != nil {
-		fmt.Printf("violating run (lasso):\n  prefix: %v\n  cycle:  %v\n",
-			o.Counterexample.Prefix, o.Counterexample.Cycle)
-	} else if !o.Holds && o.Property.Kind == effpi.EventualOutput {
-		fmt.Printf("no single-run witness: ev-usage is existential (no run reaches the output)\n")
 	}
 }
 

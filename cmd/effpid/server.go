@@ -278,12 +278,22 @@ func (s *server) recoverHTTP(next http.Handler) http.Handler {
 // ---- wire shapes -----------------------------------------------------
 
 // verifyRequest is the POST /v1/verify and POST /v1/jobs body. Exactly
-// one of Source (an .epi program, typed under Binds) and System (a
-// benchmark row name from Fig. 9 / the large sweep) must be set.
+// one of Source (an .epi program, typed under Binds), System (a
+// benchmark row name from Fig. 9 / the large sweep), and GoSource (a Go
+// file written against the effpi combinators, statically extracted)
+// must be set.
 type verifyRequest struct {
-	Source string     `json:"source,omitempty"`
-	System string     `json:"system,omitempty"`
-	Binds  []bindJSON `json:"binds,omitempty"`
+	Source string `json:"source,omitempty"`
+	System string `json:"system,omitempty"`
+	// GoSource is a Go source file using the runtime/actor combinator
+	// packages. Its protocol entries are statically extracted
+	// (effpi.ExtractGoSource); FAIL witnesses carry the file:line
+	// positions of the extracted actions.
+	GoSource string `json:"go_source,omitempty"`
+	// Entry names the entry function to verify when GoSource defines
+	// several; optional when there is exactly one.
+	Entry string     `json:"entry,omitempty"`
+	Binds []bindJSON `json:"binds,omitempty"`
 	// Properties to verify. A System request may omit them to run the
 	// row's own six Fig. 9 properties.
 	Properties []propJSON `json:"properties,omitempty"`
@@ -336,11 +346,17 @@ type propJSON struct {
 }
 
 type verifyResponse struct {
-	// Type is the inferred λπ⩽ type of a Source request, in concrete
-	// syntax; System echoes a System request's row name.
-	Type    string       `json:"type,omitempty"`
-	System  string       `json:"system,omitempty"`
-	Results []resultJSON `json:"results"`
+	// Type is the inferred λπ⩽ type of a Source request (or the
+	// extracted type of a GoSource request), in concrete syntax; System
+	// echoes a System request's row name; Entry names the extracted
+	// entry function of a GoSource request.
+	Type   string `json:"type,omitempty"`
+	System string `json:"system,omitempty"`
+	Entry  string `json:"entry,omitempty"`
+	// Diagnostics are non-fatal extraction findings of a GoSource
+	// request (e.g. shadowed-mailbox warnings), positioned file:line.
+	Diagnostics []string     `json:"diagnostics,omitempty"`
+	Results     []resultJSON `json:"results"`
 	// DurationMS is the whole request's wall-clock time.
 	DurationMS float64 `json:"duration_ms"`
 }
@@ -504,8 +520,14 @@ func (s *server) decodeVerifyRequest(w http.ResponseWriter, r *http.Request) (*v
 		s.writeError(w, http.StatusBadRequest, "parse", errors.New("request body has trailing data after the JSON object"))
 		return nil, 0, false
 	}
-	if (req.Source == "") == (req.System == "") {
-		s.writeError(w, http.StatusBadRequest, "bad-request", errors.New("exactly one of \"source\" and \"system\" must be set"))
+	set := 0
+	for _, v := range []string{req.Source, req.System, req.GoSource} {
+		if v != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		s.writeError(w, http.StatusBadRequest, "bad-request", errors.New("exactly one of \"source\", \"system\" and \"go_source\" must be set"))
 		return nil, 0, false
 	}
 	if s.maxStatesCap > 0 && req.MaxStates > s.maxStatesCap {
@@ -618,9 +640,33 @@ func (s *server) verify(ctx context.Context, req *verifyRequest, progress func(e
 		sess  *effpi.Session
 		props []effpi.Property
 		resp  = &verifyResponse{}
+		smap  *effpi.SourceMap
 		err   error
 	)
 	switch {
+	case req.GoSource != "":
+		if len(req.Properties) == 0 {
+			return nil, http.StatusBadRequest, "bad-request", errors.New("a go_source request needs at least one property")
+		}
+		if len(req.Binds) > 0 {
+			return nil, http.StatusBadRequest, "bad-request", errors.New("binds are not applicable to a go_source request (the environment is extracted)")
+		}
+		ext, err := effpi.ExtractGoSource("request.go", req.GoSource)
+		if err != nil {
+			return nil, http.StatusBadRequest, "parse", err
+		}
+		sys, diags, selErr := selectEntry(ext, req.Entry)
+		resp.Diagnostics = diags
+		if selErr != nil {
+			return nil, http.StatusUnprocessableEntity, "type", selErr
+		}
+		sess, err = s.ws.NewSessionFromGo(sys, opts...)
+		if err != nil {
+			return nil, http.StatusBadRequest, "bad-request", err
+		}
+		smap = sys.Map
+		resp.Entry = sys.Name
+		resp.Type = effpi.FormatType(sys.Type)
 	case req.Source != "":
 		// Shape validation first: a structurally invalid request must be
 		// a stable 400, not whichever expensive stage fails first.
@@ -705,7 +751,7 @@ func (s *server) verify(ctx context.Context, req *verifyRequest, progress func(e
 		} else {
 			s.fail.Add(1)
 			if o.Property.Kind != effpi.EventualOutput {
-				w, werr := effpi.WitnessToJSON(o)
+				w, werr := effpi.WitnessToJSONMapped(o, smap)
 				if werr != nil {
 					// A FAIL whose witness does not replay means the checker
 					// lied; that is an internal error, not a verdict.
@@ -717,6 +763,39 @@ func (s *server) verify(ctx context.Context, req *verifyRequest, progress func(e
 		resp.Results = append(resp.Results, res)
 	}
 	return resp, 0, "", nil
+}
+
+// selectEntry resolves a go_source extraction to the one entry to
+// verify: fatal diagnostics refuse the request (they are the error),
+// non-fatal ones travel as response diagnostics; with no explicit
+// entry name, exactly one extracted entry must exist.
+func selectEntry(ext *effpi.GoExtraction, entry string) (*effpi.GoSystem, []string, error) {
+	var diags []string
+	for _, d := range ext.Diagnostics {
+		if d.Fatal {
+			return nil, diags, fmt.Errorf("extraction refused: %s", d)
+		}
+		diags = append(diags, d.String())
+	}
+	if entry != "" {
+		for _, sys := range ext.Systems {
+			if sys.Name == entry {
+				return sys, diags, nil
+			}
+		}
+		return nil, diags, fmt.Errorf("entry %q not found among the extracted entries", entry)
+	}
+	switch len(ext.Systems) {
+	case 0:
+		return nil, diags, errors.New("go_source defines no protocol entry (want func Name() runtime.Proc)")
+	case 1:
+		return ext.Systems[0], diags, nil
+	}
+	names := make([]string, len(ext.Systems))
+	for i, sys := range ext.Systems {
+		names[i] = sys.Name
+	}
+	return nil, diags, fmt.Errorf("go_source defines %d entries (%v); set \"entry\" to pick one", len(ext.Systems), names)
 }
 
 // classify maps a verification error to wire status and kind.

@@ -69,6 +69,23 @@
 // concrete pipeline for open (non-Closed) properties; see DESIGN.md
 // §symmetry.
 //
+// Go-source frontend: FromPackages (and ExtractGoSource for a single
+// in-memory file) statically extracts behavioural types from Go
+// programs written against the repo's own proc combinators
+// (internal/runtime Send/Recv/Par, internal/actor Tell/Read/Forever) —
+// "effpi verify ./..." on the command line. Each exported
+// proc-returning entry function becomes a GoSystem carrying the
+// extracted Env, Type and a SourceMap from protocol actions back to
+// file:line:col positions; NewSessionFromGo (or WithSourceMap) threads
+// the map into verification so FAIL witnesses render and serialise
+// with source positions (RenderWitnessWithSource, WitnessToJSONMapped
+// — effpid's "go_source" requests and the "pos" witness field).
+// Constructs outside the extractable fragment produce positioned
+// GoDiagnostics — τ-widened over-approximations where sound, refusals
+// where not, never a silently wrong term; "effpi lint" and
+// cmd/effpilint surface them standalone. See DESIGN.md §Go-source
+// frontend.
+//
 // Partial-order reduction: WithPartialOrder(PartialOrderOn) — "-por on"
 // in effpi verify, "-por" in mcbench, "partial_order": "on" in effpid
 // requests — prunes the exploration along the other axis: per state the

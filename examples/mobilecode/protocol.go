@@ -1,0 +1,55 @@
+// protocol.go is the data-analysis server of Ex. 3.4 written directly
+// against the effpi runtime combinators, with the forward filter m1 as
+// the mobile code — the form `effpi verify ./examples/mobilecode`
+// extracts a behavioural type from. Extraction keeps the filter's
+// output dependent (it forwards x̄, the value read from the first
+// stream), matching the hand-written λπ⩽ model in main.go.
+package main
+
+import rt "effpi/internal/runtime"
+
+// MobileServer wires the filter to two private producer streams and a
+// collector, mirroring the server composition run by main.
+func MobileServer() rt.Proc {
+	z1 := rt.NewChan()
+	z2 := rt.NewChan()
+	out := rt.NewChan()
+	return rt.Par{Procs: []rt.Proc{
+		filterProc(z1, z2, out),
+		producerA(z1),
+		producerB(z2),
+		collectProc(out),
+	}}
+}
+
+// filterProc is the forward filter: read one integer from each stream,
+// forward the first (and nothing else) on o, forever.
+func filterProc(i1, i2, o *rt.Chan) rt.Proc {
+	return rt.Forever(func(loop func() rt.Proc) rt.Proc {
+		return rt.Recv{Ch: i1, Cont: func(x any) rt.Proc {
+			return rt.Recv{Ch: i2, Cont: func(y any) rt.Proc {
+				return rt.Send{Ch: o, Val: x.(int), Cont: loop}
+			}}
+		}}
+	})
+}
+
+func producerA(z *rt.Chan) rt.Proc {
+	return rt.Send{Ch: z, Val: 3, Cont: func() rt.Proc {
+		return rt.Send{Ch: z, Val: 10, Cont: func() rt.Proc { return rt.End{} }}
+	}}
+}
+
+func producerB(z *rt.Chan) rt.Proc {
+	return rt.Send{Ch: z, Val: 7, Cont: func() rt.Proc {
+		return rt.Send{Ch: z, Val: 4, Cont: func() rt.Proc { return rt.End{} }}
+	}}
+}
+
+func collectProc(out *rt.Chan) rt.Proc {
+	return rt.Recv{Ch: out, Cont: func(a any) rt.Proc {
+		return rt.Recv{Ch: out, Cont: func(b any) rt.Proc {
+			return rt.End{}
+		}}
+	}}
+}

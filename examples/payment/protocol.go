@@ -1,0 +1,60 @@
+// protocol.go is the payment-with-auditing protocol (§1, Fig. 1)
+// written directly against the actor API — the form `effpi verify
+// ./examples/payment` extracts a behavioural type from. The dependent
+// payloads survive extraction: the audit message forwards the *payer's
+// reply capability* (the singleton p̄ of the hand-written model), which
+// is what makes the forwarding/responsiveness verdicts meaningful.
+package main
+
+import (
+	"effpi/internal/actor"
+	rt "effpi/internal/runtime"
+)
+
+// Payment composes the service, the auditor and three looping clients,
+// mirroring systems.PaymentAudit(3).
+func Payment(e rt.Engine) rt.Proc {
+	m, payRef := actor.NewMailbox[Pay](e)
+	aud, audRef := actor.NewMailbox[Audit](e)
+	return rt.Par{Procs: []rt.Proc{
+		protoService(m, audRef),
+		protoAuditor(aud),
+		protoClient(e, payRef),
+		protoClient(e, payRef),
+		protoClient(e, payRef),
+	}}
+}
+
+// protoService rejects large payments immediately and audits accepted
+// ones before replying — the reply capability travels through the audit.
+func protoService(m actor.Mailbox[Pay], aud actor.Ref[Audit]) rt.Proc {
+	return actor.Forever(func(loop func() rt.Proc) rt.Proc {
+		return actor.Read(m, func(pay Pay) rt.Proc {
+			if pay.Amount > 42_000 {
+				return actor.Tell(pay.ReplyTo, Response{Accepted: false, Reason: "amount too high"}, loop)
+			}
+			return actor.Tell(aud, Audit{Pay: pay}, func() rt.Proc {
+				return actor.Tell(pay.ReplyTo, Response{Accepted: true}, loop)
+			})
+		})
+	})
+}
+
+func protoAuditor(aud actor.Mailbox[Audit]) rt.Proc {
+	return actor.Forever(func(loop func() rt.Proc) rt.Proc {
+		return actor.Read(aud, func(a Audit) rt.Proc {
+			return loop()
+		})
+	})
+}
+
+func protoClient(e rt.Engine, pay actor.Ref[Pay]) rt.Proc {
+	inbox, me := actor.NewMailbox[Response](e)
+	return actor.Forever(func(loop func() rt.Proc) rt.Proc {
+		return actor.Tell(pay, Pay{Amount: 1_000, ReplyTo: me}, func() rt.Proc {
+			return actor.Read(inbox, func(r Response) rt.Proc {
+				return loop()
+			})
+		})
+	})
+}

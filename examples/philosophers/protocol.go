@@ -1,0 +1,63 @@
+// protocol.go is the dining-philosophers protocol written directly
+// against the effpi runtime combinators, in both variants — the form
+// `effpi verify ./examples/philosophers` extracts behavioural types
+// from. The extracted systems are α-equal to the hand-written
+// systems.DiningPhilosophers(4, ·) rows, so every verdict (including
+// the deadlock witness of the symmetric variant, annotated with the
+// source positions below) transfers.
+package main
+
+import rt "effpi/internal/runtime"
+
+const nPhil = 4
+
+// PhilosophersDeadlock is the classic symmetric variant: every
+// philosopher grabs the left fork first, so the ring can deadlock.
+func PhilosophersDeadlock() rt.Proc { return dining(true) }
+
+// Philosophers breaks the symmetry (philosopher 0 grabs right first),
+// the resource-ordering fix: deadlock-free.
+func Philosophers() rt.Proc { return dining(false) }
+
+func dining(deadlock bool) rt.Proc {
+	f := make([]*rt.Chan, nPhil)
+	for i := 0; i < nPhil; i++ {
+		f[i] = rt.NewChan()
+	}
+	procs := []rt.Proc{}
+	for i := 0; i < nPhil; i++ {
+		procs = append(procs, protoFork(f[i]))
+	}
+	for i := 0; i < nPhil; i++ {
+		first, second := f[i], f[(i+1)%nPhil]
+		if !deadlock && i == 0 {
+			first, second = second, first
+		}
+		procs = append(procs, protoPhil(first, second))
+	}
+	return rt.Par{Procs: procs}
+}
+
+// protoFork offers the fork token, then awaits its return, forever.
+func protoFork(fork *rt.Chan) rt.Proc {
+	return rt.Forever(func(loop func() rt.Proc) rt.Proc {
+		return rt.Send{Ch: fork, Val: token{}, Cont: func() rt.Proc {
+			return rt.Recv{Ch: fork, Cont: func(u any) rt.Proc {
+				return loop()
+			}}
+		}}
+	})
+}
+
+// protoPhil takes both forks in order, then returns them in order.
+func protoPhil(first, second *rt.Chan) rt.Proc {
+	return rt.Forever(func(loop func() rt.Proc) rt.Proc {
+		return rt.Recv{Ch: first, Cont: func(u any) rt.Proc {
+			return rt.Recv{Ch: second, Cont: func(u2 any) rt.Proc {
+				return rt.Send{Ch: first, Val: token{}, Cont: func() rt.Proc {
+					return rt.Send{Ch: second, Val: token{}, Cont: loop}
+				}}
+			}}
+		}}
+	})
+}

@@ -1,0 +1,32 @@
+// protocol.go is the ping-pong protocol of Ex. 2.2 written directly
+// against the effpi runtime combinators — the form `effpi verify
+// ./examples/quickstart` extracts a behavioural type from. The
+// extracted env+type match the hand-written open model in main.go.
+package main
+
+import rt "effpi/internal/runtime"
+
+// PingPong composes the pinger and ponger on two fresh channels: the
+// pinger sends its own mailbox y over z, the ponger replies on whatever
+// channel it received.
+func PingPong() rt.Proc {
+	y := rt.NewChan()
+	z := rt.NewChan()
+	return rt.Par{Procs: []rt.Proc{pinger(y, z), ponger(z)}}
+}
+
+func pinger(self, pongc *rt.Chan) rt.Proc {
+	return rt.Send{Ch: pongc, Val: self, Cont: func() rt.Proc {
+		return rt.Recv{Ch: self, Cont: func(reply any) rt.Proc {
+			return rt.End{}
+		}}
+	}}
+}
+
+func ponger(self *rt.Chan) rt.Proc {
+	return rt.Recv{Ch: self, Cont: func(replyTo any) rt.Proc {
+		return rt.Send{Ch: replyTo.(*rt.Chan), Val: "Hi!", Cont: func() rt.Proc {
+			return rt.End{}
+		}}
+	}}
+}

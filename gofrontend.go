@@ -1,0 +1,125 @@
+package effpi
+
+// This file is the public surface of the Go-source frontend
+// (internal/frontend): static extraction of behavioural types from Go
+// programs written against the repo's own combinators, plus the
+// source-mapping glue that lets FAIL witnesses point at file:line in
+// the program instead of interned state ids.
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"effpi/internal/frontend"
+)
+
+type (
+	// GoSystem is one extracted entry function: a verifiable Env+Type
+	// pair plus the source positions of every extracted action.
+	GoSystem = frontend.System
+	// GoDiagnostic is a positioned, lint-style extraction finding.
+	GoDiagnostic = frontend.Diagnostic
+	// GoExtraction is the result of extracting a set of Go packages.
+	GoExtraction = frontend.Result
+	// SourceMap maps extracted send/receive actions back to source
+	// positions; witness steps are annotated through it.
+	SourceMap = frontend.SourceMap
+)
+
+// FromPackages statically extracts behavioural types from the Go
+// packages under the given directory patterns (a directory, or dir/...
+// for a recursive walk; default ./...), resolved relative to baseDir.
+// Each entry function — `func Name() runtime.Proc`, optionally taking a
+// runtime.Engine — yields one GoSystem ready for NewSessionFromType;
+// unextractable constructs yield positioned diagnostics instead of
+// silent wrong terms. Only the Go standard library is used: packages
+// are parsed and typechecked from source.
+func FromPackages(baseDir string, patterns ...string) (*GoExtraction, error) {
+	return frontend.ExtractPackages(baseDir, patterns...)
+}
+
+// ExtractGoSource extracts entries from a single in-memory Go file,
+// typechecked against the effpi module found at (or above) the current
+// working directory. This is the entry point behind effpid's
+// "go_source" requests.
+func ExtractGoSource(filename, src string) (*GoExtraction, error) {
+	return frontend.ExtractSource(filename, src)
+}
+
+// NewSessionFromGo wraps one extracted system in a session (the type
+// flavour of NewSessionFromType) and attaches its source map, so
+// witnesses rendered from this session's outcomes carry positions.
+func (w *Workspace) NewSessionFromGo(sys *GoSystem, opts ...Option) (*Session, error) {
+	return w.NewSessionFromType(sys.Env, sys.Type, append(opts, WithSourceMap(sys.Map))...)
+}
+
+// WithSourceMap attaches an extraction source map to the session;
+// Session.SourceMap exposes it to witness renderers.
+func WithSourceMap(sm *SourceMap) Option {
+	return func(o *sessionOptions) error {
+		o.smap = sm
+		return nil
+	}
+}
+
+// SourceMap returns the source map attached with WithSourceMap (nil if
+// none).
+func (s *Session) SourceMap() *SourceMap { return s.opt.smap }
+
+// WitnessToJSONMapped is WitnessToJSON plus source annotation: each
+// step whose label maps to extracted source actions carries their
+// file:line:col positions. sm may be nil (no positions are added).
+func WitnessToJSONMapped(o *Outcome, sm *SourceMap) (*WitnessJSON, error) {
+	w, err := WitnessToJSON(o)
+	if err != nil {
+		return nil, err
+	}
+	annotate := func(steps []WitnessStepJSON, src []WitnessStep) {
+		for i := range steps {
+			for _, p := range sm.LabelPositions(src[i].Label) {
+				steps[i].Pos = append(steps[i].Pos, p.String())
+			}
+		}
+	}
+	annotate(w.Stem, o.Witness.Stem)
+	annotate(w.Cycle, o.Witness.Cycle)
+	return w, nil
+}
+
+// RenderWitnessWithSource renders a FAIL outcome's witness like
+// Witness.Render, annotating every step that maps back to extracted
+// source actions with their positions. width truncates the printed
+// component multisets (0 = full).
+func RenderWitnessWithSource(o *Outcome, sm *SourceMap, width int) string {
+	w := o.Witness
+	if w == nil {
+		return ""
+	}
+	clip := func(s string) string { return ClipRunes(s, width) }
+	var b strings.Builder
+	step := func(st WitnessStep) {
+		fmt.Fprintf(&b, "    —[%s]→%s\n  s%-4d %s\n",
+			st.Label, renderPositions(sm.LabelPositions(st.Label)), st.To, clip(w.StateText(st.To)))
+	}
+	fmt.Fprintf(&b, "  s%-4d %s\n", w.Raw.StemStates[0], clip(w.StateText(w.Raw.StemStates[0])))
+	for _, st := range w.Stem {
+		step(st)
+	}
+	fmt.Fprintf(&b, "  cycle (repeats forever):\n")
+	for _, st := range w.Cycle {
+		step(st)
+	}
+	return b.String()
+}
+
+func renderPositions(ps []token.Position) string {
+	if len(ps) == 0 {
+		return ""
+	}
+	strs := make([]string, len(ps))
+	for i, p := range ps {
+		strs[i] = p.String()
+	}
+	return "  at " + strings.Join(strs, ", ")
+}

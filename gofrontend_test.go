@@ -1,0 +1,223 @@
+package effpi
+
+// Differential acceptance tests of the Go-source frontend: extracting
+// the examples/ protocol files must yield systems whose verdicts — all
+// six Fig. 7 property kinds — match the hand-written models (the
+// Fig. 9 rows for philosophers and payment, transliterations of the
+// examples' own .epi models for quickstart and mobilecode), and every
+// FAIL witness must replay and carry non-empty source positions.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"effpi/internal/systems"
+	"effpi/internal/types"
+)
+
+var (
+	exOnce sync.Once
+	exSys  map[string]*GoSystem
+	exErr  error
+)
+
+// extractExamples extracts all examples/ packages once per test binary.
+func extractExamples(t *testing.T) map[string]*GoSystem {
+	t.Helper()
+	exOnce.Do(func() {
+		var res *GoExtraction
+		res, exErr = FromPackages(".", "examples/...")
+		if exErr != nil {
+			return
+		}
+		for _, d := range res.Diagnostics {
+			if d.Fatal {
+				exErr = &ParseError{What: "extraction", Err: nil}
+			}
+		}
+		exSys = map[string]*GoSystem{}
+		for _, s := range res.Systems {
+			exSys[s.Name] = s
+		}
+	})
+	if exErr != nil {
+		t.Fatalf("extraction failed: %v", exErr)
+	}
+	return exSys
+}
+
+func tvT(n string) types.Type { return types.Var{Name: n} }
+
+func outT(ch string, payload, cont types.Type) types.Type {
+	return types.Out{Ch: tvT(ch), Payload: payload, Cont: types.Thunk(cont)}
+}
+
+func inT(ch, param string, dom, cont types.Type) types.Type {
+	return types.In{Ch: tvT(ch), Cont: types.Pi{Var: param, Dom: dom, Cod: cont}}
+}
+
+// runProps verifies the six properties over a system; when sm is
+// non-nil (extracted systems) every FAIL with a witness must survive
+// source-mapped serialisation — replay plus at least one step with a
+// source position.
+func runProps(t *testing.T, name string, env *Env, typ Type, sm *SourceMap, props []Property) map[Kind]bool {
+	t.Helper()
+	ws := NewWorkspace()
+	var opts []Option
+	if sm != nil {
+		opts = append(opts, WithSourceMap(sm))
+	}
+	s, err := ws.NewSessionFromType(env, typ, opts...)
+	if err != nil {
+		t.Fatalf("%s: session: %v", name, err)
+	}
+	outs, err := s.VerifyAll(context.Background(), props...)
+	if err != nil {
+		t.Fatalf("%s: verify: %v", name, err)
+	}
+	verdicts := map[Kind]bool{}
+	for _, o := range outs {
+		verdicts[o.Property.Kind] = o.Holds
+		if o.Holds || o.Witness == nil {
+			continue
+		}
+		if err := Replay(o); err != nil {
+			t.Errorf("%s: %s: witness does not replay: %v", name, o.Property, err)
+			continue
+		}
+		if sm == nil {
+			continue
+		}
+		w, err := WitnessToJSONMapped(o, sm)
+		if err != nil {
+			t.Errorf("%s: %s: WitnessToJSONMapped: %v", name, o.Property, err)
+			continue
+		}
+		mapped := 0
+		for _, st := range append(w.Stem, w.Cycle...) {
+			mapped += len(st.Pos)
+		}
+		if mapped == 0 {
+			t.Errorf("%s: %s: FAIL witness carries no source positions", name, o.Property)
+		}
+	}
+	return verdicts
+}
+
+// assertRow checks an extracted system against a Fig. 9 benchmark row:
+// the published verdicts for all six kinds.
+func assertRow(t *testing.T, sys *GoSystem, row *systems.System) {
+	t.Helper()
+	if sys == nil {
+		t.Fatalf("entry for %s not extracted", row.Name)
+	}
+	got := runProps(t, sys.Name, sys.Env, sys.Type, sys.Map, row.Props)
+	for kind, want := range row.Expected {
+		if got[kind] != want {
+			t.Errorf("%s: %v = %v, want %v (Fig. 9)", sys.Name, kind, got[kind], want)
+		}
+	}
+}
+
+func TestGoFrontendPhilosophersVerdicts(t *testing.T) {
+	sys := extractExamples(t)
+	assertRow(t, sys["PhilosophersDeadlock"], systems.DiningPhilosophers(4, true))
+	assertRow(t, sys["Philosophers"], systems.DiningPhilosophers(4, false))
+}
+
+func TestGoFrontendPaymentVerdicts(t *testing.T) {
+	sys := extractExamples(t)
+	assertRow(t, sys["Payment"], systems.PaymentAudit(3))
+}
+
+// quickstartProps instantiates all six kinds over the ping-pong
+// channels (y carries the reply, z carries the pinger's mailbox).
+func quickstartProps() []Property {
+	return []Property{
+		{Kind: DeadlockFree, Closed: true},
+		{Kind: EventualOutput, Channels: []string{"y"}, Closed: true},
+		{Kind: Forwarding, From: "z", To: "y", Closed: true},
+		{Kind: NonUsage, Channels: []string{"y"}, Closed: true},
+		{Kind: Reactive, From: "y", Closed: true},
+		{Kind: Responsive, From: "z", Closed: true},
+	}
+}
+
+func TestGoFrontendQuickstartDifferential(t *testing.T) {
+	sys := extractExamples(t)["PingPong"]
+	if sys == nil {
+		t.Fatal("PingPong entry not extracted")
+	}
+	// The hand model of examples/quickstart/main.go, transliterated to
+	// the type constructors.
+	env := types.EnvOf(
+		"y", types.ChanIO{Elem: types.Str{}},
+		"z", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}},
+	)
+	pinger := outT("z", tvT("y"), inT("y", "reply", types.Str{}, types.Nil{}))
+	ponger := inT("z", "replyTo", types.ChanO{Elem: types.Str{}},
+		outT("replyTo", types.Str{}, types.Nil{}))
+	hand := types.Par{L: pinger, R: ponger}
+	if !types.Equal(sys.Type, hand) {
+		t.Errorf("extracted type differs from hand model:\n got  %v\n want %v",
+			types.Canon(sys.Type), types.Canon(hand))
+	}
+	got := runProps(t, "PingPong", sys.Env, sys.Type, sys.Map, quickstartProps())
+	want := runProps(t, "PingPong(hand)", env, hand, nil, quickstartProps())
+	for kind, w := range want {
+		if got[kind] != w {
+			t.Errorf("PingPong: %v = %v, hand model says %v", kind, got[kind], w)
+		}
+	}
+	// Pin the verdicts the quickstart walkthrough itself relies on.
+	for _, k := range []Kind{DeadlockFree, EventualOutput, Responsive} {
+		if !got[k] {
+			t.Errorf("PingPong: %v should hold", k)
+		}
+	}
+}
+
+// mobilecodeProps instantiates all six kinds over the server channels.
+func mobilecodeProps() []Property {
+	return []Property{
+		{Kind: DeadlockFree, Closed: true},
+		{Kind: EventualOutput, Channels: []string{"out"}, Closed: true},
+		{Kind: Forwarding, From: "z1", To: "out", Closed: true},
+		{Kind: NonUsage, Channels: []string{"z2"}, Closed: true},
+		{Kind: Reactive, From: "z1", Closed: true},
+		{Kind: Responsive, From: "z1", Closed: true},
+	}
+}
+
+func TestGoFrontendMobilecodeDifferential(t *testing.T) {
+	sys := extractExamples(t)["MobileServer"]
+	if sys == nil {
+		t.Fatal("MobileServer entry not extracted")
+	}
+	// The forward filter in the server of Ex. 3.4 (producers 3,10 and
+	// 7,4; the collector reads twice), as in examples/mobilecode.
+	env := types.EnvOf(
+		"z1", types.ChanIO{Elem: types.Int{}},
+		"z2", types.ChanIO{Elem: types.Int{}},
+		"out", types.ChanIO{Elem: types.Int{}},
+	)
+	filter := types.Rec{Var: "t", Body: inT("z1", "x", types.Int{},
+		inT("z2", "y", types.Int{},
+			outT("out", tvT("x"), types.RecVar{Name: "t"})))}
+	pA := outT("z1", types.Int{}, outT("z1", types.Int{}, types.Nil{}))
+	pB := outT("z2", types.Int{}, outT("z2", types.Int{}, types.Nil{}))
+	collect := inT("out", "a", types.Int{}, inT("out", "b", types.Int{}, types.Nil{}))
+	hand := types.ParOf(filter, pA, pB, collect)
+	if !types.Equal(sys.Type, hand) {
+		t.Errorf("extracted type differs from hand model:\n got  %v\n want %v",
+			types.Canon(sys.Type), types.Canon(hand))
+	}
+	got := runProps(t, "MobileServer", sys.Env, sys.Type, sys.Map, mobilecodeProps())
+	want := runProps(t, "MobileServer(hand)", env, hand, nil, mobilecodeProps())
+	for kind, w := range want {
+		if got[kind] != w {
+			t.Errorf("MobileServer: %v = %v, hand model says %v", kind, got[kind], w)
+		}
+	}
+}

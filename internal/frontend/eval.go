@@ -1,0 +1,766 @@
+package frontend
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	gotypes "go/types"
+	"strings"
+
+	"effpi/internal/types"
+)
+
+// eval interprets an expression into the abstract value domain. It
+// refuses only where a construct makes the *channel/proc structure*
+// unknowable; plain data expressions degrade to opaqueV and are only
+// rejected if they later appear in a channel or proc position.
+func (x *extractor) eval(e ast.Expr, sc *scope) value {
+	if tv, ok := x.pkg.info.Types[e]; ok && tv.Value != nil {
+		return constV{v: tv.Value, goType: tv.Type}
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return x.eval(e.X, sc)
+	case *ast.Ident:
+		if v, ok := sc.lookup(e.Name); ok {
+			return v
+		}
+		if fd, ok := x.pkg.funcs[e.Name]; ok {
+			return funcV{decl: fd}
+		}
+		return opaqueV{goType: x.pkg.info.TypeOf(e)}
+	case *ast.FuncLit:
+		return funcV{lit: e, sc: sc}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return x.eval(e.X, sc)
+		}
+		if c, ok := x.eval(e.X, sc).(constV); ok {
+			return constV{v: constant.UnaryOp(e.Op, c.v, 0), goType: c.goType}
+		}
+		return opaqueV{goType: x.pkg.info.TypeOf(e)}
+	case *ast.BinaryExpr:
+		l, lok := x.eval(e.X, sc).(constV)
+		r, rok := x.eval(e.Y, sc).(constV)
+		if lok && rok {
+			return x.foldBinary(e, l, r)
+		}
+		return opaqueV{goType: x.pkg.info.TypeOf(e)}
+	case *ast.SelectorExpr:
+		return x.evalSelector(e, sc)
+	case *ast.IndexExpr:
+		// Generic instantiation (NewMailbox[T]) reaches eval only via
+		// CallExpr; a value index here is a slice access.
+		if v, isSlice := x.evalIndex(e, sc); isSlice {
+			return v
+		}
+		return opaqueV{goType: x.pkg.info.TypeOf(e)}
+	case *ast.CompositeLit:
+		return x.evalComposite(e, sc)
+	case *ast.CallExpr:
+		return x.evalCall(e, sc)
+	case *ast.TypeAssertExpr:
+		return x.evalTypeAssert(e, sc)
+	}
+	return opaqueV{goType: x.pkg.info.TypeOf(e)}
+}
+
+func (x *extractor) foldBinary(e *ast.BinaryExpr, l, r constV) value {
+	switch e.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return constV{v: constant.MakeBool(compareConst(l.v, e.Op, r.v)), goType: x.pkg.info.TypeOf(e)}
+	case token.LAND:
+		return constV{v: constant.MakeBool(constant.BoolVal(l.v) && constant.BoolVal(r.v)), goType: x.pkg.info.TypeOf(e)}
+	case token.LOR:
+		return constV{v: constant.MakeBool(constant.BoolVal(l.v) || constant.BoolVal(r.v)), goType: x.pkg.info.TypeOf(e)}
+	default:
+		return constV{v: binaryConst(l.v, e.Op, r.v), goType: x.pkg.info.TypeOf(e)}
+	}
+}
+
+func compareConst(l constant.Value, op token.Token, r constant.Value) bool {
+	if l.Kind() == constant.Int && r.Kind() == constant.Int {
+		return constant.Compare(constant.ToInt(l), op, constant.ToInt(r))
+	}
+	return constant.Compare(l, op, r)
+}
+
+func binaryConst(l constant.Value, op token.Token, r constant.Value) constant.Value {
+	if op == token.QUO && l.Kind() == constant.Int && r.Kind() == constant.Int {
+		op = token.QUO_ASSIGN // integer division (see go/constant.BinaryOp)
+	}
+	return constant.BinaryOp(l, op, r)
+}
+
+func (x *extractor) evalSelector(e *ast.SelectorExpr, sc *scope) value {
+	// Package-qualified name (runtime.NewChan referenced as a value, a
+	// package-level func, ...) — resolve through go/types.
+	if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+		if _, isPkg := x.pkg.info.Uses[id].(*gotypes.PkgName); isPkg {
+			return opaqueV{goType: x.pkg.info.TypeOf(e)}
+		}
+	}
+	base := x.eval(e.X, sc)
+	fieldType := x.pkg.info.TypeOf(e)
+	switch b := base.(type) {
+	case msgV:
+		// A message modelled as its single channel capability: selecting
+		// that channel field yields the message itself (same capability);
+		// selecting a data field yields opaque data.
+		if fieldType != nil && x.isChannelish(fieldType, 0) {
+			return b
+		}
+		return opaqueV{goType: fieldType}
+	case structV:
+		for _, f := range b.fields {
+			if f.name == e.Sel.Name {
+				return f.v
+			}
+		}
+		return opaqueV{goType: fieldType}
+	case chanV:
+		return b // field of a channel wrapper selects the same capability
+	}
+	return opaqueV{goType: fieldType}
+}
+
+func (x *extractor) evalIndex(e *ast.IndexExpr, sc *scope) (value, bool) {
+	base := x.eval(e.X, sc)
+	sv, ok := base.(*sliceV)
+	if !ok {
+		return nil, false
+	}
+	if c, ok := x.eval(e.Index, sc).(constV); ok {
+		i, exact := constant.Int64Val(constant.ToInt(c.v))
+		if !exact || i < 0 || int(i) >= len(sv.elems) {
+			x.refuse(CodeUnsupported, e.Index.Pos(), "index %s out of extractable range", c.v)
+		}
+		if sv.elems[i] == nil {
+			return opaqueV{goType: x.pkg.info.TypeOf(e)}, true
+		}
+		return sv.elems[i], true
+	}
+	// Non-constant index: fatal when the elements are channels or procs
+	// (the structure becomes unknowable), opaque for plain data.
+	elemType := x.pkg.info.TypeOf(e)
+	if elemType != nil && x.isChannelish(elemType, 0) {
+		x.refuse(CodeNonConstChannel, e.Index.Pos(), "channel selected by a non-constant index")
+	}
+	return opaqueV{goType: elemType}, true
+}
+
+func (x *extractor) evalTypeAssert(e *ast.TypeAssertExpr, sc *scope) value {
+	base := x.eval(e.X, sc)
+	if e.Type == nil {
+		x.refuse(CodeUnsupported, e.Pos(), "type switches are not extractable")
+	}
+	target := x.pkg.info.TypeOf(e.Type)
+	msg, ok := base.(msgV)
+	if !ok {
+		// Asserting a non-message (e.g. a proc through any) keeps the value.
+		return base
+	}
+	if target != nil && x.isChannelish(target, 0) {
+		// v.(*runtime.Chan): forces the carrying channel's element to be a
+		// channel type; the message keeps its dependent identity.
+		x.chanOfElem(msg.srcElem, e.Pos())
+		return msgV{name: msg.name, srcElem: msg.srcElem, goType: target}
+	}
+	// Data assertion: the carried payload has this concrete type.
+	x.assignElem(msg.srcElem, x.mapGoType(target, e.Pos()), e.Pos())
+	return msgV{name: msg.name, srcElem: msg.srcElem, goType: target}
+}
+
+func (x *extractor) evalComposite(cl *ast.CompositeLit, sc *scope) value {
+	gt := x.pkg.info.TypeOf(cl)
+	if gt != nil {
+		if named, ok := gotypes.Unalias(gt).(*gotypes.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == x.runtimePath() {
+				switch obj.Name() {
+				case "End":
+					return procV{t: types.Nil{}}
+				case "Send":
+					return x.buildSend(cl, sc)
+				case "Recv":
+					return x.buildRecv(cl, sc)
+				case "Par":
+					return x.buildPar(cl, sc)
+				case "Eval":
+					run := x.compositeField(cl, "Run", 0)
+					if run == nil {
+						x.refuse(CodeUnsupported, cl.Pos(), "Eval without a Run thunk")
+					}
+					return procV{t: x.contType(run, sc)}
+				}
+			}
+		}
+		if _, ok := gt.Underlying().(*gotypes.Slice); ok {
+			sv := &sliceV{}
+			for _, elt := range cl.Elts {
+				sv.elems = append(sv.elems, x.eval(elt, sc))
+			}
+			return sv
+		}
+		if st, ok := gt.Underlying().(*gotypes.Struct); ok {
+			return x.buildStruct(cl, st, gt, sc)
+		}
+	}
+	x.refuse(CodeUnsupported, cl.Pos(), "unsupported composite literal")
+	return nil
+}
+
+func (x *extractor) buildStruct(cl *ast.CompositeLit, st *gotypes.Struct, gt gotypes.Type, sc *scope) value {
+	v := structV{goType: gt}
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				x.refuse(CodeUnsupported, kv.Pos(), "unsupported struct literal key")
+			}
+			v.fields = append(v.fields, fieldV{name: key.Name, v: x.eval(kv.Value, sc)})
+			continue
+		}
+		if i >= st.NumFields() {
+			x.refuse(CodeUnsupported, elt.Pos(), "struct literal has too many values")
+		}
+		v.fields = append(v.fields, fieldV{name: st.Field(i).Name(), v: x.eval(elt, sc)})
+	}
+	return v
+}
+
+// compositeField finds a composite-literal field by key name, falling
+// back to the positional index for unkeyed literals.
+func (x *extractor) compositeField(cl *ast.CompositeLit, name string, idx int) ast.Expr {
+	keyed := false
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+				return kv.Value
+			}
+		}
+	}
+	if !keyed && idx < len(cl.Elts) {
+		return cl.Elts[idx]
+	}
+	return nil
+}
+
+// chanUse resolves a channel-position value to its variable name and
+// element ref.
+func (x *extractor) chanUse(v value, p token.Pos) (string, *elemRef) {
+	switch v := v.(type) {
+	case chanV:
+		if v.info.name == "" {
+			v.info.name = x.claimName("ch")
+		}
+		return v.info.name, v.info.elem
+	case msgV:
+		return v.name, x.chanOfElem(v.srcElem, p)
+	}
+	x.refuse(CodeNonConstChannel, p, "channel expression does not resolve to a statically-known channel")
+	return "", nil
+}
+
+// payloadOf evaluates a payload expression and constrains the carrying
+// channel's element type. Channels and received messages are kept
+// dependent (the singleton x̄ of the paper); plain data is modelled by
+// its static Go type.
+func (x *extractor) payloadOf(e ast.Expr, carrier *elemRef, sc *scope) types.Type {
+	return x.payloadOfValue(x.eval(e, sc), e, carrier)
+}
+
+func (x *extractor) payloadOfValue(v value, e ast.Expr, carrier *elemRef) types.Type {
+	switch v := v.(type) {
+	case chanV:
+		if v.info.name == "" {
+			v.info.name = x.claimName("ch")
+		}
+		inner := x.chanOfElem(carrier, e.Pos())
+		x.unifyElem(inner, v.info.elem, e.Pos())
+		return types.Var{Name: v.info.name}
+	case msgV:
+		x.unifyElem(carrier, v.srcElem, e.Pos())
+		return types.Var{Name: v.name}
+	case structV:
+		if inner := x.singleChanComponent(v, e.Pos()); inner != nil {
+			return x.payloadOfValue(inner, e, carrier)
+		}
+		t := x.mapGoType(x.pkg.info.TypeOf(e), e.Pos())
+		x.assignElem(carrier, t, e.Pos())
+		return t
+	case constV, opaqueV:
+		t := x.mapGoType(x.pkg.info.TypeOf(e), e.Pos())
+		x.assignElem(carrier, t, e.Pos())
+		return t
+	case procV, funcV:
+		x.refuse(CodeEscapingProc, e.Pos(), "proc and function values cannot be sent as payloads")
+	}
+	x.refuse(CodePayloadType, e.Pos(), "payload expression has no extractable model")
+	return nil
+}
+
+// singleChanComponent returns the unique channel-capability component of
+// a struct value, nil if it has none, and refuses if it has several.
+func (x *extractor) singleChanComponent(v structV, p token.Pos) value {
+	var found value
+	n := 0
+	for _, f := range v.fields {
+		switch fv := f.v.(type) {
+		case chanV:
+			found, n = fv, n+1
+		case msgV:
+			if fv.goType != nil && x.isChannelish(fv.goType, 0) {
+				found, n = fv, n+1
+			}
+		case structV:
+			if inner := x.singleChanComponent(fv, p); inner != nil {
+				found, n = inner, n+1
+			}
+		}
+	}
+	if n > 1 {
+		x.refuse(CodePayloadType, p, "struct payload carries %d channels; at most one is supported", n)
+	}
+	return found
+}
+
+// contType extracts the continuation of a Send/Tell/Eval: a zero-arg
+// closure, a named thunk, or the Forever loop continuation.
+func (x *extractor) contType(e ast.Expr, sc *scope) types.Type {
+	if e == nil {
+		return types.Nil{}
+	}
+	v := x.eval(e, sc)
+	switch v := v.(type) {
+	case loopV:
+		x.markLoopUsed(v.recVar)
+		return types.RecVar{Name: v.recVar}
+	case funcV:
+		return x.asProc(x.callFuncV(v, nil, e.Pos()), e.Pos())
+	case procV: // e.g. an already-evaluated call expression
+		return v.t
+	}
+	if isNilExpr(e) {
+		return types.Nil{}
+	}
+	x.refuse(CodeEscapingProc, e.Pos(), "continuation does not resolve to an extractable thunk")
+	return nil
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func (x *extractor) buildSend(cl *ast.CompositeLit, sc *scope) value {
+	chExpr := x.compositeField(cl, "Ch", 0)
+	valExpr := x.compositeField(cl, "Val", 1)
+	contExpr := x.compositeField(cl, "Cont", 2)
+	if chExpr == nil {
+		x.refuse(CodeNonConstChannel, cl.Pos(), "Send without a channel")
+	}
+	chName, chElem := x.chanUse(x.eval(chExpr, sc), chExpr.Pos())
+	var payload types.Type = types.Unit{}
+	if valExpr != nil && !isNilExpr(valExpr) {
+		payload = x.payloadOf(valExpr, chElem, sc)
+	} else {
+		x.assignElem(chElem, types.Unit{}, cl.Pos())
+	}
+	cont := x.contType(contExpr, sc)
+	x.smap.Add(chName, DirSend, x.position(cl.Pos()))
+	return procV{t: types.Out{Ch: types.Var{Name: chName}, Payload: payload, Cont: types.Thunk(cont)}}
+}
+
+func (x *extractor) buildRecv(cl *ast.CompositeLit, sc *scope) value {
+	chExpr := x.compositeField(cl, "Ch", 0)
+	contExpr := x.compositeField(cl, "Cont", 1)
+	if chExpr == nil {
+		x.refuse(CodeNonConstChannel, cl.Pos(), "Recv without a channel")
+	}
+	if contExpr == nil {
+		x.refuse(CodeUnsupported, cl.Pos(), "Recv without a continuation")
+	}
+	chName, chElem := x.chanUse(x.eval(chExpr, sc), chExpr.Pos())
+	x.smap.Add(chName, DirRecv, x.position(cl.Pos()))
+	return procV{t: x.buildInput(chName, chElem, contExpr, nil, sc)}
+}
+
+// buildInput builds the In node shared by runtime.Recv and actor.Read.
+// msgType is the static Go type of the received message (typed
+// mailboxes), nil for untyped runtime channels.
+func (x *extractor) buildInput(chName string, chElem *elemRef, contExpr ast.Expr, msgType gotypes.Type, sc *scope) types.Type {
+	fv, ok := x.eval(contExpr, sc).(funcV)
+	if !ok || (fv.lit == nil && fv.decl == nil) {
+		x.refuse(CodeEscapingProc, contExpr.Pos(), "receive continuation does not resolve to a function")
+	}
+	params, body, defSc := fieldsOf(fv)
+	if params.NumFields() != 1 || len(params.List[0].Names) != 1 {
+		x.refuse(CodeUnsupported, contExpr.Pos(), "receive continuation must take exactly one parameter")
+	}
+	param := params.List[0].Names[0]
+	msgName := x.claimName(nonBlank(param.Name, "u"))
+	if msgType == nil {
+		msgType = x.pkg.info.TypeOf(params.List[0].Type)
+		if basic, ok := gotypes.Unalias(msgType).(*gotypes.Interface); ok && basic.Empty() {
+			msgType = nil // untyped any parameter
+		}
+	}
+	msg := msgV{name: msgName, srcElem: chElem, goType: msgType}
+	inner := newScope(defSc)
+	if param.Name != "_" {
+		inner.define(param.Name, msg)
+	}
+	ret, returned := x.walkBody(body.List, inner)
+	if !returned {
+		x.refuse(CodeUnsupported, body.End(), "receive continuation falls through without returning a proc")
+	}
+	cod := x.asProc(ret, body.Pos())
+	return types.In{Ch: types.Var{Name: chName}, Cont: types.Pi{
+		Var: msgName,
+		Dom: x.sentinelFor(chElem.find()),
+		Cod: cod,
+	}}
+}
+
+func nonBlank(name, fallback string) string {
+	if name == "" || name == "_" {
+		return fallback
+	}
+	return name
+}
+
+func (x *extractor) buildPar(cl *ast.CompositeLit, sc *scope) value {
+	procsExpr := x.compositeField(cl, "Procs", 0)
+	if procsExpr == nil {
+		return procV{t: types.Nil{}}
+	}
+	v := x.eval(procsExpr, sc)
+	sv, ok := v.(*sliceV)
+	if !ok {
+		x.refuse(CodeEscapingProc, procsExpr.Pos(), "Par components do not resolve to a static proc list")
+	}
+	var ts []types.Type
+	for i, elem := range sv.elems {
+		if elem == nil {
+			x.refuse(CodeEscapingProc, procsExpr.Pos(), "Par component %d is unset", i)
+		}
+		ts = append(ts, x.asProc(elem, procsExpr.Pos()))
+	}
+	if len(ts) == 0 {
+		return procV{t: types.Nil{}}
+	}
+	return procV{t: types.ParOf(ts...)}
+}
+
+func (x *extractor) markLoopUsed(recVar string) {
+	if used, ok := x.loopUsed[recVar]; ok {
+		*used = true
+	}
+}
+
+func (x *extractor) evalCall(call *ast.CallExpr, sc *scope) value {
+	fun := ast.Unparen(call.Fun)
+
+	// Generic instantiation: NewMailbox[T](e) parses as CallExpr around
+	// an IndexExpr; strip the index for object resolution.
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+
+	// Builtin and type-conversion calls.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := x.pkg.info.Uses[id].(*gotypes.Builtin); ok {
+			return x.evalBuiltin(b.Name(), call, sc)
+		}
+		if tn, ok := x.pkg.info.Uses[id].(*gotypes.TypeName); ok && len(call.Args) == 1 {
+			_ = tn
+			return x.eval(call.Args[0], sc)
+		}
+	}
+
+	// Combinator calls, resolved through go/types.
+	if obj := x.callObject(fun); obj != nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case x.runtimePath():
+			switch obj.Name() {
+			case "NewChan":
+				return chanV{info: x.newChan(call.Pos())}
+			case "NewBufChan":
+				x.refuse(CodeUnsupported, call.Pos(), "buffered channels are not extractable")
+			case "Forever":
+				return x.evalForever(call, sc)
+			}
+		case x.actorPath():
+			switch obj.Name() {
+			case "NewMailbox":
+				return x.evalNewMailbox(call)
+			case "Tell":
+				return x.evalTell(call, sc)
+			case "Read":
+				return x.evalRead(call, sc)
+			case "Forever":
+				return x.evalForever(call, sc)
+			case "Stop":
+				return procV{t: types.Nil{}}
+			}
+		}
+	}
+
+	// Method call on the engine value.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if _, isEngine := x.eval(sel.X, sc).(engineV); isEngine {
+			if sel.Sel.Name == "NewChan" {
+				return chanV{info: x.newChan(call.Pos())}
+			}
+			x.refuse(CodeUnsupported, call.Pos(), "engine method %s is not extractable", sel.Sel.Name)
+		}
+	}
+
+	// User function: inline it.
+	callee := x.eval(fun, sc)
+	switch callee := callee.(type) {
+	case funcV:
+		var args []value
+		for _, a := range call.Args {
+			args = append(args, x.eval(a, sc))
+		}
+		return x.callFuncV(callee, args, call.Pos())
+	case loopV:
+		x.markLoopUsed(callee.recVar)
+		return procV{t: types.RecVar{Name: callee.recVar}}
+	}
+
+	// Opaque call: fine for data, fatal later if a proc or channel is
+	// expected from it.
+	return opaqueV{goType: x.pkg.info.TypeOf(call)}
+}
+
+// callObject resolves the callee expression to its types.Object.
+func (x *extractor) callObject(fun ast.Expr) gotypes.Object {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return x.pkg.info.Uses[f]
+	case *ast.SelectorExpr:
+		return x.pkg.info.Uses[f.Sel]
+	}
+	return nil
+}
+
+func (x *extractor) evalBuiltin(name string, call *ast.CallExpr, sc *scope) value {
+	switch name {
+	case "append":
+		if len(call.Args) == 0 || call.Ellipsis != token.NoPos {
+			x.refuse(CodeUnsupported, call.Pos(), "unsupported append form")
+		}
+		base := x.eval(call.Args[0], sc)
+		sv, ok := base.(*sliceV)
+		if !ok {
+			x.refuse(CodeUnsupported, call.Pos(), "append to a non-static slice")
+		}
+		out := &sliceV{elems: append([]value(nil), sv.elems...)}
+		for _, a := range call.Args[1:] {
+			out.elems = append(out.elems, x.eval(a, sc))
+		}
+		return out
+	case "len":
+		if sv, ok := x.eval(call.Args[0], sc).(*sliceV); ok {
+			return constV{v: constant.MakeInt64(int64(len(sv.elems))), goType: gotypes.Typ[gotypes.Int]}
+		}
+		return opaqueV{goType: x.pkg.info.TypeOf(call)}
+	case "make":
+		gt := x.pkg.info.TypeOf(call)
+		if _, ok := gt.Underlying().(*gotypes.Slice); ok && len(call.Args) >= 2 {
+			c, ok := x.eval(call.Args[1], sc).(constV)
+			if !ok {
+				x.refuse(CodeNonConstLoop, call.Pos(), "make length is not compile-time constant")
+			}
+			n, _ := constant.Int64Val(constant.ToInt(c.v))
+			return &sliceV{elems: make([]value, n)}
+		}
+		x.refuse(CodeUnsupported, call.Pos(), "unsupported make call")
+	}
+	return opaqueV{goType: x.pkg.info.TypeOf(call)}
+}
+
+func (x *extractor) evalNewMailbox(call *ast.CallExpr) value {
+	ci := x.newChan(call.Pos())
+	// The element type comes from the mailbox's Go type argument:
+	// (Mailbox[T], Ref[T]) — read T off the tuple result type.
+	if tup, ok := x.pkg.info.TypeOf(call).(*gotypes.Tuple); ok && tup.Len() == 2 {
+		if named, ok := gotypes.Unalias(tup.At(0).Type()).(*gotypes.Named); ok {
+			if args := named.TypeArgs(); args != nil && args.Len() == 1 {
+				x.assignElem(ci.elem, x.mapGoType(args.At(0), call.Pos()), call.Pos())
+			}
+		}
+	}
+	cv := chanV{info: ci}
+	return tupleV{elems: []value{cv, cv}}
+}
+
+func (x *extractor) evalTell(call *ast.CallExpr, sc *scope) value {
+	if len(call.Args) != 3 {
+		x.refuse(CodeUnsupported, call.Pos(), "Tell expects (ref, msg, cont)")
+	}
+	chName, chElem := x.chanUse(x.eval(call.Args[0], sc), call.Args[0].Pos())
+	payload := x.payloadOf(call.Args[1], chElem, sc)
+	cont := x.contType(call.Args[2], sc)
+	x.smap.Add(chName, DirSend, x.position(call.Pos()))
+	return procV{t: types.Out{Ch: types.Var{Name: chName}, Payload: payload, Cont: types.Thunk(cont)}}
+}
+
+func (x *extractor) evalRead(call *ast.CallExpr, sc *scope) value {
+	if len(call.Args) != 2 {
+		x.refuse(CodeUnsupported, call.Pos(), "Read expects (mailbox, cont)")
+	}
+	chName, chElem := x.chanUse(x.eval(call.Args[0], sc), call.Args[0].Pos())
+	// The static message type is the mailbox's type argument.
+	var msgType gotypes.Type
+	if named, ok := gotypes.Unalias(x.pkg.info.TypeOf(call.Args[0])).(*gotypes.Named); ok {
+		if args := named.TypeArgs(); args != nil && args.Len() == 1 {
+			msgType = args.At(0)
+		}
+	}
+	x.smap.Add(chName, DirRecv, x.position(call.Pos()))
+	return procV{t: x.buildInput(chName, chElem, call.Args[1], msgType, sc)}
+}
+
+func (x *extractor) evalForever(call *ast.CallExpr, sc *scope) value {
+	if len(call.Args) != 1 {
+		x.refuse(CodeUnsupported, call.Pos(), "Forever expects a single body function")
+	}
+	fv, ok := x.eval(call.Args[0], sc).(funcV)
+	if !ok {
+		x.refuse(CodeEscapingProc, call.Args[0].Pos(), "Forever body does not resolve to a function")
+	}
+	params, body, defSc := fieldsOf(fv)
+	if params.NumFields() != 1 || len(params.List[0].Names) != 1 {
+		x.refuse(CodeUnsupported, call.Pos(), "Forever body must take exactly the loop parameter")
+	}
+	recVar := x.freshRecVar()
+	used := false
+	x.loopUsed[recVar] = &used
+	inner := newScope(defSc)
+	inner.define(params.List[0].Names[0].Name, loopV{recVar: recVar})
+	ret, returned := x.walkBody(body.List, inner)
+	if !returned {
+		x.refuse(CodeUnsupported, body.End(), "Forever body falls through without returning a proc")
+	}
+	t := x.asProc(ret, body.Pos())
+	if used {
+		return procV{t: types.Rec{Var: recVar, Body: t}}
+	}
+	return procV{t: t}
+}
+
+func fieldsOf(fv funcV) (*ast.FieldList, *ast.BlockStmt, *scope) {
+	if fv.decl != nil {
+		return fv.decl.Type.Params, fv.decl.Body, nil
+	}
+	return fv.lit.Type.Params, fv.lit.Body, fv.sc
+}
+
+// callFuncV inlines a function call. Re-entering a frame with the same
+// (callee, canonical arguments) key is a converged recursion: the call
+// becomes a RecVar and the outer frame wraps its body in µ. Opaque data
+// arguments share one key slot, so recursion over unknown data widens
+// to a µ-type rather than unrolling forever.
+func (x *extractor) callFuncV(fv funcV, args []value, callPos token.Pos) value {
+	params, body, defSc := fieldsOf(fv)
+	if body == nil {
+		x.refuse(CodeEscapingProc, callPos, "callee has no body to extract")
+	}
+	key := frameKey(fv, args)
+	for _, fr := range x.frames {
+		if fr.key == key {
+			fr.used = true
+			return procV{t: types.RecVar{Name: fr.recVar}}
+		}
+	}
+	if len(x.frames) >= maxInlineDepth {
+		x.refuse(CodeUnboundedRecursion, callPos,
+			"call depth exceeds %d without converging to a recursive protocol", maxInlineDepth)
+	}
+	fr := &frame{key: key, recVar: x.freshRecVar()}
+	x.frames = append(x.frames, fr)
+	defer func() { x.frames = x.frames[:len(x.frames)-1] }()
+
+	sc := newScope(defSc)
+	i := 0
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			if i >= len(args) {
+				x.refuse(CodeUnsupported, callPos, "call has too few arguments to inline")
+			}
+			if name.Name != "_" {
+				sc.define(name.Name, args[i])
+			}
+			i++
+		}
+	}
+	if i != len(args) {
+		x.refuse(CodeUnsupported, callPos, "call has too many arguments to inline")
+	}
+	ret, returned := x.walkBody(body.List, sc)
+	if !returned {
+		x.refuse(CodeUnsupported, body.End(), "callee falls through without returning")
+	}
+	if fr.used {
+		return procV{t: types.Rec{Var: fr.recVar, Body: x.asProc(ret, callPos)}}
+	}
+	return ret
+}
+
+func frameKey(fv funcV, args []value) string {
+	var b strings.Builder
+	if fv.decl != nil {
+		fmt.Fprintf(&b, "d:%s", fv.decl.Name.Name)
+	} else {
+		fmt.Fprintf(&b, "l:%p", fv.lit)
+	}
+	for _, a := range args {
+		b.WriteByte('|')
+		b.WriteString(valueKey(a))
+	}
+	return b.String()
+}
+
+func valueKey(v value) string {
+	switch v := v.(type) {
+	case chanV:
+		return fmt.Sprintf("c%d", v.info.id)
+	case msgV:
+		return "m:" + v.name
+	case constV:
+		return "k:" + v.v.ExactString()
+	case engineV:
+		return "e"
+	case funcV:
+		if v.decl != nil {
+			return "f:" + v.decl.Name.Name
+		}
+		return fmt.Sprintf("f:%p", v.lit)
+	case loopV:
+		return "lp:" + v.recVar
+	case *sliceV:
+		parts := make([]string, len(v.elems))
+		for i, e := range v.elems {
+			if e == nil {
+				parts[i] = "_"
+			} else {
+				parts[i] = valueKey(e)
+			}
+		}
+		return "s[" + strings.Join(parts, ",") + "]"
+	case structV:
+		parts := make([]string, len(v.fields))
+		for i, f := range v.fields {
+			parts[i] = f.name + "=" + valueKey(f.v)
+		}
+		return "st{" + strings.Join(parts, ",") + "}"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,175 @@
+package frontend
+
+import (
+	"testing"
+
+	"effpi/internal/systems"
+	"effpi/internal/types"
+)
+
+// extractExamples runs the extractor over one example directory and
+// indexes the resulting systems by entry name.
+func extractExamples(t *testing.T, dir string) (map[string]*System, *Result) {
+	t.Helper()
+	res, err := ExtractPackages("../..", dir)
+	if err != nil {
+		t.Fatalf("ExtractPackages(%s): %v", dir, err)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Fatal {
+			t.Errorf("fatal diagnostic: %s", d)
+		} else {
+			t.Logf("diagnostic: %s", d)
+		}
+	}
+	byName := map[string]*System{}
+	for _, sys := range res.Systems {
+		byName[sys.Name] = sys
+	}
+	return byName, res
+}
+
+// envEqual compares two environments up to structural type equality,
+// requiring identical binding names and order.
+func envEqual(a, b *types.Env) bool {
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		return false
+	}
+	for i, n := range an {
+		if n != bn[i] {
+			return false
+		}
+		at, _ := a.Lookup(n)
+		bt, _ := b.Lookup(n)
+		if !types.Equal(at, bt) {
+			return false
+		}
+	}
+	return true
+}
+
+func assertMatchesRow(t *testing.T, sys *System, row *systems.System) {
+	t.Helper()
+	if sys == nil {
+		t.Fatalf("entry not extracted (want match for %s)", row.Name)
+	}
+	if !envEqual(sys.Env, row.Env) {
+		t.Errorf("env mismatch:\n got  %v\n want %v", sys.Env, row.Env)
+	}
+	if !types.Equal(sys.Type, row.Type) {
+		t.Errorf("type mismatch:\n got  %v\n want %v", types.Canon(sys.Type), types.Canon(row.Type))
+	}
+	if sys.Map.Len() == 0 {
+		t.Errorf("source map is empty")
+	}
+}
+
+func TestExtractPhilosophersMatchesHandModel(t *testing.T) {
+	byName, _ := extractExamples(t, "examples/philosophers")
+	assertMatchesRow(t, byName["PhilosophersDeadlock"], systems.DiningPhilosophers(4, true))
+	assertMatchesRow(t, byName["Philosophers"], systems.DiningPhilosophers(4, false))
+}
+
+func TestExtractPaymentMatchesHandModel(t *testing.T) {
+	byName, _ := extractExamples(t, "examples/payment")
+	row := systems.PaymentAudit(3)
+	sys := byName["Payment"]
+	if sys == nil {
+		t.Fatalf("Payment entry not extracted")
+	}
+	// The three client mailboxes get source-derived names (inbox,
+	// inbox2, inbox3) instead of the hand model's c1..c3; the systems
+	// the two describe are identical up to that renaming. Assert the
+	// property-relevant bindings (m, aud) exactly and the overall term
+	// after renaming the client channels.
+	for _, ch := range []string{"m", "aud"} {
+		got, ok := sys.Env.Lookup(ch)
+		if !ok {
+			t.Fatalf("env missing %s: %v", ch, sys.Env)
+		}
+		want, _ := row.Env.Lookup(ch)
+		if !types.Equal(got, want) {
+			t.Errorf("env[%s] mismatch: got %v want %v", ch, got, want)
+		}
+	}
+	renamed := renameVars(sys.Type, map[string]string{
+		"inbox": "c1", "inbox2": "c2", "inbox3": "c3",
+	})
+	if !types.Equal(renamed, row.Type) {
+		t.Errorf("type mismatch:\n got  %v\n want %v", types.Canon(renamed), types.Canon(row.Type))
+	}
+	if sys.Map.Len() == 0 {
+		t.Errorf("source map is empty")
+	}
+}
+
+func TestExtractQuickstartEnv(t *testing.T) {
+	byName, _ := extractExamples(t, "examples/quickstart")
+	sys := byName["PingPong"]
+	if sys == nil {
+		t.Fatalf("PingPong entry not extracted")
+	}
+	want := types.NewEnv().
+		MustExtend("y", types.ChanIO{Elem: types.Str{}}).
+		MustExtend("z", types.ChanIO{Elem: types.ChanO{Elem: types.Str{}}})
+	if !envEqual(sys.Env, want) {
+		t.Errorf("env mismatch:\n got  %v\n want %v", sys.Env, want)
+	}
+	if sys.Map.Len() == 0 {
+		t.Errorf("source map is empty")
+	}
+}
+
+func TestExtractMobilecode(t *testing.T) {
+	byName, _ := extractExamples(t, "examples/mobilecode")
+	sys := byName["MobileServer"]
+	if sys == nil {
+		t.Fatalf("MobileServer entry not extracted")
+	}
+	for _, ch := range []string{"z1", "z2", "out"} {
+		got, ok := sys.Env.Lookup(ch)
+		if !ok {
+			t.Fatalf("env missing %s: %v", ch, sys.Env)
+		}
+		if !types.Equal(got, types.ChanIO{Elem: types.Int{}}) {
+			t.Errorf("env[%s] = %v, want chan[int]", ch, got)
+		}
+	}
+	if sys.Map.Len() == 0 {
+		t.Errorf("source map is empty")
+	}
+}
+
+// renameVars renames free channel variables in a term (used to align
+// source-derived channel names with hand-model names in tests).
+func renameVars(t types.Type, m map[string]string) types.Type {
+	ren := func(x types.Type) types.Type { return renameVars(x, m) }
+	switch v := t.(type) {
+	case types.Var:
+		if to, ok := m[v.Name]; ok {
+			return types.Var{Name: to}
+		}
+		return v
+	case types.Out:
+		return types.Out{Ch: ren(v.Ch), Payload: ren(v.Payload), Cont: ren(v.Cont)}
+	case types.In:
+		return types.In{Ch: ren(v.Ch), Cont: ren(v.Cont)}
+	case types.Par:
+		return types.Par{L: ren(v.L), R: ren(v.R)}
+	case types.Union:
+		return types.Union{L: ren(v.L), R: ren(v.R)}
+	case types.Pi:
+		return types.Pi{Var: v.Var, Dom: ren(v.Dom), Cod: ren(v.Cod)}
+	case types.Rec:
+		return types.Rec{Var: v.Var, Body: ren(v.Body)}
+	case types.ChanIO:
+		return types.ChanIO{Elem: ren(v.Elem)}
+	case types.ChanI:
+		return types.ChanI{Elem: ren(v.Elem)}
+	case types.ChanO:
+		return types.ChanO{Elem: ren(v.Elem)}
+	default:
+		return t
+	}
+}

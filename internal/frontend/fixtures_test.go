@@ -1,0 +1,82 @@
+package frontend
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDiags extracts one testdata package and returns its
+// diagnostics plus the systems that still came out.
+func fixtureDiags(t *testing.T, name string) *Result {
+	t.Helper()
+	res, err := ExtractPackages(".", filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("ExtractPackages(testdata/%s): %v", name, err)
+	}
+	return res
+}
+
+// assertDiag checks position, code, and message stability for one
+// diagnostic — these strings are part of the frontend's contract with
+// editors and CI logs.
+func assertDiag(t *testing.T, d Diagnostic, wantCode, wantFile string, wantLine int, wantMsg string, wantFatal bool) {
+	t.Helper()
+	if d.Code != wantCode {
+		t.Errorf("code = %q, want %q", d.Code, wantCode)
+	}
+	if got := filepath.Base(d.Pos.Filename); got != wantFile {
+		t.Errorf("file = %q, want %q", got, wantFile)
+	}
+	if d.Pos.Line != wantLine {
+		t.Errorf("line = %d, want %d", d.Pos.Line, wantLine)
+	}
+	if !strings.Contains(d.Msg, wantMsg) {
+		t.Errorf("msg = %q, want it to contain %q", d.Msg, wantMsg)
+	}
+	if d.Fatal != wantFatal {
+		t.Errorf("fatal = %v, want %v", d.Fatal, wantFatal)
+	}
+}
+
+func TestFixtureEscapingProc(t *testing.T) {
+	res := fixtureDiags(t, "escaping")
+	if len(res.Systems) != 0 {
+		t.Errorf("expected no systems, got %d", len(res.Systems))
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("expected 1 diagnostic, got %v", res.Diagnostics)
+	}
+	assertDiag(t, res.Diagnostics[0], CodeEscapingProc, "escaping.go", 17, "", true)
+	if res.Diagnostics[0].Entry != "Escaping" {
+		t.Errorf("entry = %q, want Escaping", res.Diagnostics[0].Entry)
+	}
+}
+
+func TestFixtureNonConstChannel(t *testing.T) {
+	res := fixtureDiags(t, "nonconst")
+	if len(res.Systems) != 0 {
+		t.Errorf("expected no systems, got %d", len(res.Systems))
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("expected 1 diagnostic, got %v", res.Diagnostics)
+	}
+	assertDiag(t, res.Diagnostics[0], CodeNonConstChannel, "nonconst.go", 14, "", true)
+}
+
+func TestFixtureShadowedMailbox(t *testing.T) {
+	res := fixtureDiags(t, "shadowed")
+	// The warning is non-fatal: extraction must still produce a system
+	// with the shadowing channel renamed.
+	if len(res.Systems) != 1 {
+		t.Fatalf("expected 1 system, got %d (diags %v)", len(res.Systems), res.Diagnostics)
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("expected 1 diagnostic, got %v", res.Diagnostics)
+	}
+	assertDiag(t, res.Diagnostics[0], CodeShadowedMailbox, "shadowed.go", 13, "y", false)
+	sys := res.Systems[0]
+	if !sys.Env.Has("y") || !sys.Env.Has("y2") {
+		t.Errorf("env should bind y and renamed y2, got %v", sys.Env)
+	}
+}

@@ -1,0 +1,137 @@
+package frontend
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	gotypes "go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FindModuleRoot walks up from dir to the nearest go.mod, returning the
+// containing directory and the module path it declares.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			mp := parseModulePath(data)
+			if mp == "" {
+				return "", "", fmt.Errorf("frontend: %s/go.mod has no module directive", d)
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("frontend: no go.mod found in or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func parseModulePath(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// modImporter resolves imports during typechecking. Paths inside the
+// current module are parsed and typechecked recursively from repository
+// source (the module has no external dependencies, so this is complete);
+// everything else — the standard library — is delegated to the compiler
+// source importer, which reads GOROOT source and needs no export data.
+type modImporter struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	std     gotypes.Importer
+	cache   map[string]*gotypes.Package
+	stack   []string
+}
+
+func newModImporter(fset *token.FileSet, root, modPath string) *modImporter {
+	return &modImporter{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*gotypes.Package{},
+	}
+}
+
+func (m *modImporter) Import(path string) (*gotypes.Package, error) {
+	if pkg, ok := m.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		for _, p := range m.stack {
+			if p == path {
+				return nil, fmt.Errorf("import cycle through %s", path)
+			}
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, m.modPath), "/")
+		dir := filepath.Join(m.root, filepath.FromSlash(rel))
+		m.stack = append(m.stack, path)
+		pkg, err := m.checkDir(dir, path)
+		m.stack = m.stack[:len(m.stack)-1]
+		if err != nil {
+			return nil, err
+		}
+		m.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := m.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	m.cache[path] = pkg
+	return pkg, nil
+}
+
+// checkDir parses and typechecks the module-internal package in dir.
+// No gotypes.Info is collected for dependency packages.
+func (m *modImporter) checkDir(dir, path string) (*gotypes.Package, error) {
+	files, err := parseGoDir(m.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := gotypes.Config{Importer: m}
+	return conf.Check(path, m.fset, files, nil)
+}
+
+// parseGoDir parses every buildable non-test .go file in dir.
+func parseGoDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,19 @@
+// Package escaping exercises the escaping-proc diagnostic: the
+// continuation comes from an interface method, so the extractor cannot
+// see its behaviour and must refuse rather than guess.
+package escaping
+
+import rt "effpi/internal/runtime"
+
+type procMaker interface {
+	Make() rt.Proc
+}
+
+var maker procMaker
+
+func Escaping() rt.Proc {
+	y := rt.NewChan()
+	return rt.Send{Ch: y, Val: 1, Cont: func() rt.Proc {
+		return maker.Make()
+	}}
+}

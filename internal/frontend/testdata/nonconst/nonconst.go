@@ -1,0 +1,15 @@
+// Package nonconst exercises the nonconst-channel diagnostic: the
+// channel operated on is chosen by a value the extractor cannot
+// evaluate, so the subject of the send is not statically known.
+package nonconst
+
+import rt "effpi/internal/runtime"
+
+var which int
+
+func NonConst() rt.Proc {
+	f := make([]*rt.Chan, 2)
+	f[0] = rt.NewChan()
+	f[1] = rt.NewChan()
+	return rt.Send{Ch: f[which], Val: 1, Cont: nil}
+}

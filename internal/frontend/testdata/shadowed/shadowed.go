@@ -1,0 +1,16 @@
+// Package shadowed exercises the shadowed-mailbox warning: a channel
+// is recreated under a name that still denotes a live channel, which
+// is almost always a bug in protocol code (the old endpoint leaks).
+// The warning is non-fatal; extraction continues with a renamed
+// channel.
+package shadowed
+
+import rt "effpi/internal/runtime"
+
+func Shadowed() rt.Proc {
+	y := rt.NewChan()
+	return rt.Recv{Ch: y, Cont: func(msg any) rt.Proc {
+		y := rt.NewChan()
+		return rt.Send{Ch: y, Val: 2, Cont: nil}
+	}}
+}

@@ -1,0 +1,83 @@
+package syntax
+
+// Round-trip property tests over the real systems corpus: every type the
+// repository actually verifies — the Fig. 9 rows, the large sweep, and a
+// band of generated systems — must survive PrintType → ParseType with
+// structural equality, and representative protocol terms must survive
+// PrintTerm → ParseTerm exactly. The generated-AST round-trips in
+// syntax_test.go cover the grammar combinatorially; this file pins the
+// concrete spellings the rest of the repo depends on.
+
+import (
+	"reflect"
+	"testing"
+
+	"effpi/internal/systems"
+	"effpi/internal/types"
+)
+
+func TestSystemsCorpusTypeRoundTrip(t *testing.T) {
+	corpus := append(systems.Fig9Systems(), systems.LargeSystems()...)
+	corpus = append(corpus, systems.RandomSystems(25)...)
+	if len(corpus) < 30 {
+		t.Fatalf("corpus unexpectedly small: %d systems", len(corpus))
+	}
+	check := func(label string, ty types.Type) {
+		t.Helper()
+		src := PrintType(ty)
+		back, err := ParseType(src)
+		if err != nil {
+			t.Errorf("%s: reparse of %q failed: %v", label, src, err)
+			return
+		}
+		if !types.Equal(back, ty) {
+			t.Errorf("%s: round-trip not structurally equal:\n  orig %s\n  back %s",
+				label, PrintType(ty), PrintType(back))
+		}
+		// The printer must also be deterministic: printing the reparse
+		// yields the same spelling.
+		if again := PrintType(back); again != src {
+			t.Errorf("%s: print not stable: %q vs %q", label, src, again)
+		}
+	}
+	for _, sys := range corpus {
+		check(sys.Name+"/type", sys.Type)
+		for _, n := range sys.Env.Names() {
+			ty, _ := sys.Env.Lookup(n)
+			check(sys.Name+"/env/"+n, ty)
+		}
+	}
+}
+
+// representativeTerms are protocol sources in the shapes the examples
+// and docs actually use: dependent sends, recursion through let, mobile
+// code, channel creation.
+var representativeTerms = []string{
+	`send(z, y, fun (_: Unit) => recv(y, fun (reply: Str) => end))`,
+	`recv(z, fun (replyTo: OChan[Str]) => send(replyTo, "Hi!", fun (_: Unit) => end))`,
+	`let m = fun (i1: IChan[Int]) => fun (i2: IChan[Int]) => fun (o: OChan[Int]) =>
+	   recv(i1, fun (x: Int) => recv(i2, fun (y: Int) => send(o, x, fun (_: Unit) => m i1 i2 o)))
+	 in m`,
+	`let c = chan[Int]() in (send(c, 1, fun (_: Unit) => end) || recv(c, fun (v: Int) => end))`,
+	`if x > y then send(o, x, fun (_: Unit) => end) else send(o, y, fun (_: Unit) => end)`,
+}
+
+func TestRepresentativeTermRoundTrip(t *testing.T) {
+	for i, src := range representativeTerms {
+		tm, err := ParseTerm(src)
+		if err != nil {
+			t.Fatalf("term %d: parse failed: %v", i, err)
+		}
+		printed := PrintTerm(tm)
+		back, err := ParseTerm(printed)
+		if err != nil {
+			t.Fatalf("term %d: reparse of %q failed: %v", i, printed, err)
+		}
+		if !reflect.DeepEqual(back, tm) {
+			t.Errorf("term %d: round-trip mismatch:\n  src     %s\n  printed %s", i, src, printed)
+		}
+		if again := PrintTerm(back); again != printed {
+			t.Errorf("term %d: print not stable: %q vs %q", i, printed, again)
+		}
+	}
+}

@@ -21,6 +21,9 @@ type sessionOptions struct {
 	closed   *bool
 	progress func(Event)
 	events   chan<- Event
+	// smap, when non-nil, maps extracted actions back to source
+	// positions (WithSourceMap / frontend extraction).
+	smap *SourceMap
 }
 
 // WithBind adds x:TYPE to the session's typing environment, with TYPE in

@@ -13,11 +13,15 @@ type WitnessJSON struct {
 	Replayed bool `json:"replayed"`
 }
 
-// WitnessStepJSON is one transition of a serialised witness run.
+// WitnessStepJSON is one transition of a serialised witness run. Pos
+// carries the file:line:col source positions of the extracted actions
+// behind the label when the outcome came from a Go-source extraction
+// (WitnessToJSONMapped); it is absent otherwise.
 type WitnessStepJSON struct {
-	From  int    `json:"from"`
-	Label string `json:"label"`
-	To    int    `json:"to"`
+	From  int      `json:"from"`
+	Label string   `json:"label"`
+	To    int      `json:"to"`
+	Pos   []string `json:"pos,omitempty"`
 }
 
 // WitnessToJSON converts a failing outcome's witness to its wire form,
