@@ -295,6 +295,49 @@ func BenchmarkSymmetryVerifyAllPingPong12Symmetry(b *testing.B) {
 	benchSymmetryVerifyAllLarge(b, systems.PingPongPairs(12, false), verify.SymmetryOn)
 }
 
+// benchSymmetryVerifyDining times a SINGLE property — deadlock-freedom
+// of the 8-philosopher Dining ring — rather than the VerifyAll batch.
+// The joint quotient of the full six-property batch pins f0 and f1,
+// which freezes the ring (a rotation moves every fork), so only the
+// per-property run shows the cyclic factor: deadlock-freedom observes
+// no channels, the rotation group C_8 survives, and 6 560 concrete
+// states collapse to 833 necklace representatives with the FAIL's
+// witness rotated back and replayed concretely.
+func benchSymmetryVerifyDining(b *testing.B, sym verify.SymmetryMode) {
+	if testing.Short() {
+		b.Skip("large instance skipped in -short mode")
+	}
+	s := systems.DiningPhilosophers(8, true)
+	var prop verify.Property
+	for _, p := range s.Props {
+		if p.Kind == verify.DeadlockFree {
+			prop = p
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o, err := verify.Verify(verify.Request{Env: s.Env, Type: s.Type, Property: prop,
+			Symmetry: sym})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if o.Holds {
+			b.Fatal("deadlock variant verified deadlock-free")
+		}
+		if err := verify.Replay(o); err != nil {
+			b.Fatalf("witness does not replay: %v", err)
+		}
+	}
+}
+
+func BenchmarkSymmetryVerifyDining8Serial(b *testing.B) {
+	benchSymmetryVerifyDining(b, verify.SymmetryOff)
+}
+
+func BenchmarkSymmetryVerifyDining8Rotational(b *testing.B) {
+	benchSymmetryVerifyDining(b, verify.SymmetryOn)
+}
+
 // BenchmarkParallelExplorePhilosophers6 isolates bare LTS exploration
 // (no model checking) at worker counts 1 and GOMAXPROCS — the
 // level-synchronised BFS against the serial worklist engine.

@@ -93,10 +93,11 @@ verify flags:
                  counterexamples lifted back to concrete runs and
                  replay-validated)
   -symmetry MODE off | on — explore orbit representatives under the
-                 system's channel-bundle symmetry group (closed
-                 properties only; verdicts unchanged, counterexamples
-                 permutation-lifted to concrete runs and
-                 replay-validated)
+                 system's channel permutation group: classes of
+                 interchangeable channel bundles and rotations of
+                 ring-shaped bundles (closed properties only; verdicts
+                 unchanged, counterexamples permutation-lifted to
+                 concrete runs and replay-validated)
   -por MODE      off | on — partial-order reduction: explore only an
                  ample subset of each state's transitions (non-usage,
                  deadlock-free and reactive; verdicts unchanged,
@@ -218,7 +219,7 @@ func cmdVerify(args []string) error {
 	maxStates := fs.Int("max", 0, "state bound (0 = default)")
 	early := fs.Bool("early", false, "early-exit mode: stop exploring as soon as a violation is found (on-the-fly checking; non-usage, deadlock-free and reactive)")
 	reduce := fs.String("reduce", "off", "state-space reduction before checking: off | strong (bisimulation quotient; verdicts unchanged, witnesses lifted and replay-validated)")
-	symmetry := fs.String("symmetry", "off", "exploration-time symmetry reduction: off | on (orbit representatives; verdicts unchanged, witnesses permutation-lifted and replay-validated)")
+	symmetry := fs.String("symmetry", "off", "exploration-time symmetry reduction: off | on (orbit representatives under interchangeable-bundle and ring-rotation groups; verdicts unchanged, witnesses permutation-lifted and replay-validated)")
 	por := fs.String("por", "off", "exploration-time partial-order reduction: off | on (ample transition subsets; verdicts unchanged, witnesses replay-validated; yields to -symmetry)")
 	width := fs.Int("width", 100, "truncate printed witness states to this width (0 = full)")
 	pkgMode := fs.Bool("pkg", false, "treat arguments as Go package directories and statically extract the protocol (implied by a directory or ./... argument)")

@@ -505,20 +505,70 @@ func TestSymmetryRequest(t *testing.T) {
 }
 
 // TestSymmetryRequestRejectsUnknownMode: an unknown symmetry name is a
-// stable 400 naming the valid values.
+// stable 400 spelling out the valid-values list — the contract clients
+// and the CI smoke rely on to distinguish a typo from a server fault.
 func TestSymmetryRequestRejectsUnknownMode(t *testing.T) {
 	ts := testServer(t, serverConfig{})
-	code, buf := postVerify(t, ts, `{"system": "Dining philos. (4, deadlock)", "symmetry": "orbit"}`)
-	if code != http.StatusBadRequest {
-		t.Fatalf("status %d, want 400: %s", code, buf)
-	}
-	if !bytes.Contains(buf, []byte(`"kind": "bad-request"`)) {
-		t.Errorf("error kind not bad-request: %s", buf)
-	}
-	for _, want := range []string{"orbit", "off", "on"} {
-		if !bytes.Contains(buf, []byte(want)) {
-			t.Errorf("error does not mention %q: %s", want, buf)
+	for _, bad := range []string{"orbit", "rotational", "ON"} {
+		code, buf := postVerify(t, ts, fmt.Sprintf(`{"system": "Dining philos. (4, deadlock)", "symmetry": %q}`, bad))
+		if code != http.StatusBadRequest {
+			t.Fatalf("mode %q: status %d, want 400: %s", bad, code, buf)
 		}
+		if !bytes.Contains(buf, []byte(`"kind": "bad-request"`)) {
+			t.Errorf("mode %q: error kind not bad-request: %s", bad, buf)
+		}
+		for _, want := range []string{bad, "valid values", "off", "on"} {
+			if !bytes.Contains(buf, []byte(want)) {
+				t.Errorf("mode %q: error does not mention %q: %s", bad, want, buf)
+			}
+		}
+	}
+}
+
+// TestRotationalSymmetryRequest drives the rotational detector through
+// the wire: the Dining fork ring's deadlock-freedom column (the one
+// property that observes no fork, so the full cyclic group survives
+// pinning) must report the necklace collapse in states_explored and
+// orbit_ratio and carry a replay-validated lifted witness for the
+// deadlock FAIL.
+func TestRotationalSymmetryRequest(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	code, buf := postVerify(t, ts, `{
+		"system": "Dining philos. (8, deadlock)",
+		"symmetry": "on",
+		"properties": [{"kind": "deadlock-free"}]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, buf)
+	}
+	var resp struct {
+		Results []struct {
+			Kind           string             `json:"kind"`
+			Holds          bool               `json:"holds"`
+			States         int                `json:"states"`
+			StatesExplored int                `json:"states_explored"`
+			OrbitRatio     float64            `json:"orbit_ratio"`
+			Witness        *effpi.WitnessJSON `json:"witness"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(resp.Results))
+	}
+	r := resp.Results[0]
+	if r.Holds {
+		t.Error("deadlock variant reported deadlock-free")
+	}
+	if r.States != 6560 || r.StatesExplored != 833 {
+		t.Errorf("states=%d explored=%d, want 6560 concrete states on 833 necklaces", r.States, r.StatesExplored)
+	}
+	if r.OrbitRatio < 4 {
+		t.Errorf("orbit_ratio=%v, want ≥ 4 (the ring collapse)", r.OrbitRatio)
+	}
+	if r.Witness == nil || !r.Witness.Replayed {
+		t.Error("rotational FAIL without replay-validated witness")
 	}
 }
 

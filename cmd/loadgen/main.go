@@ -146,10 +146,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loadgen: report written to %s\n", *out)
 }
 
-// defaultRows mixes small, medium, and large state spaces so admission
+// defaultRows mixes small, medium, and heavy state spaces so admission
 // sees heterogeneous service times — the regime Retry-After estimation
-// has to cope with.
-const defaultRows = "Dining philos. (4, deadlock); Ping-pong (6 pairs); Ring (10 elements); Dining philos. (5, no deadlock)"
+// has to cope with. The 8-philosopher deadlock ring is the heavy tail:
+// 6 561 concrete states across six properties, the row whose per-property
+// rotational-symmetry collapse BENCH_fig9.json tracks.
+const defaultRows = "Dining philos. (4, deadlock); Ping-pong (6 pairs); Ring (10 elements); Dining philos. (5, no deadlock); Dining philos. (8, deadlock)"
 
 func parseLevels(s string) ([]int, error) {
 	var levels []int

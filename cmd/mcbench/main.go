@@ -46,7 +46,7 @@ func main() {
 	shared := flag.Bool("shared", false, "share one workspace cache across a row's properties (the VerifyAll production path) instead of timing each property cold")
 	par := flag.Int("par", 0, "BFS workers per exploration: 0 = GOMAXPROCS, 1 = the serial engine (cap total CPU with GOMAXPROCS)")
 	reduce := flag.Bool("reduce", false, "check every property on the strong-bisimulation quotient of its state space (verdicts unchanged; rows gain states_full/states_reduced columns)")
-	symmetry := flag.Bool("symmetry", false, "explore orbit representatives under each system's channel-bundle symmetry group (verdicts unchanged; rows gain states_explored/orbit_ratio columns)")
+	symmetry := flag.Bool("symmetry", false, "explore orbit representatives under each system's channel permutation group — interchangeable-bundle classes and ring rotations (verdicts unchanged; rows gain states_explored/orbit_ratio columns)")
 	por := flag.Bool("por", false, "explore ample transition subsets per state (partial-order reduction; verdicts unchanged, eligible properties gain partial_order/states_explored columns)")
 	propFilter := flag.String("props", "", "comma-separated property kinds to run (default: all six Fig. 9 columns)")
 	jsonPath := flag.String("json", "", "write machine-readable results to PATH")
@@ -235,11 +235,13 @@ func selectRows(suite string) []*effpi.BenchSystem {
 // fast; the full sweep is one flag away.
 func isSlow(name string) bool {
 	for _, marker := range []string{
-		"10 pairs",   // Fig. 9 rows 14-15
-		"12 pairs",   // LargeSystems: the 531k-state ping-pong sweep
-		"philos. (7", // LargeSystems: 7 philosophers
-		"philos. (8", // LargeSystems: 8 philosophers
-		"Ring (16",   // LargeSystems: 16-member rings
+		"10 pairs",    // Fig. 9 rows 14-15
+		"12 pairs",    // LargeSystems: the 531k-state ping-pong sweep
+		"philos. (7",  // LargeSystems: 7 philosophers
+		"philos. (8",  // LargeSystems: 8 philosophers
+		"philos. (9",  // LargeSystems: 9 philosophers
+		"philos. (10", // LargeSystems: 10 philosophers (59k-state rings)
+		"Ring (16",    // LargeSystems: 16-member rings
 	} {
 		if strings.Contains(name, marker) {
 			return true
@@ -294,10 +296,14 @@ type jsonRow struct {
 	StatesFull     int     `json:"states_full,omitempty"`
 	StatesReduced  int     `json:"states_reduced,omitempty"`
 	ReductionRatio float64 `json:"reduction_ratio,omitempty"`
-	// StatesExplored is the orbit-representative count the engine visited
-	// under -symmetry (equal to States when the row has no non-trivial
-	// symmetry group); OrbitRatio is States / StatesExplored — the row's
-	// exploration collapse factor.
+	// StatesExplored is the smallest orbit-representative count any of
+	// the row's properties visited under -symmetry (equal to States when
+	// the row has no non-trivial symmetry group; properties whose pinned
+	// channels freeze the whole group — e.g. every fork-observing column
+	// of a Dining row, since a rotation moves every fork — stay concrete
+	// and carry their own per-property states_explored). OrbitRatio is
+	// States / StatesExplored — the row's best exploration collapse
+	// factor.
 	StatesExplored int     `json:"states_explored,omitempty"`
 	OrbitRatio     float64 `json:"orbit_ratio,omitempty"`
 	// StatesAmple is the largest ample-set reduced state space any of the
@@ -320,6 +326,10 @@ type jsonProp struct {
 	// PartialOrder reports that this property was checked on an ample-set
 	// reduced space under -por; StatesExplored is that reduced state
 	// count (the full interleaving count is never computed under POR).
+	// Under -symmetry it is instead this property's orbit-representative
+	// count — per-property because pinned channels can freeze the group
+	// for some columns but not others (a Dining row rotates only for
+	// deadlock-freedom).
 	PartialOrder   bool    `json:"partial_order,omitempty"`
 	StatesExplored int     `json:"states_explored,omitempty"`
 	Expected       *bool   `json:"expected,omitempty"`
@@ -393,7 +403,10 @@ func runRow(s *effpi.BenchSystem, reps, maxStates int, shared bool, par int, red
 				row.States = last.States
 			}
 			if symmetry != effpi.SymmetryOff {
-				row.StatesExplored = last.StatesExplored
+				jp.StatesExplored = last.StatesExplored
+				if row.StatesExplored == 0 || last.StatesExplored < row.StatesExplored {
+					row.StatesExplored = last.StatesExplored
+				}
 			}
 			times = append(times, last.Duration.Seconds())
 		}

@@ -56,18 +56,22 @@
 // Symmetry reduction: WithSymmetry(SymmetryOn) — "-symmetry on" in
 // effpi verify, "-symmetry" in mcbench, "symmetry": "on" in effpid
 // requests — shrinks the *exploration* itself: closed systems are
-// analysed for interchangeable channel bundles and the BFS
-// canonicalises every successor to an orbit representative under the
-// detected permutation group, so symmetric interleavings are never
-// materialised (Outcome.StatesExplored representatives cover
-// Outcome.States concrete states; the 12-pair ping-pong row explores
-// 234 in place of 531 441). Every orbit edge records its
-// canonicalising permutation; a FAIL's orbit counterexample is
-// rewritten into a concrete run by composing those permutations and
-// re-validated by the replay oracle before it is returned. Symmetry
-// composes with WithEarlyExit and WithReduction, and falls back to the
-// concrete pipeline for open (non-Closed) properties; see DESIGN.md
-// §symmetry.
+// analysed for a channel permutation group, the direct product of
+// symmetric groups over classes of interchangeable channel bundles
+// and cyclic rotation groups over ring-shaped bundles (channels in a
+// co-mention cycle whose binding types and resident shapes are
+// shift-invariant — the Dining fork ring), and the BFS canonicalises
+// every successor to an orbit representative under that group, so
+// symmetric interleavings are never materialised
+// (Outcome.StatesExplored representatives cover Outcome.States
+// concrete states; the 12-pair ping-pong row explores 234 in place of
+// 531 441, the 8-philosopher Dining ring 833 necklaces in place of
+// 6 560). Every orbit edge records its canonicalising permutation; a
+// FAIL's orbit counterexample is rewritten into a concrete run by
+// composing those permutations and re-validated by the replay oracle
+// before it is returned. Symmetry composes with WithEarlyExit and
+// WithReduction, and falls back to the concrete pipeline for open
+// (non-Closed) properties; see DESIGN.md §symmetry.
 //
 // Go-source frontend: FromPackages (and ExtractGoSource for a single
 // in-memory file) statically extracts behavioural types from Go

@@ -285,7 +285,7 @@ func TestStructuredErrors(t *testing.T) {
 	}
 
 	// A 12-pair ping-pong has 531441 states; a bound of 100 overflows.
-	sys := LargeSystems()[3]
+	sys := LargeSystems()[7]
 	sess, err := ws.NewSessionFromType(sys.Env, sys.Type, WithMaxStates(100))
 	if err != nil {
 		t.Fatal(err)

@@ -169,3 +169,102 @@ func TestPingPongSymmetryRatio(t *testing.T) {
 		}
 	}
 }
+
+// TestDiningSymmetryRatio pins the rotational-symmetry claim on the
+// fork ring. Deadlock-freedom observes no channel, so the full cyclic
+// group C_n survives pinning and the quotient explores fork-ring
+// necklaces: Burnside counts (1/8)·Σ_{d|8} φ(d)·3^(8/d) = 834 necklaces
+// of 8 beads over 3 symbols, and the one rotation-invariant
+// configuration the deadlock variant never reaches (its concrete space
+// is 3^8 − 1 = 6 560) is a one-element orbit, leaving exactly 833
+// representatives — a 7.9× reduction, and the FAIL's lifted witness
+// must still replay concretely. Verified per property rather than via
+// VerifyAll: the joint quotient of the full six-property batch pins f0
+// and f1 for the other columns, which freezes the ring (a rotation
+// moves every fork), so the batch stays concrete by design.
+func TestDiningSymmetryRatio(t *testing.T) {
+	s := DiningPhilosophers(8, true)
+	var prop verify.Property
+	for _, p := range s.Props {
+		if p.Kind == verify.DeadlockFree {
+			prop = p
+		}
+	}
+	for _, par := range []int{1, 2, 8} {
+		o, err := verify.Verify(verify.Request{Env: s.Env, Type: s.Type, Property: prop,
+			Parallelism: par, Symmetry: verify.SymmetryOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Holds {
+			t.Fatalf("par=%d: deadlock variant verified deadlock-free", par)
+		}
+		if o.States != 6560 {
+			t.Errorf("par=%d: States = %d, want 3^8 − 1 = 6560", par, o.States)
+		}
+		if o.StatesExplored != 833 {
+			t.Errorf("par=%d: explored %d orbit states, want 833 necklaces", par, o.StatesExplored)
+		}
+		if o.Witness == nil {
+			t.Fatalf("par=%d: rotational FAIL without lifted witness", par)
+		}
+		if err := verify.Replay(o); err != nil {
+			t.Errorf("par=%d: lifted witness does not replay: %v", par, err)
+		}
+	}
+
+	// The symmetry-broken variant must stay an exact no-op: its
+	// co-mention graph is the same cycle, but philosopher 0's swapped
+	// fork order has no rotated twin, so detection declines.
+	fixed := DiningPhilosophers(8, false)
+	for _, p := range fixed.Props {
+		if p.Kind == verify.DeadlockFree {
+			prop = p
+		}
+	}
+	o, err := verify.Verify(verify.Request{Env: fixed.Env, Type: fixed.Type, Property: prop,
+		Symmetry: verify.SymmetryOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds {
+		t.Error("fixed variant must be deadlock-free")
+	}
+	if o.StatesExplored != o.States || o.States != 6561 {
+		t.Errorf("fixed variant: explored %d of %d states, want exact no-op on 3^8 = 6561", o.StatesExplored, o.States)
+	}
+}
+
+// TestDiningTenRotational is the headline scaling row: ten philosophers
+// verify their deadlock-freedom column on 5 933 necklace
+// representatives in place of 59 048 concrete states (9.95×, the
+// asymptotic n× of C_n), with the lifted witness replaying.
+func TestDiningTenRotational(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Dining(10) rotational row skipped in -short mode")
+	}
+	s := DiningPhilosophers(10, true)
+	var prop verify.Property
+	for _, p := range s.Props {
+		if p.Kind == verify.DeadlockFree {
+			prop = p
+		}
+	}
+	o, err := verify.Verify(verify.Request{Env: s.Env, Type: s.Type, Property: prop,
+		Symmetry: verify.SymmetryOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Holds {
+		t.Fatal("deadlock variant verified deadlock-free")
+	}
+	if o.States != 59048 {
+		t.Errorf("States = %d, want 3^10 − 1 = 59048", o.States)
+	}
+	if o.StatesExplored != 5933 {
+		t.Errorf("explored %d orbit states, want 5 933 necklaces", o.StatesExplored)
+	}
+	if err := verify.Replay(o); err != nil {
+		t.Errorf("lifted witness does not replay: %v", err)
+	}
+}

@@ -345,6 +345,10 @@ func LargeSystems() []*System {
 		DiningPhilosophers(7, true),
 		DiningPhilosophers(7, false),
 		DiningPhilosophers(8, false),
+		DiningPhilosophers(8, true),
+		DiningPhilosophers(9, false),
+		DiningPhilosophers(10, false),
+		DiningPhilosophers(10, true),
 		PingPongPairs(12, false),
 		Ring(16, 1),
 		Ring(16, 4),
